@@ -1,0 +1,82 @@
+"""Ablation — distributed algorithm families head-to-head.
+
+The paper's Sec. II-C taxonomy made measurable: 1D row distribution,
+Cannon's algorithm, SUMMA2D and SUMMA3D multiply the same matrices on the
+same simulated machine; metered communication shows why the paper builds
+on 2D/3D SUMMA (1D volume grows with p; layering cuts broadcast volume
+further).
+"""
+
+import pytest
+
+from _helpers import print_series
+from repro.data import load_dataset
+from repro.simmpi import CommTracker
+from repro.summa import summa2d, summa3d
+from repro.summa.baselines import cannon2d, spgemm_1d
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    a, _ = load_dataset("eukarya").operands(seed=0)
+    return a
+
+
+def _volume(fn, a, **kw):
+    tracker = CommTracker()
+    result = fn(a, a, tracker=tracker, **kw)
+    return tracker.total_bytes(), result.matrix
+
+
+def test_ablation_algorithm_families(matrix, benchmark):
+    nprocs = 16
+    vol_1d, m_1d = _volume(spgemm_1d, matrix, nprocs=nprocs)
+    vol_cn, m_cn = _volume(cannon2d, matrix, nprocs=nprocs)
+    vol_2d, m_2d = _volume(summa2d, matrix, nprocs=nprocs)
+    vol_3d, m_3d = _volume(summa3d, matrix, nprocs=nprocs, layers=4)
+    rows = [
+        ["1D row", vol_1d],
+        ["Cannon", vol_cn],
+        ["SUMMA2D", vol_2d],
+        ["SUMMA3D l=4", vol_3d],
+    ]
+    print_series(
+        f"algorithm families: transmitted bytes at p={nprocs} (Eukarya^2)",
+        ["algorithm", "total bytes"],
+        rows,
+    )
+    # all compute the same product
+    assert m_1d.allclose(m_2d) and m_cn.allclose(m_2d) and m_3d.allclose(m_2d)
+    # the paper's taxonomy: 1D moves the most data; 2D improves on it
+    assert vol_2d < vol_1d
+    benchmark(lambda: _volume(summa2d, matrix, nprocs=4))
+
+
+def test_ablation_1d_volume_grows_with_p(matrix, benchmark):
+    volumes = {}
+    for nprocs in (4, 16):
+        volumes[nprocs], _ = _volume(spgemm_1d, matrix, nprocs=nprocs)
+    print_series(
+        "1D allgather volume vs p",
+        ["p", "bytes"],
+        [[p, v] for p, v in sorted(volumes.items())],
+    )
+    # aggregate 1D volume grows ~linearly with p — the non-scaling
+    # communication that motivates 2D (paper Sec. II-C)
+    assert volumes[16] > 3 * volumes[4]
+    benchmark(lambda: _volume(spgemm_1d, matrix, nprocs=4))
+
+
+def test_ablation_summa2d_volume_grows_slower(matrix, benchmark):
+    v2 = {}
+    for nprocs in (4, 16):
+        v2[nprocs], _ = _volume(summa2d, matrix, nprocs=nprocs)
+    v1 = {}
+    for nprocs in (4, 16):
+        v1[nprocs], _ = _volume(spgemm_1d, matrix, nprocs=nprocs)
+    growth_2d = v2[16] / v2[4]
+    growth_1d = v1[16] / v1[4]
+    print(f"\nvolume growth 4->16 procs: 1D {growth_1d:.2f}x, "
+          f"SUMMA2D {growth_2d:.2f}x")
+    assert growth_2d < growth_1d
+    benchmark(lambda: _volume(summa2d, matrix, nprocs=16))

@@ -1,0 +1,81 @@
+"""Fig. 11 — A·Aᵀ with Rice-kmers: communication-bound, no batching.
+
+Rice-kmers has ~2 nonzeros per column and nnz(A·Aᵀ) ≈ nnz(A), so b = 1
+and the run is dominated by communication (including the symbolic step's
+broadcasts).  The paper: 16 layers makes the whole computation ~6x faster
+at 65,536 cores — communication avoidance pays even *without* batching.
+"""
+
+import pytest
+
+from _helpers import COMM_STEPS, print_series
+from repro.data import load_dataset
+from repro.model import CORI_KNL, predict_steps
+from repro.simmpi import CommTracker
+from repro.sparse import multiply
+from repro.summa import batched_summa3d
+
+
+def test_fig11_no_batching_needed(benchmark):
+    a, at = load_dataset("rice_kmers").operands(seed=0)
+    budget = CORI_KNL.mem_per_node  # one node's worth is already plenty
+    r = batched_summa3d(a, at, nprocs=4, layers=1, memory_budget=budget)
+    assert r.batches == 1
+    assert r.matrix.allclose(multiply(a, at))
+    print(f"\nrice stand-in: nnz(A) = {a.nnz}, nnz(AAT) = {r.matrix.nnz} "
+          f"(expansion {r.matrix.nnz / a.nnz:.2f}) -> b = 1")
+    benchmark(lambda: batched_summa3d(a, at, nprocs=4, layers=1, batches=1))
+
+
+def test_fig11_communication_dominates_and_layers_help(benchmark):
+    """Modelled at paper scale: the run is comm-bound at l = 1 and layers
+    shrink the total substantially (paper: 6x with 16 layers)."""
+    paper = load_dataset("rice_kmers").paper
+    stats = dict(nnz_a=int(paper.nnz_a), nnz_b=int(paper.nnz_a),
+                 nnz_c=int(paper.nnz_c), flops=int(paper.flops))
+    rows = []
+    totals = {}
+    comm_frac = {}
+    for layers in (1, 4, 16):
+        t = predict_steps(
+            CORI_KNL, nprocs=4096, layers=layers, batches=1, **stats
+        )
+        comm = sum(t.get(s) for s in COMM_STEPS)
+        totals[layers] = t.total()
+        comm_frac[layers] = comm / t.total()
+        rows.append([layers, round(comm, 2), round(t.total() - comm, 2),
+                     round(t.total(), 2)])
+    print_series(
+        "Fig. 11 (modelled, Rice-kmers AAT @ 65,536 cores, b=1)",
+        ["l", "comm (s)", "comp (s)", "total (s)"],
+        rows,
+    )
+    # comm-bound at one layer (Rice-kmers: ~2 nnz per column)
+    assert comm_frac[1] > 0.5
+    # more layers help markedly even with b = 1 (paper: 6x at l=16)
+    speedup = totals[1] / totals[16]
+    print(f"l=16 speedup over l=1: {speedup:.1f}x (paper: ~6x)")
+    assert speedup > 2.0
+    benchmark(lambda: predict_steps(
+        CORI_KNL, nprocs=4096, layers=16, batches=1, **stats
+    ))
+
+
+def test_fig11_simulated_comm_reduction(benchmark):
+    """The same effect measured in bytes on the simulator."""
+    a, at = load_dataset("rice_kmers").operands(seed=0)
+    volumes = {}
+    for layers in (1, 4):
+        tracker = CommTracker()
+        batched_summa3d(a, at, nprocs=16, layers=layers, batches=1,
+                        tracker=tracker)
+        volumes[layers] = sum(
+            tracker.total_bytes(s) for s in ("A-Broadcast", "B-Broadcast")
+        )
+    print_series(
+        "Fig. 11 (simulated, p=16): broadcast volume vs layers",
+        ["l", "broadcast bytes"],
+        [[l, v] for l, v in sorted(volumes.items())],
+    )
+    assert volumes[4] < volumes[1]
+    benchmark(lambda: batched_summa3d(a, at, nprocs=16, layers=4, batches=1))

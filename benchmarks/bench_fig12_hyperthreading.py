@@ -1,0 +1,84 @@
+"""Fig. 12 — hyperthreading at extreme scale (Metaclust50, 4096 nodes).
+
+With all 4 hardware threads per core the process count quadruples: the
+paper finds computation gets faster, communication gets slower (NIC
+contention), and the total still improves because this workload is
+computation-dominated — while noting HT "may not help when SpGEMM becomes
+communication-bound".  Both halves are asserted on the machine model.
+"""
+
+import pytest
+
+from _helpers import COMM_STEPS, COMP_STEPS, print_series
+from repro.data import load_dataset
+from repro.model import CORI_KNL, CORI_KNL_HT, predict_steps
+
+
+def _split(times):
+    comm = sum(times.get(s) for s in COMM_STEPS)
+    comp = sum(times.get(s) for s in COMP_STEPS)
+    return comm, comp
+
+
+def test_fig12_hyperthreading_tradeoff(benchmark):
+    paper = load_dataset("metaclust50").paper
+    stats = dict(nnz_a=int(paper.nnz_a), nnz_b=int(paper.nnz_a),
+                 nnz_c=int(paper.nnz_c), flops=int(paper.flops))
+    cores = 262144  # 4096 nodes
+    rows = []
+    results = {}
+    for layers in (16, 64):
+        plain = predict_steps(
+            CORI_KNL, nprocs=CORI_KNL.procs_for_cores(cores),
+            layers=layers, batches=4, **stats,
+        )
+        ht = predict_steps(
+            CORI_KNL_HT,
+            nprocs=CORI_KNL_HT.procs_for_cores(cores, hyperthreads=True),
+            layers=layers, batches=4, **stats,
+        )
+        results[layers] = (plain, ht)
+        for label, t in (("HT=No", plain), ("HT=Yes", ht)):
+            comm, comp = _split(t)
+            rows.append([layers, label, round(comp, 1), round(comm, 1),
+                         round(t.total(), 1)])
+    print_series(
+        "Fig. 12 (modelled, Metaclust50 @ 4096 nodes)",
+        ["l", "mode", "comp (s)", "comm (s)", "total (s)"],
+        rows,
+    )
+    for layers, (plain, ht) in results.items():
+        comm_p, comp_p = _split(plain)
+        comm_h, comp_h = _split(ht)
+        # HT reduces computation time but increases communication time
+        assert comp_h < comp_p, layers
+        assert comm_h > comm_p, layers
+    # where computation dominates (l=64 in the paper), HT wins overall
+    plain64, ht64 = results[64]
+    assert ht64.total() < plain64.total()
+    benchmark(lambda: predict_steps(
+        CORI_KNL_HT, nprocs=65536, layers=16, batches=4, **stats
+    ))
+
+
+def test_fig12_ht_does_not_help_when_comm_bound(benchmark):
+    """The paper's caveat: a communication-bound SpGEMM gains nothing."""
+    paper = load_dataset("rice_kmers").paper  # the comm-bound workload
+    stats = dict(nnz_a=int(paper.nnz_a), nnz_b=int(paper.nnz_a),
+                 nnz_c=int(paper.nnz_c), flops=int(paper.flops))
+    cores = 65536
+    plain = predict_steps(
+        CORI_KNL, nprocs=CORI_KNL.procs_for_cores(cores),
+        layers=1, batches=1, **stats,
+    )
+    ht = predict_steps(
+        CORI_KNL_HT,
+        nprocs=CORI_KNL_HT.procs_for_cores(cores, hyperthreads=True),
+        layers=1, batches=1, **stats,
+    )
+    print(f"\ncomm-bound workload: HT=No {plain.total():.2f}s, "
+          f"HT=Yes {ht.total():.2f}s")
+    assert ht.total() > plain.total()
+    benchmark(lambda: predict_steps(
+        CORI_KNL, nprocs=4096, layers=1, batches=1, **stats
+    ))

@@ -1,0 +1,60 @@
+"""Fig. 13 — same grid, faster processors (Cori-KNL vs Cori-Haswell).
+
+The paper squares Isolates-small on 256 nodes of each partition with the
+same process grid (16 layers, 23 batches): computation is ~2.1x faster on
+Haswell, communication ~1.4x faster (same Aries network, faster data
+handling around MPI calls), so communication takes a *larger fraction* of
+the total on the faster processor — the motivation for communication
+avoidance on future machines.
+"""
+
+import pytest
+
+from _helpers import COMM_STEPS, COMP_STEPS, print_series
+from repro.data import load_dataset
+from repro.model import CORI_HASWELL, CORI_KNL, predict_steps
+
+
+def test_fig13_knl_vs_haswell(benchmark):
+    paper = load_dataset("isolates_small").paper
+    stats = dict(nnz_a=int(paper.nnz_a), nnz_b=int(paper.nnz_a),
+                 nnz_c=int(paper.nnz_c), flops=int(paper.flops))
+    # 256 nodes of each; the paper fixes the same process grid on both
+    nprocs = 1024
+    layers, batches = 16, 23
+    times = {
+        "KNL": predict_steps(CORI_KNL, nprocs=nprocs, layers=layers,
+                             batches=batches, **stats),
+        "Haswell": predict_steps(CORI_HASWELL, nprocs=nprocs, layers=layers,
+                                 batches=batches, **stats),
+    }
+    rows = []
+    split = {}
+    # pure communication steps only: the Symbolic step mixes in local
+    # computation, which would contaminate the comm-speedup measurement
+    pure_comm = ("A-Broadcast", "B-Broadcast", "AllToAll-Fiber")
+    for name, t in times.items():
+        comm = sum(t.get(s) for s in pure_comm)
+        comp = sum(t.get(s) for s in COMP_STEPS)
+        split[name] = (comm, comp)
+        rows.append([name, round(comp, 1), round(comm, 1),
+                     round(comm / (comm + comp), 3)])
+    print_series(
+        "Fig. 13 (modelled, Isolates-small @ 256 nodes, l=16, b=23)",
+        ["machine", "comp (s)", "comm (s)", "comm fraction"],
+        rows,
+    )
+    comp_speedup = split["KNL"][1] / split["Haswell"][1]
+    comm_speedup = split["KNL"][0] / split["Haswell"][0]
+    print(f"computation speedup: {comp_speedup:.2f}x (paper 2.1x); "
+          f"communication speedup: {comm_speedup:.2f}x (paper 1.4x)")
+    # paper's arrowheads
+    assert comp_speedup == pytest.approx(2.1, rel=0.05)
+    assert comm_speedup == pytest.approx(1.4, rel=0.05)
+    # the structural consequence: comm fraction grows on the faster CPU
+    frac_knl = split["KNL"][0] / sum(split["KNL"])
+    frac_hsw = split["Haswell"][0] / sum(split["Haswell"])
+    assert frac_hsw > frac_knl
+    benchmark(lambda: predict_steps(
+        CORI_HASWELL, nprocs=nprocs, layers=layers, batches=batches, **stats
+    ))

@@ -1,0 +1,102 @@
+"""Fig. 3 — HipMCL iteration times, 1 layer vs more layers.
+
+The paper plugs BatchedSUMMA3D into HipMCL and shows (a) early iterations
+need multiple batches, (b) batch counts shrink as pruning sparsifies the
+matrix, and (c) the application simply cannot run without batching.  This
+bench runs the first HipMCL iterations of a protein-similarity stand-in
+under a tight memory budget and prints the per-iteration series the
+figure annotates (batch count + runtime), for l = 1 and l = 4.
+"""
+
+import pytest
+
+from _helpers import print_series
+from repro.apps import markov_cluster
+from repro.data import protein_similarity
+from repro.errors import SpmdError
+from repro.sparse.matrix import BYTES_PER_NONZERO
+from repro.summa import batched_summa3d
+
+
+@pytest.fixture(scope="module")
+def network():
+    return protein_similarity(300, intra_density=0.4, noise_degree=1.0, seed=9)
+
+
+def test_fig3_iteration_series(network, benchmark):
+    budget = 14 * network.nnz * BYTES_PER_NONZERO
+    results = {}
+    for layers in (1, 4):
+        results[layers] = markov_cluster(
+            network,
+            nprocs=4,
+            layers=layers,
+            memory_budget=budget,
+            max_iterations=10,
+            keep_per_column=24,
+        )
+    rows = []
+    for it in range(max(len(r.iterations) for r in results.values())):
+        row = [it]
+        for layers in (1, 4):
+            its = results[layers].iterations
+            if it < len(its):
+                row += [its[it].batches, round(its[it].step_times.total(), 4)]
+            else:
+                row += ["-", "-"]
+        rows.append(row)
+    print_series(
+        "Fig. 3: HipMCL first iterations (p=4, tight memory)",
+        ["iter", "b (l=1)", "time (l=1)", "b (l=4)", "time (l=4)"],
+        rows,
+    )
+    # paper shape: the dense early/middle iterations need multiple batches;
+    # pruning then sparsifies the matrix until a single batch suffices
+    series_b = [it.batches for it in results[1].iterations]
+    assert max(series_b) > 1
+    assert series_b[-1] == 1
+    assert series_b.index(max(series_b)) < len(series_b) - 1
+    # both layer settings produce the same clustering
+    mapping = {}
+    for la, lb in zip(results[1].labels.tolist(), results[4].labels.tolist()):
+        assert mapping.setdefault(la, lb) == lb
+
+    benchmark.pedantic(
+        lambda: markov_cluster(network, nprocs=4, memory_budget=budget,
+                               max_iterations=2),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig3_without_batching_is_infeasible(benchmark):
+    """Paper: 'HipMCL cannot even cluster Isolates-small ... if batching is
+    not used.'  Forcing b=1 on the expansion step of a protein-similarity
+    matrix blows far past the per-process share the batched run fits in."""
+    from repro.data import load_dataset
+
+    network, _ = load_dataset("eukarya").operands(seed=0)
+    budget = 6 * network.nnz * BYTES_PER_NONZERO
+    batched = batched_summa3d(
+        network, network, nprocs=4, memory_budget=budget, keep_output=False
+    )
+    assert batched.batches > 1
+    unbatched = batched_summa3d(
+        network, network, nprocs=4, batches=1, keep_output=False
+    )
+    per_proc = budget / 4
+    print_series(
+        "Fig. 3 feasibility: per-process memory high water vs budget share",
+        ["mode", "batches", "high water (B)", "budget share (B)"],
+        [
+            ["batched", batched.batches, batched.max_local_bytes, int(per_proc)],
+            ["unbatched", 1, unbatched.max_local_bytes, int(per_proc)],
+        ],
+    )
+    # the unbatched run needs substantially more memory per process and
+    # overshoots the budget share by >2x; the batched run is the only
+    # feasible configuration
+    assert unbatched.max_local_bytes > batched.max_local_bytes * 1.4
+    assert unbatched.max_local_bytes > per_proc * 2
+    benchmark(lambda: batched_summa3d(
+        network, network, nprocs=4, batches=2, keep_output=False
+    ))

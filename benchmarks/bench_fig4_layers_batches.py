@@ -1,0 +1,100 @@
+"""Fig. 4 — impact of layers (l) and batches (b) on each step.
+
+The paper squares Friendster and Isolates-small while sweeping l in
+{1, 4, 16} and b in {1..64}, showing per-step stacked bars.  Here the
+same sweep runs on the simulated runtime with the scaled stand-ins; the
+figure's observations are asserted on metered communication volumes (the
+byte-exact quantity) and on the α–β model for the time axis.
+"""
+
+import pytest
+
+from _helpers import print_series
+from repro.data import load_dataset
+from repro.model import CORI_KNL, predict_steps
+from repro.simmpi import CommTracker
+from repro.summa import batched_summa3d
+
+STEPS = ("A-Broadcast", "B-Broadcast", "AllToAll-Fiber")
+
+
+@pytest.fixture(scope="module")
+def friendster():
+    a, _ = load_dataset("friendster").operands(seed=0)
+    return a
+
+
+def _sweep(a, nprocs, configs):
+    out = {}
+    for layers, batches in configs:
+        tracker = CommTracker()
+        batched_summa3d(a, a, nprocs=nprocs, layers=layers, batches=batches,
+                        tracker=tracker)
+        agg = tracker.by_step()
+        out[(layers, batches)] = {
+            s: agg.get(s, {"total_bytes": 0})["total_bytes"] for s in STEPS
+        }
+    return out
+
+
+def test_fig4_measured_sweep(friendster, benchmark):
+    configs = [(1, 1), (1, 4), (4, 1), (4, 4), (16, 4)]
+    sweep = _sweep(friendster, 16, configs)
+    rows = [
+        [f"l={l}, b={b}"] + [sweep[(l, b)][s] for s in STEPS]
+        for (l, b) in configs
+    ]
+    print_series(
+        "Fig. 4 (measured volumes, p=16, Friendster stand-in)",
+        ["config"] + list(STEPS),
+        rows,
+    )
+    # A-Broadcast grows ~linearly with b at fixed l
+    assert sweep[(1, 4)]["A-Broadcast"] > 3 * sweep[(1, 1)]["A-Broadcast"]
+    # ... and shrinks with l at fixed b
+    assert sweep[(4, 4)]["A-Broadcast"] < sweep[(1, 4)]["A-Broadcast"]
+    # B-Broadcast is b-invariant
+    assert sweep[(1, 4)]["B-Broadcast"] < 1.35 * sweep[(1, 1)]["B-Broadcast"]
+    # fiber exchange grows with l
+    assert sweep[(16, 4)]["AllToAll-Fiber"] > sweep[(4, 4)]["AllToAll-Fiber"]
+    benchmark(lambda: _sweep(friendster, 16, [(4, 2)]))
+
+
+def test_fig4_modelled_paper_scale(benchmark):
+    """The same sweep at the paper's 65,536-core scale via the model."""
+    paper = load_dataset("friendster").paper
+    stats = dict(nnz_a=int(paper.nnz_a), nnz_b=int(paper.nnz_a),
+                 nnz_c=int(paper.nnz_c), flops=int(paper.flops))
+    benchmark(lambda: predict_steps(
+        CORI_KNL, nprocs=4096, layers=16, batches=16, **stats
+    ))
+    rows = []
+    table = {}
+    for layers in (1, 4, 16):
+        for batches in (1, 16, 64):
+            t = predict_steps(
+                CORI_KNL, nprocs=4096, layers=layers, batches=batches, **stats
+            )
+            table[(layers, batches)] = t
+            rows.append([
+                f"l={layers}, b={batches}",
+                round(t.get("A-Broadcast"), 2),
+                round(t.get("B-Broadcast"), 3),
+                round(t.get("Local-Multiply"), 2),
+                round(t.get("AllToAll-Fiber"), 3),
+                round(t.get("Merge-Fiber"), 3),
+                round(t.total(), 2),
+            ])
+    print_series(
+        "Fig. 4 (modelled, Friendster @ 65,536 cores)",
+        ["config", "A-Bcast", "B-Bcast", "LocalMul", "AllToAll",
+         "Merge-F", "total"],
+        rows,
+    )
+    # paper observation: with b=64, going 1 -> 16 layers cuts A-Broadcast
+    assert table[(16, 64)].get("A-Broadcast") < \
+        table[(1, 64)].get("A-Broadcast") / 2
+    # Local-Multiply time does not change with b
+    assert table[(4, 64)].get("Local-Multiply") == pytest.approx(
+        table[(4, 1)].get("Local-Multiply")
+    )

@@ -1,0 +1,77 @@
+"""Fig. 6 — strong scaling of Friendster and Isolates-small, 4K -> 65K cores.
+
+The paper reports total speedups of 14x (Friendster) and 17.3x
+(Isolates-small, superlinear thanks to the falling batch count) over a
+16x core increase on Cori-KNL, with per-step breakdowns.  This bench
+projects the same series from the Table II/III model fed with the paper's
+Table V statistics and asserts the figure's shape: strong overall
+speedup, shrinking batch counts, and near-linear computation scaling.
+"""
+
+import pytest
+
+from _helpers import print_series
+from repro.data import load_dataset
+from repro.model import CORI_KNL, strong_scaling_series
+
+CORES = [4096, 16384, 65536]
+PAPER_SPEEDUP = {"friendster": 14.0, "isolates_small": 17.3}
+
+
+def _series(name, memory_fraction):
+    paper = load_dataset(name).paper
+    return strong_scaling_series(
+        CORI_KNL,
+        core_counts=CORES,
+        layers=16,
+        nnz_a=int(paper.nnz_a),
+        nnz_b=int(paper.nnz_a),
+        nnz_c=int(paper.nnz_c),
+        flops=int(paper.flops),
+        memory_fraction=memory_fraction,
+    )
+
+
+@pytest.mark.parametrize("name,memfrac", [
+    ("friendster", 0.35),
+    ("isolates_small", 0.35),
+])
+def test_fig6_strong_scaling(name, memfrac, benchmark):
+    series = _series(name, memfrac)
+    rows = [
+        [pt.cores, pt.nprocs, pt.batches,
+         round(pt.times.get("A-Broadcast"), 2),
+         round(pt.times.get("Local-Multiply"), 2),
+         round(pt.times.get("AllToAll-Fiber"), 3),
+         round(pt.total, 2)]
+        for pt in series
+    ]
+    print_series(
+        f"Fig. 6 ({name} @ paper scale, l=16, modelled)",
+        ["cores", "procs", "b", "A-Bcast", "LocalMul", "AllToAll", "total"],
+        rows,
+    )
+    speedup = series[0].total / series[-1].total
+    paper = PAPER_SPEEDUP[name]
+    print(f"16x cores -> {speedup:.1f}x speedup (paper: {paper}x)")
+    # the shape band: strong scaling holds, within a factor 2 of the paper
+    assert paper / 2 <= speedup <= paper * 2
+    # batch count falls as aggregate memory grows
+    bs = [pt.batches for pt in series]
+    assert bs[0] > bs[-1]
+    # computation scales near-linearly: Local-Multiply drops ~16x
+    comp = [pt.times.get("Local-Multiply") for pt in series]
+    assert comp[0] / comp[-1] == pytest.approx(16, rel=0.1)
+    benchmark(lambda: _series(name, memfrac))
+
+
+def test_fig6_abcast_superlinear(benchmark):
+    """Paper: A-Broadcast can shrink superlinearly (45.4x for Isolates-small
+    over 16x cores) because b falls on top of the 1/sqrt(pl) bandwidth."""
+    series = _series("isolates_small", 0.35)
+    abcast = [pt.times.get("A-Broadcast") for pt in series]
+    reduction = abcast[0] / abcast[-1]
+    print(f"\nA-Broadcast reduction over 16x cores: {reduction:.1f}x "
+          f"(paper: 45.4x; superlinear means > 16x)")
+    assert reduction > 16
+    benchmark(lambda: _series("isolates_small", 0.35))

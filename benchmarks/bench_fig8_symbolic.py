@@ -1,0 +1,75 @@
+"""Fig. 8 — computation vs communication inside the symbolic step.
+
+The paper shows the symbolic step's communication shrinking >4x from 1 to
+16 layers (>2x total), because SYMBOLIC3D reuses the communication-
+avoiding broadcasts while its local computation is light.  Measured here
+on the simulator: transmitted symbolic volume falls with l while the
+symbolic *work* (flops examined) is l-invariant; the modelled times at
+paper scale show the same split the figure plots.
+"""
+
+import pytest
+
+from _helpers import print_series
+from repro.data import load_dataset
+from repro.model import CORI_KNL, comm_complexity
+from repro.simmpi import CommTracker
+from repro.summa import symbolic3d
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    a, _ = load_dataset("isolates_small").operands(seed=0)
+    return a
+
+
+def test_fig8_symbolic_comm_shrinks_with_layers(matrix, benchmark):
+    budget = 10**9
+    volumes = {}
+    batch_counts = {}
+    for layers in (1, 4, 16):
+        tracker = CommTracker()
+        r = symbolic3d(matrix, matrix, nprocs=64, layers=layers,
+                       memory_budget=budget, tracker=tracker)
+        volumes[layers] = tracker.total_bytes("Symbolic")
+        batch_counts[layers] = r.batches
+    rows = [[l, volumes[l], batch_counts[l]] for l in sorted(volumes)]
+    print_series(
+        "Fig. 8: symbolic-step transmitted bytes vs layers (p=64)",
+        ["l", "symbolic comm bytes", "computed b"],
+        rows,
+    )
+    # the figure's claim: communication falls substantially with layers
+    assert volumes[16] < volumes[1] / 2
+    assert volumes[4] < volumes[1]
+    benchmark(lambda: symbolic3d(
+        matrix, matrix, nprocs=16, layers=4, memory_budget=budget
+    ))
+
+
+def test_fig8_modelled_split_at_paper_scale(benchmark):
+    paper = load_dataset("isolates_small").paper
+    rows = []
+    split = {}
+    for layers in (1, 4, 16):
+        c = comm_complexity(
+            nprocs=4096, layers=layers, batches=1,
+            nnz_a=int(paper.nnz_a), nnz_b=int(paper.nnz_a),
+            flops=int(paper.flops),
+        )["Symbolic"]
+        comm = CORI_KNL.alpha * c["latency_hops"] + CORI_KNL.beta * c["bytes"]
+        comp = paper.flops / 4096 / CORI_KNL.symbolic_rate
+        split[layers] = (comm, comp)
+        rows.append([layers, round(comm, 2), round(comp, 2)])
+    print_series(
+        "Fig. 8 (modelled, Isolates-small @ 65,536 cores)",
+        ["l", "symbolic comm (s)", "symbolic comp (s)"],
+        rows,
+    )
+    # communication shrinks with l; computation is l-invariant
+    assert split[16][0] < split[1][0] / 2
+    assert split[16][1] == split[1][1]
+    benchmark(lambda: comm_complexity(
+        nprocs=4096, layers=16, batches=1,
+        nnz_a=int(paper.nnz_a), nnz_b=int(paper.nnz_a), flops=int(paper.flops),
+    ))

@@ -1,0 +1,86 @@
+"""Fig. 9 — parallel efficiency of BatchedSUMMA3D on the four big matrices.
+
+The paper plots efficiency (P1/P2)(T(P1)/T(P2)) and finds it stays near
+(or above — superlinear) 1 for three matrices, while the sparser
+Metaclust50 drops to ~0.4 at 262K cores because communication dominates.
+"""
+
+import pytest
+
+from _helpers import print_series
+from repro.data import load_dataset
+from repro.model import CORI_KNL, parallel_efficiency, strong_scaling_series
+
+MATRICES = ["friendster", "isolates_small", "isolates", "metaclust50"]
+
+
+def _efficiency(name, cores):
+    paper = load_dataset(name).paper
+    series = strong_scaling_series(
+        CORI_KNL,
+        core_counts=cores,
+        layers=16,
+        nnz_a=int(paper.nnz_a),
+        nnz_b=int(paper.nnz_a),
+        nnz_c=int(paper.nnz_c),
+        flops=int(paper.flops),
+        memory_fraction=0.35,
+    )
+    return parallel_efficiency(series)
+
+
+def test_fig9_parallel_efficiency(benchmark):
+    # the paper scales the smaller matrices to 65K cores (Fig. 6) and the
+    # giants to 262K (Fig. 7); Fig. 9 overlays the efficiency of all four
+    core_ranges = {
+        "friendster": [4096, 16384, 65536],
+        "isolates_small": [4096, 16384, 65536],
+        "isolates": [16384, 65536, 262144],
+        "metaclust50": [16384, 65536, 262144],
+    }
+    table = {name: _efficiency(name, core_ranges[name]) for name in MATRICES}
+    rows = [
+        [name, core_ranges[name][-1]] + [round(e, 3) for e in table[name]]
+        for name in MATRICES
+    ]
+    print_series(
+        "Fig. 9: parallel efficiency at 1x / 4x / 16x the base cores "
+        "(modelled, l=16)",
+        ["matrix", "max cores", "eff@1x", "eff@4x", "eff@16x"],
+        rows,
+    )
+    # every series starts at 1 by definition
+    for effs in table.values():
+        assert effs[0] == pytest.approx(1.0)
+    finals = {name: effs[-1] for name, effs in table.items()}
+    # paper: efficiency remains close to 1 (superlinear points above 1 come
+    # from the falling batch count, which the paper observes too)
+    for name, final in finals.items():
+        assert final > 0.5, name
+    # at a FIXED batch count the superlinear b-effect disappears and
+    # communication (plus the coarser merging at finer stage granularity)
+    # must pull efficiency strictly below 1 for both giants — Fig. 9's
+    # sub-ideal regime.  The paper's further claim that Metaclust50 is the
+    # laggard (0.4 at 262K cores) rests on latency/contention effects the
+    # two-term alpha-beta model does not carry; EXPERIMENTS.md records the
+    # divergence, while bench_fig7 asserts the mechanism the model does
+    # reproduce (Metaclust50's higher communication fraction).
+    fixed = {}
+    for name in ("isolates", "metaclust50"):
+        paper = load_dataset(name).paper
+        pts = []
+        from repro.model import predict_steps
+
+        for cores in (16384, 262144):
+            nprocs = CORI_KNL.procs_for_cores(cores)
+            t = predict_steps(
+                CORI_KNL, nprocs=nprocs, layers=16, batches=4,
+                nnz_a=int(paper.nnz_a), nnz_b=int(paper.nnz_a),
+                nnz_c=int(paper.nnz_c), flops=int(paper.flops),
+            )
+            pts.append((nprocs, t.total()))
+        (p1, t1), (p2, t2) = pts
+        fixed[name] = (p1 / p2) * (t1 / t2)
+        print(f"{name}: fixed-b efficiency at 16x cores = {fixed[name]:.3f}")
+    assert all(0.4 < e < 1.0 for e in fixed.values())
+    benchmark(lambda: _efficiency("isolates", core_ranges["isolates"]))

@@ -1,0 +1,90 @@
+"""Table II — communication complexity of BatchedSUMMA3D steps.
+
+Validates the paper's closed-form communication model against byte-exact
+volumes metered on the simulated runtime, across (p, l, b), and prints
+the closed-form table the paper states.
+"""
+
+import math
+
+import pytest
+
+from _helpers import print_series
+from repro.model import comm_complexity
+from repro.simmpi import CommTracker
+from repro.sparse import random_sparse
+from repro.sparse.matrix import BYTES_PER_NONZERO
+from repro.summa import batched_summa3d
+
+CONFIGS = [(4, 1, 1), (4, 1, 4), (16, 4, 1), (16, 4, 4), (16, 16, 2)]
+
+
+def _measured_volumes(a, nprocs, layers, batches):
+    tracker = CommTracker()
+    batched_summa3d(a, a, nprocs=nprocs, layers=layers, batches=batches,
+                    tracker=tracker)
+    return tracker.by_step()
+
+
+def test_table2_broadcast_volumes_match_closed_form(benchmark):
+    a = random_sparse(64, 64, nnz=1024, seed=1)
+    rows = []
+    for nprocs, layers, batches in CONFIGS:
+        agg = _measured_volumes(a, nprocs, layers, batches)
+        # A is re-broadcast once per batch in total across the grid
+        expected_a = batches * a.nnz * BYTES_PER_NONZERO
+        measured_a = agg["A-Broadcast"]["nbytes"]
+        assert expected_a <= measured_a <= expected_a * 1.4, (nprocs, layers, batches)
+        # B's volume is batch-independent
+        expected_b = a.nnz * BYTES_PER_NONZERO
+        measured_b = agg["B-Broadcast"]["nbytes"]
+        assert expected_b <= measured_b <= expected_b * 2.2
+        rows.append([
+            f"{nprocs}/{layers}/{batches}",
+            measured_a, expected_a,
+            measured_b, expected_b,
+        ])
+    print_series(
+        "Table II validation: metered vs closed-form broadcast volumes (bytes)",
+        ["p/l/b", "A-Bcast meas", "A-Bcast model", "B-Bcast meas", "B-Bcast model"],
+        rows,
+    )
+    benchmark(lambda: _measured_volumes(a, 16, 4, 2))
+
+
+def test_table2_closed_form_scalings(benchmark):
+    """The analytic rows of Table II at paper scale."""
+    stats = dict(nnz_a=10**9, nnz_b=10**9, flops=10**11)
+    benchmark(lambda: comm_complexity(nprocs=4096, layers=4, batches=8, **stats))
+    rows = []
+    for layers in (1, 4, 16):
+        c = comm_complexity(nprocs=4096, layers=layers, batches=8, **stats)
+        rows.append([
+            layers,
+            c["A-Broadcast"]["bytes"],
+            c["B-Broadcast"]["bytes"],
+            c["AllToAll-Fiber"]["bytes"],
+            c["A-Broadcast"]["latency_hops"],
+        ])
+    print_series(
+        "Table II closed forms at p=4096, b=8",
+        ["l", "A-Bcast bytes", "B-Bcast bytes", "AllToAll bytes", "A lat hops"],
+        rows,
+    )
+    # bandwidth of the broadcasts falls like 1/sqrt(l)
+    assert rows[1][1] == pytest.approx(rows[0][1] / 2)
+    assert rows[2][1] == pytest.approx(rows[0][1] / 4)
+    # total A-Bcast latency hops fall with l too (fewer, smaller comms)
+    assert rows[2][4] < rows[0][4]
+
+
+def test_table2_alltoall_message_counts(benchmark):
+    a = random_sparse(48, 48, nnz=700, seed=2)
+    benchmark(lambda: _measured_volumes(a, 16, 4, 1))
+    for nprocs, layers, batches in [(16, 4, 1), (16, 4, 3)]:
+        agg = _measured_volumes(a, nprocs, layers, batches)
+        # one alltoall per fiber per batch; p/l fibers
+        assert agg["AllToAll-Fiber"]["messages"] == batches * (nprocs // layers)
+        # latency hops per alltoall = l - 1
+        assert agg["AllToAll-Fiber"]["latency_hops"] == \
+            batches * (nprocs // layers) * (layers - 1)

@@ -1,0 +1,61 @@
+"""Table IV — the evaluation platform.
+
+Table IV describes Cori's two partitions; this reproduction encodes them
+as machine presets.  The bench prints the presets next to the paper's
+rows and asserts the derived quantities the experiments depend on: node
+counts, aggregate memory (the paper quotes 1.09 PB for the KNL
+partition), thread mappings, and the relative compute/communication
+speeds of Fig. 13.
+"""
+
+import pytest
+
+from _helpers import print_series
+from repro.model import CORI_HASWELL, CORI_KNL, CORI_KNL_HT
+
+GB = 1024**3
+PAPER = {
+    # (cores/node, threads/core, mem/node GB, total nodes, threads/process)
+    "cori-knl": (68, 4, 112, 9668, 16),
+    "cori-haswell": (32, 2, 128, 2388, 6),
+}
+
+
+def test_table4_platform_presets(benchmark):
+    rows = []
+    for machine in (CORI_KNL, CORI_HASWELL):
+        paper = PAPER[machine.name]
+        rows.append([
+            machine.name,
+            f"{machine.cores_per_node} ({paper[0]})",
+            f"{machine.threads_per_core} ({paper[1]})",
+            f"{machine.mem_per_node // GB} ({paper[2]})",
+            f"{machine.threads_per_process} ({paper[4]})",
+        ])
+        assert machine.cores_per_node == paper[0]
+        assert machine.threads_per_core == paper[1]
+        assert machine.mem_per_node == paper[2] * GB
+        assert machine.threads_per_process == paper[4]
+    print_series(
+        "Table IV: machine presets (ours (paper))",
+        ["machine", "cores/node", "ht/core", "mem/node GB", "thr/proc"],
+        rows,
+    )
+    # the paper's aggregate-memory quote: 9,668 KNL nodes ~ 1.09 PB
+    total_knl = PAPER["cori-knl"][3] * CORI_KNL.mem_per_node
+    assert total_knl == pytest.approx(1.09e15, rel=0.07)
+    # Fig. 13 relative speeds are encoded in the presets
+    assert CORI_HASWELL.sparse_rate / CORI_KNL.sparse_rate == pytest.approx(2.1)
+    assert CORI_KNL.beta / CORI_HASWELL.beta == pytest.approx(1.4)
+    # the hyperthreaded preset keeps the same node geometry
+    assert CORI_KNL_HT.cores_per_node == CORI_KNL.cores_per_node
+    benchmark(lambda: CORI_KNL.aggregate_memory(65536))
+
+
+def test_table4_thread_mappings(benchmark):
+    """The paper's MPI+OpenMP mapping: 16 threads/process on KNL, 6 on
+    Haswell, one thread per core unless hyperthreading."""
+    assert CORI_KNL.procs_for_cores(65536) == 4096
+    assert CORI_KNL.procs_for_cores(65536, hyperthreads=True) == 16384
+    assert CORI_HASWELL.procs_for_cores(8192) == 8192 // 6
+    benchmark(lambda: CORI_KNL.procs_for_cores(262144))

@@ -1,0 +1,55 @@
+"""Table V — statistics of the test matrices.
+
+Prints the paper's reported statistics next to the achieved statistics of
+the scaled stand-ins and asserts that each stand-in preserves the regime
+that drives the paper's experiments: strong output expansion and high
+compression factor for the squaring datasets, near-unit expansion for
+Rice-kmers, extreme expansion for Metaclust20m.
+"""
+
+import pytest
+
+from _helpers import print_series
+from repro.data import DATASETS, load_dataset
+
+
+def test_table5_dataset_statistics(benchmark):
+    rows = []
+    achieved = {}
+    for name, spec in DATASETS.items():
+        stats = spec.achieved_stats(seed=0)
+        achieved[name] = stats
+        rows.append([
+            name,
+            spec.operation,
+            f"{spec.paper.nnz_a:.1e}",
+            stats["nnz_a"],
+            f"{spec.paper.expansion:.1f}",
+            round(stats["expansion"], 1),
+            f"{spec.paper.cf:.1f}",
+            round(stats["cf"], 1),
+        ])
+    print_series(
+        "Table V: paper vs scaled stand-in statistics",
+        ["matrix", "op", "nnzA paper", "nnzA ours",
+         "exp paper", "exp ours", "cf paper", "cf ours"],
+        rows,
+    )
+
+    # squaring datasets must expand and compress like the paper's
+    for name in ("eukarya", "isolates_small", "friendster", "isolates",
+                 "metaclust50"):
+        assert achieved[name]["expansion"] > 1.0, name
+        assert achieved[name]["cf"] > 1.5, name
+    # friendster-like social squaring has the largest expansion of the AA set
+    squarings = ["eukarya", "isolates_small", "friendster", "isolates",
+                 "metaclust50"]
+    assert max(squarings, key=lambda n: achieved[n]["expansion"]) == "friendster"
+    # rice: output comparable to input (no batching regime)
+    assert achieved["rice_kmers"]["expansion"] < 8.0
+    # metaclust20m: extreme expansion (batching essential)
+    assert achieved["metaclust20m"]["expansion"] > 20.0
+    # isolates is the flop-heaviest protein dataset, as in the paper
+    assert achieved["isolates"]["flops"] > achieved["eukarya"]["flops"]
+
+    benchmark(lambda: load_dataset("eukarya").generate(seed=0))

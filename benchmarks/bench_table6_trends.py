@@ -1,0 +1,91 @@
+"""Table VI — direction of change of every step w.r.t. l and b.
+
+The paper's summary table of arrows:
+
+    b up (l fixed):  A-Bcast UP, B-Bcast flat, Local-Multiply flat,
+                     Merge-Layer flat, Merge-Fiber flat, AllToAll flat
+    l up (b fixed):  A-Bcast DOWN, B-Bcast DOWN, Local-Multiply DOWN,
+                     Merge-Layer flat, Merge-Fiber UP, AllToAll UP
+
+Asserted on metered communication volumes (byte-exact) and on the α–β
+model for the time dimension; printed as an arrow table.
+"""
+
+import pytest
+
+from _helpers import print_series
+from repro.model import CORI_KNL, predict_steps
+from repro.simmpi import CommTracker
+from repro.sparse import random_sparse
+from repro.summa import batched_summa3d
+
+STATS = dict(nnz_a=10**9, nnz_b=10**9, nnz_c=10**10, flops=10**12)
+
+
+def _volumes(a, nprocs, layers, batches):
+    tracker = CommTracker()
+    batched_summa3d(a, a, nprocs=nprocs, layers=layers, batches=batches,
+                    tracker=tracker)
+    agg = tracker.by_step()
+    # total_bytes = bytes actually transmitted: payloads times receivers.
+    # (summed payloads are l-invariant — what communication avoidance
+    # changes is how many processes each byte must reach)
+    return {s: agg.get(s, {"total_bytes": 0})["total_bytes"] for s in
+            ("A-Broadcast", "B-Broadcast", "AllToAll-Fiber")}
+
+
+def _arrow(before, after, tol=0.15):
+    if after > before * (1 + tol):
+        return "UP"
+    if after < before * (1 - tol):
+        return "DOWN"
+    return "flat"
+
+
+def test_table6_trends_measured_volumes(benchmark):
+    a = random_sparse(64, 64, nnz=1200, seed=3)
+    base = _volumes(a, 64, 4, 2)
+    more_b = _volumes(a, 64, 4, 8)
+    more_l = _volumes(a, 64, 16, 2)
+
+    rows = [
+        [step, _arrow(base[step], more_b[step]), _arrow(base[step], more_l[step])]
+        for step in base
+    ]
+    print_series(
+        "Table VI (measured volumes): arrows vs (b up) and (l up) at p=64",
+        ["step", "b: 2->8", "l: 4->16"],
+        rows,
+    )
+    arrows = {r[0]: (r[1], r[2]) for r in rows}
+    assert arrows["A-Broadcast"] == ("UP", "DOWN")
+    assert arrows["B-Broadcast"] == ("flat", "DOWN")
+    assert arrows["AllToAll-Fiber"] == ("flat", "UP")
+    benchmark(lambda: _volumes(a, 16, 4, 2))
+
+
+def test_table6_trends_modelled_times(benchmark):
+    benchmark(lambda: predict_steps(
+        CORI_KNL, nprocs=4096, layers=4, batches=4, **STATS
+    ))
+    base = predict_steps(CORI_KNL, nprocs=4096, layers=4, batches=4, **STATS)
+    more_b = predict_steps(CORI_KNL, nprocs=4096, layers=4, batches=32, **STATS)
+    more_l = predict_steps(CORI_KNL, nprocs=4096, layers=16, batches=4, **STATS)
+    steps = ("A-Broadcast", "B-Broadcast", "Local-Multiply",
+             "Merge-Layer", "Merge-Fiber", "AllToAll-Fiber")
+    rows = [
+        [s, _arrow(base.get(s), more_b.get(s)), _arrow(base.get(s), more_l.get(s))]
+        for s in steps
+    ]
+    print_series(
+        "Table VI (alpha-beta model) at p=4096",
+        ["step", "b: 4->32", "l: 4->16"],
+        rows,
+    )
+    arrows = {r[0]: (r[1], r[2]) for r in rows}
+    # the paper's arrow table, verbatim
+    assert arrows["A-Broadcast"] == ("UP", "DOWN")
+    assert arrows["B-Broadcast"][1] == "DOWN"
+    assert arrows["Local-Multiply"] == ("flat", "flat")
+    assert arrows["Merge-Fiber"] == ("flat", "UP")
+    assert arrows["AllToAll-Fiber"][1] == "UP"

@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration: make the shared helpers importable and
+keep pytest-benchmark runs short (every experiment is deterministic)."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

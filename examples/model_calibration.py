@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Calibrating the α–β machine model from measurements.
+
+The Cori presets shipped with the library explain the paper's machine;
+for any *other* cluster, the same model needs fitted constants.  This
+example shows the workflow end to end:
+
+1. "measure" step breakdowns at a few (p, l, b) configurations — here
+   generated from a pretend machine so the recovery can be verified;
+2. fit (alpha, beta, sparse_rate) with least squares;
+3. extrapolate to configurations never measured and check the error.
+
+Run:  python examples/model_calibration.py
+"""
+
+from repro.model import CORI_KNL, predict_steps
+from repro.model.calibrate import Observation, fit_machine, relative_error
+from repro.model.complexity import step_times_closed_form
+
+STATS = dict(nnz_a=5 * 10**8, nnz_b=5 * 10**8, flops=2 * 10**11)
+
+
+def main() -> None:
+    # a pretend cluster: slower network, faster cores than Cori-KNL
+    truth = CORI_KNL.with_rate_scale(1.8, name="secret-cluster")
+    truth = type(truth)(
+        name="secret-cluster",
+        alpha=truth.alpha * 2.5,
+        beta=truth.beta * 1.7,
+        sparse_rate=truth.sparse_rate,
+        symbolic_rate=truth.symbolic_rate,
+        cores_per_node=truth.cores_per_node,
+        threads_per_core=truth.threads_per_core,
+        mem_per_node=truth.mem_per_node,
+        threads_per_process=truth.threads_per_process,
+    )
+    print(f"ground truth: alpha={truth.alpha:.2e}, beta={truth.beta:.2e}, "
+          f"rate={truth.sparse_rate:.2e}")
+
+    # --- 1. measurements at four small configurations --------------------
+    train_configs = [(64, 1, 1), (256, 4, 2), (1024, 16, 4), (256, 16, 1)]
+    observations = []
+    for p, l, b in train_configs:
+        times = step_times_closed_form(
+            truth, nprocs=p, layers=l, batches=b, merge_kernel="hash", **STATS
+        )
+        observations.append(Observation(
+            nprocs=p, layers=l, batches=b,
+            step_seconds={k: v for k, v in times.items() if k != "Symbolic"},
+            **STATS,
+        ))
+    print(f"\nmeasured {len(observations)} configurations: {train_configs}")
+
+    # --- 2. fit ----------------------------------------------------------
+    fitted = fit_machine(observations, name="fitted-cluster")
+    print(f"\nfitted:       alpha={fitted.alpha:.2e}, beta={fitted.beta:.2e}, "
+          f"rate={fitted.sparse_rate:.2e}")
+    print(f"training fit error: {relative_error(fitted, observations):.2%}")
+
+    # --- 3. extrapolate to an unmeasured scale ----------------------------
+    target = dict(nprocs=4096, layers=16, batches=8)
+    predicted = predict_steps(fitted, nnz_c=STATS["flops"] // 4,
+                              include_symbolic=False, **target, **STATS)
+    actual = predict_steps(truth, nnz_c=STATS["flops"] // 4,
+                           include_symbolic=False, **target, **STATS)
+    print(f"\nextrapolation to p=4096, l=16, b=8 "
+          f"(never measured):")
+    print(f"{'step':<16} {'actual (s)':>12} {'predicted (s)':>14}")
+    for step in sorted(actual.seconds):
+        print(f"{step:<16} {actual.get(step):>12.4f} "
+              f"{predicted.get(step):>14.4f}")
+    err = abs(predicted.total() - actual.total()) / actual.total()
+    print(f"\ntotal extrapolation error: {err:.2%}")
+
+
+if __name__ == "__main__":
+    main()

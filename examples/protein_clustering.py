@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Protein-family clustering with HipMCL over memory-constrained SpGEMM.
+
+Reproduces the paper's flagship application (Sec. V-C): Markov clustering
+of a protein-similarity network where the squaring step does not fit in
+memory and must run in batches, with per-batch pruning fused into the
+pipeline.
+
+A planted ground truth lets the script verify the clusters are right, and
+the per-iteration batch counts show the memory-constrained machinery at
+work — exactly the quantity Fig. 3 of the paper annotates per iteration.
+
+Run:  python examples/protein_clustering.py
+"""
+
+import numpy as np
+
+from repro.apps import markov_cluster
+from repro.data import planted_partition
+from repro.sparse.matrix import BYTES_PER_NONZERO
+
+
+def main() -> None:
+    # a protein-similarity-like network with 6 planted families
+    n, families = 180, 6
+    adjacency, truth = planted_partition(
+        n, families, p_in=0.55, p_out=0.01, seed=7
+    )
+    print(f"network: {n} proteins, {adjacency.nnz} similarity edges, "
+          f"{families} planted families")
+
+    # restrict aggregate memory to a small multiple of the input so the
+    # expensive early iterations must batch (HipMCL's regime on Cori)
+    budget = 10 * adjacency.nnz * BYTES_PER_NONZERO
+    print(f"aggregate memory budget: {budget / 1e6:.1f} MB")
+
+    result = markov_cluster(
+        adjacency,
+        nprocs=4,
+        layers=1,
+        memory_budget=budget,
+        inflation=2.0,
+        keep_per_column=48,
+        max_iterations=40,
+    )
+
+    print(f"\nconverged: {result.converged} after {len(result.iterations)} "
+          f"iterations; found {result.n_clusters} clusters")
+    print("\niter   batches   nnz(M)     chaos")
+    for it in result.iterations:
+        print(f"{it.iteration:>4}   {it.batches:>7}   {it.nnz:>7}   {it.chaos:.5f}")
+
+    # verify against the planted truth (up to label permutation)
+    agreement = 0
+    for fam in range(families):
+        members = np.flatnonzero(truth == fam)
+        values, counts = np.unique(result.labels[members], return_counts=True)
+        agreement += counts.max()
+    print(f"\nagreement with planted families: {agreement / n:.1%}")
+
+
+if __name__ == "__main__":
+    main()

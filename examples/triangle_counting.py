@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Triangle counting on a power-law social network (paper Sec. V-B).
+
+Counts triangles of an R-MAT graph (a Friendster stand-in) with the
+masked ``tril(A) @ triu(A)`` SpGEMM formulation, runs it on 2D and 3D
+grids, and cross-checks against networkx.
+
+Run:  python examples/triangle_counting.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro.apps import clustering_coefficients, count_triangles
+from repro.data import rmat
+from repro.simmpi import CommTracker
+
+
+def main() -> None:
+    a = rmat(9, edge_factor=8, seed=11)   # 512 vertices, power-law degrees
+    deg = a.col_nnz()
+    print(f"R-MAT graph: {a.nrows} vertices, {a.nnz // 2} edges, "
+          f"max degree {deg.max()}, median {int(np.median(deg))}")
+
+    tracker = CommTracker()
+    tri_2d = count_triangles(a, nprocs=4, tracker=tracker)
+    tri_3d = count_triangles(a, nprocs=16, layers=4)
+    print(f"\ntriangles (2x2 grid):   {tri_2d}")
+    print(f"triangles (2x2x4 grid): {tri_3d}")
+    assert tri_2d == tri_3d
+
+    # independent oracle
+    g = nx.Graph()
+    g.add_nodes_from(range(a.nrows))
+    rows, cols, _ = a.to_coo()
+    g.add_edges_from((int(r), int(c)) for r, c in zip(rows, cols) if r < c)
+    tri_nx = sum(nx.triangles(g).values()) // 3
+    print(f"networkx check:         {tri_nx}")
+    assert tri_2d == tri_nx
+
+    cc = clustering_coefficients(a, nprocs=4)
+    print(f"\nmean clustering coefficient: {cc.mean():.4f}")
+    hubs = np.argsort(deg)[-5:][::-1]
+    print("top-degree vertices:")
+    for v in hubs:
+        print(f"  vertex {v:>4}: degree {deg[v]:>4}, cc = {cc[v]:.4f}")
+
+    print("\n" + tracker.format_table("communication of the 2D run"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Applications built on memory-constrained SpGEMM (paper Secs. I, V-C, V-G).
+
+Each application consumes the product *in batches* — the access pattern
+that makes BatchedSUMMA3D sufficient even when the full product cannot
+exist in memory:
+
+* :mod:`mcl` — HipMCL-style distributed Markov clustering (iterated pruned
+  squaring);
+* :mod:`triangles` — triangle counting via the masked ``L @ U`` product;
+* :mod:`overlap` — BELLA/PASTIS-style shared-k-mer overlap detection via
+  ``A @ Aᵀ``;
+* :mod:`matching` — Zoltan-style heavy-connectivity matching for
+  hypergraph coarsening via batched ``A @ Aᵀ``;
+* :mod:`jaccard` — communication-efficient all-pairs Jaccard similarity
+  ([14] in the paper).
+"""
+
+from .components import connected_components
+from .jaccard import JaccardResult, jaccard_similarity
+from .mcl import MCLResult, markov_cluster, markov_cluster_resident
+from .triangles import count_triangles, clustering_coefficients
+from .overlap import OverlapResult, find_overlaps
+from .matching import heavy_connectivity_matching
+from .pagerank import pagerank
+
+__all__ = [
+    "markov_cluster",
+    "markov_cluster_resident",
+    "MCLResult",
+    "count_triangles",
+    "clustering_coefficients",
+    "find_overlaps",
+    "OverlapResult",
+    "heavy_connectivity_matching",
+    "jaccard_similarity",
+    "JaccardResult",
+    "connected_components",
+    "pagerank",
+]

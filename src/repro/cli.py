@@ -1,0 +1,393 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``multiply``  run BatchedSUMMA3D on matrices from disk (or a generated
+              dataset), print the step breakdown and communication meter,
+              optionally save the product;
+``stats``     print SpGEMM statistics (nnz, flops, compression factor,
+              expansion) for a matrix or dataset;
+``generate``  materialise a synthetic dataset to a ``.npz`` / ``.mtx`` file;
+``predict``   project paper-scale step times with the α–β machine model;
+``cluster``   run HipMCL-style Markov clustering on a matrix;
+``compare``   run every algorithm family (1D / Cannon / SUMMA2D / SUMMA3D /
+              batched) on the same operands and print a communication and
+              timing comparison;
+``calibrate`` fit machine constants (alpha/beta/rate) from a JSON file of
+              measured step breakdowns.
+
+Matrices are loaded by extension: ``.npz`` (native) or ``.mtx``
+(MatrixMarket).  Anywhere a path is accepted, ``dataset:<name>`` loads a
+scaled Table V dataset instead (e.g. ``dataset:eukarya``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .data.datasets import DATASETS, load_dataset
+from .model import CORI_HASWELL, CORI_KNL, CORI_KNL_HT, estimate_batches, predict_steps
+from .simmpi import CommTracker
+from .sparse import (
+    load_matrix,
+    load_matrix_market,
+    save_matrix,
+    save_matrix_market,
+    symbolic_flops,
+    symbolic_nnz,
+    transpose,
+)
+from .summa import batched_summa3d
+
+MACHINES = {
+    "cori-knl": CORI_KNL,
+    "cori-haswell": CORI_HASWELL,
+    "cori-knl-ht": CORI_KNL_HT,
+}
+
+
+def _load(path):
+    if path.startswith("dataset:"):
+        return load_dataset(path.split(":", 1)[1]).generate(seed=0)
+    if path.endswith(".mtx"):
+        return load_matrix_market(path)
+    return load_matrix(path)
+
+
+def _save(path, matrix) -> None:
+    if path.endswith(".mtx"):
+        save_matrix_market(path, matrix)
+    else:
+        save_matrix(path, matrix)
+
+
+def _operands(args):
+    a = _load(args.matrix_a)
+    if args.aat:
+        return a, transpose(a)
+    if args.matrix_b is None:
+        return a, a
+    return a, _load(args.matrix_b)
+
+
+def cmd_multiply(args) -> int:
+    a, b = _operands(args)
+    tracker = CommTracker()
+    result = batched_summa3d(
+        a,
+        b,
+        nprocs=args.nprocs,
+        layers=args.layers,
+        batches=args.batches,
+        memory_budget=args.memory_budget,
+        suite=args.suite,
+        keep_output=args.output is not None or not args.discard,
+        tracker=tracker,
+    )
+    print(f"grid {result.grid!r}, batches = {result.batches}")
+    if result.matrix is not None:
+        print(f"nnz(C) = {result.matrix.nnz}")
+    print(f"peak per-process memory: {result.max_local_bytes / 1e6:.3f} MB")
+    print(result.step_times.format_table("step times (critical path)"))
+    print(tracker.format_table())
+    if args.output is not None and result.matrix is not None:
+        _save(args.output, result.matrix)
+        print(f"saved product to {args.output}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    a, b = _operands(args)
+    nnz_c = symbolic_nnz(a, b)
+    flops = symbolic_flops(a, b)
+    print(f"A: {a.nrows} x {a.ncols}, nnz = {a.nnz}")
+    print(f"B: {b.nrows} x {b.ncols}, nnz = {b.nnz}")
+    print(f"nnz(C)  = {nnz_c}")
+    print(f"flops   = {flops}")
+    print(f"cf      = {flops / nnz_c if nnz_c else float('nan'):.3f}")
+    print(f"expansion nnz(C)/nnz(A) = {nnz_c / a.nnz if a.nnz else float('nan'):.3f}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    spec = load_dataset(args.dataset)
+    matrix = spec.generate(seed=args.seed)
+    _save(args.output, matrix)
+    print(f"{spec.name}: {matrix.nrows} x {matrix.ncols}, nnz = {matrix.nnz} "
+          f"-> {args.output}")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    machine = MACHINES[args.machine]
+    spec = load_dataset(args.dataset)
+    paper = spec.paper
+    stats = dict(
+        nnz_a=int(paper.nnz_a),
+        nnz_b=int(paper.nnz_a),
+        nnz_c=int(paper.nnz_c),
+        flops=int(paper.flops),
+    )
+    nprocs = machine.procs_for_cores(args.cores)
+    if args.batches is None:
+        budget = machine.aggregate_memory(args.cores)
+        batches = estimate_batches(
+            memory_budget=budget, nprocs=nprocs, layers=args.layers, **stats
+        )
+    else:
+        batches = args.batches
+    times = predict_steps(
+        machine, nprocs=nprocs, layers=args.layers, batches=batches, **stats
+    )
+    print(f"{spec.name} @ {args.cores} cores of {machine.name}: "
+          f"p = {nprocs}, l = {args.layers}, b = {batches}")
+    print(times.format_table("modelled step times"))
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    from .apps import markov_cluster
+
+    a = _load(args.matrix_a)
+    result = markov_cluster(
+        a,
+        nprocs=args.nprocs,
+        layers=args.layers,
+        memory_budget=args.memory_budget,
+        inflation=args.inflation,
+        max_iterations=args.max_iterations,
+    )
+    print(f"converged: {result.converged} after {len(result.iterations)} "
+          f"iterations; {result.n_clusters} clusters")
+    for it in result.iterations:
+        print(f"  iter {it.iteration:>3}: b = {it.batches:>3}, "
+              f"nnz = {it.nnz:>9}, chaos = {it.chaos:.5f}")
+    if args.output:
+        import numpy as np
+
+        np.savetxt(args.output, result.labels, fmt="%d")
+        print(f"labels saved to {args.output}")
+    return 0
+
+
+def cmd_doctor(args) -> int:
+    from .summa.verify import verify_installation
+
+    report = verify_installation(nprocs=args.nprocs)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_triangles(args) -> int:
+    from .apps import clustering_coefficients, count_triangles
+
+    a = _load(args.matrix_a)
+    count = count_triangles(
+        a, nprocs=args.nprocs, layers=args.layers,
+        memory_budget=args.memory_budget,
+    )
+    print(f"triangles: {count}")
+    if args.coefficients:
+        cc = clustering_coefficients(a, nprocs=args.nprocs)
+        nz = cc[cc > 0]
+        print(f"mean clustering coefficient: {cc.mean():.5f} "
+              f"({nz.mean():.5f} over vertices in triangles)")
+    return 0
+
+
+def cmd_components(args) -> int:
+    import numpy as np
+
+    from .apps import connected_components
+
+    a = _load(args.matrix_a)
+    labels = connected_components(
+        a, nprocs=args.nprocs, layers=args.layers,
+        memory_budget=args.memory_budget,
+    )
+    sizes = np.bincount(labels)
+    print(f"components: {sizes.size}")
+    print(f"largest: {sizes.max()} vertices; "
+          f"singletons: {int((sizes == 1).sum())}")
+    if args.output:
+        np.savetxt(args.output, labels, fmt="%d")
+        print(f"labels saved to {args.output}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    import time
+
+    from .summa import summa2d, summa3d
+    from .summa.baselines import cannon2d, spgemm_1d
+
+    a, b = _operands(args)
+    nprocs = args.nprocs
+    algorithms = [("1D-row", lambda t: spgemm_1d(a, b, nprocs=nprocs, tracker=t))]
+    import math
+
+    if math.isqrt(nprocs) ** 2 == nprocs:
+        algorithms += [
+            ("Cannon", lambda t: cannon2d(a, b, nprocs=nprocs, tracker=t)),
+            ("SUMMA2D", lambda t: summa2d(a, b, nprocs=nprocs, tracker=t)),
+        ]
+    if args.layers > 1 and nprocs % args.layers == 0 and \
+            math.isqrt(nprocs // args.layers) ** 2 == nprocs // args.layers:
+        algorithms.append((
+            f"SUMMA3D l={args.layers}",
+            lambda t: summa3d(a, b, nprocs=nprocs, layers=args.layers, tracker=t),
+        ))
+        algorithms.append((
+            f"Batched l={args.layers} b={args.batches}",
+            lambda t: batched_summa3d(
+                a, b, nprocs=nprocs, layers=args.layers,
+                batches=args.batches, tracker=t,
+            ),
+        ))
+    print(f"{'algorithm':<24} {'wall (s)':>10} {'comm bytes':>14} {'nnz(C)':>10}")
+    reference = None
+    for name, fn in algorithms:
+        tracker = CommTracker()
+        t0 = time.perf_counter()
+        result = fn(tracker)
+        wall = time.perf_counter() - t0
+        if reference is None:
+            reference = result.matrix
+        elif result.matrix is not None:
+            assert result.matrix.allclose(reference), f"{name} result differs!"
+        print(f"{name:<24} {wall:>10.4f} {tracker.total_bytes():>14,} "
+              f"{result.matrix.nnz if result.matrix else '-':>10}")
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    import json
+
+    from .model.calibrate import Observation, fit_machine, relative_error
+
+    with open(args.observations, "r", encoding="utf-8") as fh:
+        raw = json.load(fh)
+    observations = [
+        Observation(
+            nprocs=o["nprocs"],
+            layers=o["layers"],
+            batches=o["batches"],
+            nnz_a=o["nnz_a"],
+            nnz_b=o["nnz_b"],
+            flops=o["flops"],
+            step_seconds=o["step_seconds"],
+        )
+        for o in raw
+    ]
+    fitted = fit_machine(observations, name=args.name)
+    print(f"fitted machine {fitted.name!r} from {len(observations)} observations:")
+    print(f"  alpha       = {fitted.alpha:.3e} s/message")
+    print(f"  beta        = {fitted.beta:.3e} s/byte "
+          f"({1 / fitted.beta / 1e9:.2f} GB/s effective)")
+    print(f"  sparse_rate = {fitted.sparse_rate:.3e} products/s/process")
+    print(f"  fit error   = {relative_error(fitted, observations):.1%} "
+          f"(mean relative, on the observations)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Communication-avoiding, memory-constrained SpGEMM "
+        "(Hussain et al., IPDPS 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_operands(p):
+        p.add_argument("matrix_a", help=".npz/.mtx path or dataset:<name>")
+        p.add_argument("matrix_b", nargs="?", default=None,
+                       help="second operand (default: square the first)")
+        p.add_argument("--aat", action="store_true",
+                       help="multiply A by its transpose")
+
+    p = sub.add_parser("multiply", help="run BatchedSUMMA3D")
+    add_operands(p)
+    p.add_argument("--nprocs", type=int, default=4)
+    p.add_argument("--layers", type=int, default=1)
+    p.add_argument("--batches", type=int, default=None)
+    p.add_argument("--memory-budget", type=int, default=None,
+                   help="aggregate budget in bytes (runs the symbolic step)")
+    p.add_argument("--suite", default="esc",
+                   choices=["esc", "unsorted-hash", "sorted-heap", "hybrid", "spa"])
+    p.add_argument("--output", default=None, help="save product here")
+    p.add_argument("--discard", action="store_true",
+                   help="discard batches (memory-constrained mode)")
+    p.set_defaults(func=cmd_multiply)
+
+    p = sub.add_parser("stats", help="symbolic SpGEMM statistics")
+    add_operands(p)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("generate", help="materialise a scaled dataset")
+    p.add_argument("dataset", choices=sorted(DATASETS))
+    p.add_argument("output")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("predict", help="paper-scale model projection")
+    p.add_argument("dataset", choices=sorted(DATASETS))
+    p.add_argument("--cores", type=int, default=65536)
+    p.add_argument("--layers", type=int, default=16)
+    p.add_argument("--batches", type=int, default=None)
+    p.add_argument("--machine", default="cori-knl", choices=sorted(MACHINES))
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("doctor", help="verify the installation end to end")
+    p.add_argument("--nprocs", type=int, default=4)
+    p.set_defaults(func=cmd_doctor)
+
+    p = sub.add_parser("triangles", help="triangle counting")
+    p.add_argument("matrix_a", help=".npz/.mtx path or dataset:<name>")
+    p.add_argument("--nprocs", type=int, default=4)
+    p.add_argument("--layers", type=int, default=1)
+    p.add_argument("--memory-budget", type=int, default=None)
+    p.add_argument("--coefficients", action="store_true",
+                   help="also print clustering coefficients")
+    p.set_defaults(func=cmd_triangles)
+
+    p = sub.add_parser("components", help="connected components")
+    p.add_argument("matrix_a", help=".npz/.mtx path or dataset:<name>")
+    p.add_argument("--nprocs", type=int, default=4)
+    p.add_argument("--layers", type=int, default=1)
+    p.add_argument("--memory-budget", type=int, default=None)
+    p.add_argument("--output", default=None, help="save labels here")
+    p.set_defaults(func=cmd_components)
+
+    p = sub.add_parser("compare", help="algorithm families head-to-head")
+    add_operands(p)
+    p.add_argument("--nprocs", type=int, default=4)
+    p.add_argument("--layers", type=int, default=1)
+    p.add_argument("--batches", type=int, default=2)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("calibrate", help="fit machine constants from JSON")
+    p.add_argument("observations", help="JSON list of observation records")
+    p.add_argument("--name", default="calibrated")
+    p.set_defaults(func=cmd_calibrate)
+
+    p = sub.add_parser("cluster", help="Markov clustering (HipMCL)")
+    p.add_argument("matrix_a", help=".npz/.mtx path or dataset:<name>")
+    p.add_argument("--nprocs", type=int, default=4)
+    p.add_argument("--layers", type=int, default=1)
+    p.add_argument("--memory-budget", type=int, default=None)
+    p.add_argument("--inflation", type=float, default=2.0)
+    p.add_argument("--max-iterations", type=int, default=40)
+    p.add_argument("--output", default=None, help="save labels here")
+    p.set_defaults(func=cmd_cluster)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

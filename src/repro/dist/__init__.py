@@ -1,0 +1,15 @@
+"""Persistent distributed matrices (CombBLAS-style handles).
+
+:class:`DistContext` keeps matrices distributed across *multiple*
+multiplications — the usage pattern of iterative applications like HipMCL,
+where re-distributing the operand every iteration would be wasteful.
+Handles remember their layout (``"A"``: column-layered, ``"B"``:
+row-layered, Fig. 1 of the paper); products come back as ``"A"``-layout
+handles and can be fed straight into the next multiply, with an explicit
+metered :meth:`~DistContext.redistribute` converting layouts when a
+handle must serve as the B operand.
+"""
+
+from .context import DistContext, DistMatrixHandle
+
+__all__ = ["DistContext", "DistMatrixHandle"]

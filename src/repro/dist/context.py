@@ -1,0 +1,348 @@
+"""Distributed-matrix context: persistent tiles, layout conversion,
+handle-to-handle multiplication.
+
+Layouts (paper Fig. 1):
+
+* ``"A"`` — rows split into ``pr`` blocks; columns into ``pc``
+  super-blocks, each sliced across the ``l`` layers (tall tiles);
+* ``"B"`` — rows into ``pr`` super-blocks sliced across layers; columns
+  into ``pc`` blocks (wide tiles);
+* ``"C"`` — the product's native layout: like ``"A"`` but with column
+  boundaries induced by the batch blocks, which coincide with standard
+  ``"A"`` boundaries only when the arithmetic happens to nest evenly.
+  A ``"C"`` handle can be gathered or redistributed, but must be
+  converted (one metered alltoall) before serving as a multiply operand.
+
+A product computed by BatchedSUMMA3D lands in ``"C"``/``"A"`` layout (the
+paper distributes C like A), so iterated squaring — HipMCL's access
+pattern — pays at most two redistributions per iteration, to refresh the
+operands.  Redistribution is a real alltoall over the simulated runtime,
+metered under the ``"Redistribute"`` step label.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..errors import DistributionError, ShapeError
+from ..grid.distribution import a_tile_range, b_tile_range, gather_tiles
+from ..grid.grid3d import ProcGrid3D
+from ..simmpi.comm import SimComm
+from ..simmpi.engine import run_spmd
+from ..simmpi.tracker import CommTracker
+from ..sparse.matrix import SparseMatrix
+from ..sparse.ops import col_concat, submatrix
+from ..summa.core import TileSource, spmd_batched_summa3d
+from ..summa.result import SummaResult
+from ..utils.timing import StepTimes
+
+_STANDARD_LAYOUTS = {"A": a_tile_range, "B": b_tile_range}
+
+
+def _standard_ranges(layout: str, grid: ProcGrid3D, nrows: int, ncols: int):
+    fn = _STANDARD_LAYOUTS[layout]
+    return [
+        fn(grid, nrows, ncols, *grid.coords(rank))
+        for rank in range(grid.nprocs)
+    ]
+
+
+class DistMatrixHandle:
+    """A matrix resident tile-per-rank inside a :class:`DistContext`.
+
+    ``layout`` is ``"A"`` / ``"B"`` (standard, usable as the corresponding
+    multiply operand) or ``"C"`` (product-native; redistribute first).
+    """
+
+    __slots__ = ("context", "key", "nrows", "ncols", "layout", "ranges")
+
+    def __init__(self, context: "DistContext", key: int, nrows: int,
+                 ncols: int, layout: str, ranges) -> None:
+        self.context = context
+        self.key = key
+        self.nrows = nrows
+        self.ncols = ncols
+        self.layout = layout
+        self.ranges = list(ranges)  # per-rank (r0, r1, c0, c1)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    @property
+    def nnz(self) -> int:
+        return sum(t.nnz for t in self.context._tiles[self.key])
+
+    def tile(self, rank: int) -> SparseMatrix:
+        return self.context._tiles[self.key][rank]
+
+    def to_global(self) -> SparseMatrix:
+        return self.context.gather(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"DistMatrixHandle({self.nrows}x{self.ncols}, layout={self.layout!r}, "
+            f"nnz={self.nnz}, grid={self.context.grid!r})"
+        )
+
+
+class DistContext:
+    """Owner of a process grid and the matrices distributed on it.
+
+    >>> ctx = DistContext(nprocs=4, layers=1)
+    >>> ha = ctx.distribute(A, layout="A")
+    >>> hb = ctx.distribute(A, layout="B")
+    >>> hc, result = ctx.multiply(ha, hb)      # C = A @ A, stays distributed
+    >>> hb2 = ctx.redistribute(hc, "B")        # feed it back as B
+    >>> hc2, _ = ctx.multiply(ha, hb2)         # A @ (A @ A)
+    """
+
+    def __init__(self, nprocs: int = 4, layers: int = 1,
+                 tracker: CommTracker | None = None,
+                 timeout: float = 120.0) -> None:
+        self.grid = ProcGrid3D(nprocs, layers)
+        self.tracker = tracker if tracker is not None else CommTracker()
+        self.timeout = timeout
+        self._tiles: dict[int, list[SparseMatrix]] = {}
+        self._next_key = itertools.count()
+
+    # ------------------------------------------------------------------ #
+    # handle management
+    # ------------------------------------------------------------------ #
+
+    def distribute(self, matrix: SparseMatrix, layout: str = "A") -> DistMatrixHandle:
+        """Cut a global matrix into this grid's tiles (simulating data that
+        arrives already distributed; no communication is metered)."""
+        if layout not in _STANDARD_LAYOUTS:
+            raise DistributionError(
+                f"unknown layout {layout!r}; expected 'A' or 'B'"
+            )
+        ranges = _standard_ranges(layout, self.grid, matrix.nrows, matrix.ncols)
+        tiles = [submatrix(matrix, *rng) for rng in ranges]
+        return self._register(tiles, matrix.nrows, matrix.ncols, layout, ranges)
+
+    def gather(self, handle: DistMatrixHandle) -> SparseMatrix:
+        """Assemble a handle's tiles into a global matrix."""
+        self._check(handle)
+        pieces = [
+            (rng[0], rng[2], tile)
+            for rng, tile in zip(handle.ranges, self._tiles[handle.key])
+        ]
+        return gather_tiles(handle.nrows, handle.ncols, pieces)
+
+    def free(self, handle: DistMatrixHandle) -> None:
+        """Release a handle's tiles."""
+        self._tiles.pop(handle.key, None)
+
+    def memory_bytes(self) -> int:
+        """Total bytes of all resident tiles (r = 24 B/nonzero accounting)."""
+        return sum(t.nbytes for tiles in self._tiles.values() for t in tiles)
+
+    # ------------------------------------------------------------------ #
+    # layout conversion
+    # ------------------------------------------------------------------ #
+
+    def redistribute(self, handle: DistMatrixHandle, layout: str) -> DistMatrixHandle:
+        """Convert a handle to a standard layout with one metered alltoall.
+
+        Each rank intersects its tile with every target rank's range, sends
+        the pieces personalised, and assembles what it receives — the
+        standard redistribution kernel of distributed sparse libraries.
+        Works from any source layout (including product-native ``"C"``).
+        """
+        self._check(handle)
+        if layout not in _STANDARD_LAYOUTS:
+            raise DistributionError(
+                f"unknown target layout {layout!r}; expected 'A' or 'B'"
+            )
+        if layout == handle.layout:
+            return handle
+        src_ranges = handle.ranges
+        dst_ranges = _standard_ranges(
+            layout, self.grid, handle.nrows, handle.ncols
+        )
+        tiles = self._tiles[handle.key]
+
+        def spmd(comm: SimComm):
+            rank = comm.rank
+            my_tile = tiles[rank]
+            sr0, _sr1, sc0, _sc1 = src_ranges[rank]
+            sendlist = []
+            for dest in range(comm.size):
+                dr0, dr1, dc0, dc1 = dst_ranges[dest]
+                # overlap of my source tile with dest's target range,
+                # in my tile's local coordinates
+                lo_r = max(dr0 - sr0, 0)
+                hi_r = min(dr1 - sr0, my_tile.nrows)
+                lo_c = max(dc0 - sc0, 0)
+                hi_c = min(dc1 - sc0, my_tile.ncols)
+                if lo_r < hi_r and lo_c < hi_c:
+                    piece = submatrix(my_tile, lo_r, hi_r, lo_c, hi_c)
+                    sendlist.append((sr0 + lo_r, sc0 + lo_c, piece))
+                else:
+                    sendlist.append(None)
+            with comm.step("Redistribute"):
+                received = comm.alltoall(sendlist)
+            dr0, dr1, dc0, dc1 = dst_ranges[rank]
+            pieces = [
+                (r0 - dr0, c0 - dc0, piece)
+                for item in received
+                if item is not None
+                for (r0, c0, piece) in [item]
+            ]
+            return gather_tiles(dr1 - dr0, dc1 - dc0, pieces)
+
+        new_tiles = run_spmd(
+            self.grid.nprocs, spmd, tracker=self.tracker, timeout=self.timeout
+        )
+        return self._register(
+            new_tiles, handle.nrows, handle.ncols, layout, dst_ranges
+        )
+
+    def transpose(self, handle: DistMatrixHandle) -> DistMatrixHandle:
+        """Distributed transpose: an ``"A"``-layout handle of ``M`` becomes
+        a ``"B"``-layout handle of ``Mᵀ`` (and vice versa) with one
+        pairwise tile exchange.
+
+        The layouts are mirror images (Fig. 1): the A-tile of ``M`` at
+        grid position ``(i, j, k)`` is exactly the transpose of the B-tile
+        of ``Mᵀ`` at ``(j, i, k)``, so each rank transposes locally and
+        swaps with its grid-mirror — the communication pattern CombBLAS
+        uses for ``AAᵀ`` workloads.  Metered under ``"Transpose"``.
+        """
+        self._check(handle)
+        if handle.layout not in ("A", "B"):
+            raise DistributionError(
+                f"transpose needs a standard layout, got {handle.layout!r} "
+                "(redistribute first)"
+            )
+        grid = self.grid
+        tiles = self._tiles[handle.key]
+        target_layout = "B" if handle.layout == "A" else "A"
+        dst_ranges = _standard_ranges(
+            target_layout, grid, handle.ncols, handle.nrows
+        )
+
+        def spmd(comm: SimComm):
+            from ..sparse.ops import transpose as local_transpose
+
+            i, j, k = grid.coords(comm.rank)
+            mirror = grid.rank_of(j, i, k)
+            mine = local_transpose(tiles[comm.rank])
+            with comm.step("Transpose"):
+                if mirror == comm.rank:
+                    received = mine
+                else:
+                    comm.send(mine, dest=mirror, tag=9)
+                    received = comm.recv(source=mirror, tag=9)
+            return received
+
+        new_tiles = run_spmd(
+            grid.nprocs, spmd, tracker=self.tracker, timeout=self.timeout
+        )
+        return self._register(
+            new_tiles, handle.ncols, handle.nrows, target_layout, dst_ranges
+        )
+
+    # ------------------------------------------------------------------ #
+    # multiplication
+    # ------------------------------------------------------------------ #
+
+    def multiply(
+        self,
+        ha: DistMatrixHandle,
+        hb: DistMatrixHandle,
+        *,
+        batches: int | None = 1,
+        memory_budget: int | None = None,
+        suite="esc",
+        semiring="plus_times",
+        postprocess=None,
+    ) -> tuple[DistMatrixHandle, SummaResult]:
+        """``C = A @ B`` between resident handles; C stays distributed.
+
+        ``ha`` must be standard ``"A"``-layout and ``hb`` standard
+        ``"B"``-layout (use :meth:`redistribute` to convert — including
+        from a previous product's ``"C"`` layout).  ``postprocess`` is the
+        per-batch distributed hook of
+        :func:`~repro.summa.core.spmd_batched_summa3d` (HipMCL-style
+        pruning on resident matrices).  Returns
+        ``(handle, result)``: the handle is ``"A"`` when the batch
+        boundaries happen to nest into the standard slices, else ``"C"``;
+        either way it gathers and redistributes normally.
+        ``result.matrix`` is ``None`` — call ``handle.to_global()`` if the
+        assembled product is wanted.
+        """
+        self._check(ha)
+        self._check(hb)
+        if ha.layout != "A":
+            raise DistributionError(
+                "left operand must have standard layout 'A' "
+                f"(got {ha.layout!r}; redistribute first)"
+            )
+        if hb.layout != "B":
+            raise DistributionError(
+                "right operand must have standard layout 'B' "
+                f"(got {hb.layout!r}; redistribute first)"
+            )
+        if ha.ncols != hb.nrows:
+            raise ShapeError(
+                f"cannot multiply {ha.nrows}x{ha.ncols} by {hb.nrows}x{hb.ncols}"
+            )
+        a_src = TileSource(ha.nrows, ha.ncols, lambda r: self._tiles[ha.key][r])
+        b_src = TileSource(hb.nrows, hb.ncols, lambda r: self._tiles[hb.key][r])
+        per_rank = run_spmd(
+            self.grid.nprocs,
+            spmd_batched_summa3d,
+            a_src,
+            b_src,
+            self.grid,
+            batches=batches,
+            memory_budget=memory_budget,
+            suite=suite,
+            semiring=semiring,
+            keep_pieces=True,
+            postprocess=postprocess,
+            tracker=self.tracker,
+            timeout=self.timeout,
+        )
+        ran_batches = per_rank[0]["batches"]
+        # Each rank's batch pieces are contiguous in global column space
+        # (block-cyclic blocks k*b .. (k+1)*b - 1); concatenate in global
+        # order and record the realised ranges.
+        new_tiles = []
+        ranges = []
+        for rank, r in enumerate(per_rank):
+            pieces = sorted(r["pieces"], key=lambda p: p[2])  # by c0
+            tile = col_concat([p[3] for p in pieces])
+            r0 = pieces[0][1]
+            c0 = pieces[0][2]
+            new_tiles.append(tile)
+            ranges.append((r0, r0 + tile.nrows, c0, c0 + tile.ncols))
+        standard = _standard_ranges("A", self.grid, ha.nrows, hb.ncols)
+        layout = "A" if ranges == standard else "C"
+        handle = self._register(new_tiles, ha.nrows, hb.ncols, layout, ranges)
+        result = SummaResult(
+            matrix=None,
+            grid=self.grid,
+            batches=ran_batches,
+            step_times=StepTimes.critical_path(r["times"] for r in per_rank),
+            per_rank_times=[r["times"] for r in per_rank],
+            tracker=self.tracker,
+            max_local_bytes=max(r["max_local_bytes"] for r in per_rank),
+            info=dict(per_rank[0]["info"], resident=True),
+        )
+        return handle, result
+
+    # ------------------------------------------------------------------ #
+
+    def _register(self, tiles, nrows, ncols, layout, ranges) -> DistMatrixHandle:
+        key = next(self._next_key)
+        self._tiles[key] = list(tiles)
+        return DistMatrixHandle(self, key, nrows, ncols, layout, ranges)
+
+    def _check(self, handle: DistMatrixHandle) -> None:
+        if handle.context is not self or handle.key not in self._tiles:
+            raise DistributionError(
+                "handle does not belong to this context (or was freed)"
+            )

@@ -1,0 +1,61 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the failure domain (shape mismatches,
+grid construction, memory budget exhaustion, simulated-MPI faults, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Operand dimensions are incompatible (e.g. ``A @ B`` with
+    ``A.ncols != B.nrows``, or concatenating matrices of differing heights)."""
+
+
+class FormatError(ReproError, ValueError):
+    """A sparse container violates its structural invariants (non-monotone
+    ``indptr``, out-of-range row indices, mismatched array lengths, ...)."""
+
+
+class GridError(ReproError, ValueError):
+    """A process grid cannot be formed (``p`` not divisible into an
+    ``sqrt(p/l) x sqrt(p/l) x l`` grid, rank out of range, ...)."""
+
+
+class DistributionError(ReproError, ValueError):
+    """A matrix cannot be distributed or collected on the given grid
+    (tile shape mismatch, wrong communicator, inconsistent batch count)."""
+
+
+class MemoryBudgetError(ReproError, RuntimeError):
+    """The symbolic step determined that the multiplication cannot fit:
+    the inputs alone exceed the aggregate memory budget, so no number of
+    batches can make the computation feasible (paper Sec. II-B requires
+    ``M > nnz(A) + nnz(B)``)."""
+
+
+class CommError(ReproError, RuntimeError):
+    """A simulated-MPI collective was used incorrectly (mismatched
+    participation, invalid root, communicator misuse)."""
+
+
+class SpmdError(ReproError, RuntimeError):
+    """One or more ranks of an SPMD region raised; carries the per-rank
+    exceptions so the caller can inspect every failure, not just the first."""
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = dict(failures)
+        detail = "; ".join(
+            f"rank {r}: {type(e).__name__}: {e}" for r, e in sorted(self.failures.items())
+        )
+        super().__init__(f"{len(self.failures)} rank(s) failed: {detail}")
+
+
+class PlannerError(ReproError, ValueError):
+    """The layer/batch planner was given an infeasible configuration."""

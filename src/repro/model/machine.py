@@ -1,0 +1,133 @@
+"""Machine specifications for the α–β model.
+
+A :class:`MachineSpec` captures what the model needs about a platform:
+message latency ``alpha``, inverse bandwidth ``beta`` (seconds per byte),
+an effective *sparse-kernel rate* (partial products processed per second
+per process — SpGEMM is bandwidth-bound, so this is far below peak flops),
+and node geometry for core↔process conversions.
+
+The Cori presets follow Table IV of the paper with interconnect constants
+typical of Cray Aries and kernel rates back-solved from the paper's own
+measurements (e.g. Local-Multiply of Isolates-small on 65,536 cores takes
+~130 s for 42 Tflops over 4096 processes → ~8e7 products/s/process).
+Absolute seconds are therefore indicative; the *shape* conclusions the
+benches draw are insensitive to the exact constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Parameters of one machine configuration.
+
+    Attributes
+    ----------
+    name:
+        Preset identifier.
+    alpha:
+        Per-message latency in seconds.
+    beta:
+        Inverse bandwidth in seconds per byte (per process).
+    sparse_rate:
+        Partial products per second one process sustains in
+        Local-Multiply / merge kernels.
+    symbolic_rate:
+        Products per second in the (lighter) symbolic pass.
+    cores_per_node, threads_per_core, mem_per_node:
+        Node geometry (Table IV).
+    threads_per_process:
+        The paper's MPI+OpenMP mapping (16 on KNL, 6 on Haswell).
+    """
+
+    name: str
+    alpha: float
+    beta: float
+    sparse_rate: float
+    symbolic_rate: float
+    cores_per_node: int
+    threads_per_core: int
+    mem_per_node: int
+    threads_per_process: int
+    #: inverse bandwidth for the point-to-point AllToAll-Fiber exchange.
+    #: Each byte moves exactly once (no tree forwarding), so the effective
+    #: rate is several times the tree-broadcast rate ``beta`` models.
+    beta_alltoall: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.beta_alltoall == 0.0:
+            object.__setattr__(self, "beta_alltoall", self.beta / 4.0)
+
+    def procs_for_cores(self, cores: int, *, hyperthreads: bool = False) -> int:
+        """MPI process count for a core count under the paper's mapping."""
+        threads = cores * (self.threads_per_core if hyperthreads else 1)
+        return max(1, threads // self.threads_per_process)
+
+    def nodes_for_cores(self, cores: int) -> int:
+        return max(1, cores // self.cores_per_node)
+
+    def aggregate_memory(self, cores: int) -> int:
+        """Total memory in bytes across the nodes hosting ``cores`` cores."""
+        return self.nodes_for_cores(cores) * self.mem_per_node
+
+    def with_rate_scale(self, factor: float, name: str | None = None) -> "MachineSpec":
+        """Scaled-compute variant (used by the hyperthreading study)."""
+        return replace(
+            self,
+            name=name or f"{self.name}-x{factor:g}",
+            sparse_rate=self.sparse_rate * factor,
+            symbolic_rate=self.symbolic_rate * factor,
+        )
+
+
+GB = 1024**3
+
+#: Cori KNL partition (Intel Xeon Phi 7250): 68 cores/node, 112 GB/node.
+#: beta is the *effective* per-process rate for collectives over sparse
+#: payloads — packing/unpacking and tree forwarding put it far below the
+#: Aries link rate (the paper's runs spend up to ~50% of time in
+#: communication at scale, which pins beta near 0.5 GB/s effective).
+CORI_KNL = MachineSpec(
+    name="cori-knl",
+    alpha=4.0e-6,
+    beta=2.0e-9,            # ~0.5 GB/s effective per process
+    sparse_rate=8.0e7,      # products/s/process with 16 KNL threads
+    symbolic_rate=3.2e8,    # symbolic pass is ~4x lighter (no values)
+    cores_per_node=68,
+    threads_per_core=4,
+    mem_per_node=112 * GB,
+    threads_per_process=16,
+)
+
+#: Cori Haswell partition (Xeon E5-2698): same Aries network, faster cores.
+#: Paper Fig. 13: computation ~2.1x faster, communication ~1.4x faster.
+CORI_HASWELL = MachineSpec(
+    name="cori-haswell",
+    alpha=4.0e-6 / 1.4,
+    beta=2.0e-9 / 1.4,
+    sparse_rate=8.0e7 * 2.1,
+    symbolic_rate=3.2e8 * 2.1,
+    cores_per_node=32,
+    threads_per_core=2,
+    mem_per_node=128 * GB,
+    threads_per_process=6,
+)
+
+#: KNL with all 4 hardware threads per core (Fig. 12): 4x the processes,
+#: each individually slower, netting ~1.6x aggregate computation — but the
+#: 4x processes per node contend for the same Aries NIC, so per-process
+#: bandwidth drops ~4x and message injection slows, which is why the paper
+#: sees communication time *increase* under hyperthreading.
+CORI_KNL_HT = MachineSpec(
+    name="cori-knl-ht",
+    alpha=4.0e-6 * 1.5,
+    beta=2.0e-9 * 4.0,
+    sparse_rate=8.0e7 * 0.40,   # per-process rate drops; aggregate gains 1.6x
+    symbolic_rate=3.2e8 * 0.40,
+    cores_per_node=68,
+    threads_per_core=4,
+    mem_per_node=112 * GB,
+    threads_per_process=16,
+)

@@ -1,0 +1,27 @@
+"""Simulated MPI runtime.
+
+The paper runs on a Cray XC40 with up to 262,144 cores; this environment
+has neither MPI nor that machine.  Per the reproduction's substitution
+rule, :mod:`repro.simmpi` provides a deterministic in-process SPMD runtime
+with mpi4py-like semantics:
+
+* :func:`run_spmd` launches ``p`` ranks as threads, each executing the same
+  function with its own :class:`SimComm`;
+* :class:`SimComm` supports ``barrier`` / ``bcast`` / ``allreduce`` /
+  ``allgather`` / ``gather`` / ``scatter`` / ``alltoall`` / ``split`` with
+  MPI collective semantics;
+* every collective is **metered**: a :class:`CommTracker` records payload
+  bytes, message counts and communicator sizes per named algorithm step,
+  which the α–β machine model turns into projected times at paper scale.
+
+All data movement is real (payloads actually flow between ranks), so
+algorithm correctness and communication *volumes* are exact; only
+wall-clock speed differs from real MPI.
+"""
+
+from .comm import SimComm
+from .engine import run_spmd
+from .serialization import payload_nbytes
+from .tracker import CommEvent, CommTracker
+
+__all__ = ["SimComm", "run_spmd", "payload_nbytes", "CommTracker", "CommEvent"]

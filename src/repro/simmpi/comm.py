@@ -1,0 +1,451 @@
+"""Simulated MPI communicators.
+
+A :class:`SimComm` is one rank's handle on a communicator, mirroring the
+mpi4py API surface the SUMMA algorithms need: ``barrier``, ``bcast``,
+``allreduce``, ``allgather``, ``gather``, ``scatter``, ``alltoall``,
+``send``/``recv`` and ``split``.  Ranks run as threads (see
+:mod:`repro.simmpi.engine`); collectives rendezvous through
+generation-counted slots, so the same program order on every member lines
+up automatically — exactly the SPMD contract of MPI.
+
+Determinism: reductions combine contributions in rank order, and all
+payloads pass by reference (ranks must treat received objects as
+read-only, as real MPI buffers would be after a receive).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any
+
+import numpy as np
+
+from ..errors import CommError
+from .serialization import payload_nbytes
+from .tracker import CommTracker
+
+#: seconds a rank waits inside a collective before declaring deadlock.
+DEFAULT_TIMEOUT = 120.0
+
+
+class _Slot:
+    """Rendezvous state for one collective instance on one communicator."""
+
+    __slots__ = ("contrib", "complete", "taken")
+
+    def __init__(self) -> None:
+        self.contrib: dict[int, Any] = {}
+        self.complete = False
+        self.taken = 0
+
+
+class _CommContext:
+    """Shared (cross-thread) state of one communicator."""
+
+    __slots__ = ("cv", "slots", "seq")
+
+    def __init__(self) -> None:
+        self.cv = threading.Condition()
+        self.slots: dict[int, _Slot] = {}
+        self.seq = 0  # monotonic id source for point-to-point messages
+
+
+class World:
+    """Process-global state of one SPMD run: contexts, tracker, failure flag."""
+
+    def __init__(self, nprocs: int, tracker: CommTracker | None = None,
+                 timeout: float = DEFAULT_TIMEOUT) -> None:
+        self.nprocs = nprocs
+        self.tracker = tracker if tracker is not None else CommTracker()
+        self.timeout = timeout
+        self.failed = threading.Event()
+        self._contexts: dict[tuple, _CommContext] = {}
+        self._ctx_lock = threading.Lock()
+        self._tls = threading.local()
+
+    def context(self, comm_id: tuple) -> _CommContext:
+        with self._ctx_lock:
+            ctx = self._contexts.get(comm_id)
+            if ctx is None:
+                ctx = self._contexts[comm_id] = _CommContext()
+            return ctx
+
+    def abort(self) -> None:
+        """Mark the run failed and wake every waiting rank."""
+        self.failed.set()
+        with self._ctx_lock:
+            contexts = list(self._contexts.values())
+        for ctx in contexts:
+            with ctx.cv:
+                ctx.cv.notify_all()
+
+    @property
+    def step_label(self) -> str:
+        return getattr(self._tls, "step", "")
+
+    @step_label.setter
+    def step_label(self, value: str) -> None:
+        self._tls.step = value
+
+
+class SimComm:
+    """One rank's communicator handle.
+
+    Parameters
+    ----------
+    world:
+        Shared :class:`World`.
+    comm_id:
+        Hashable identity shared by all members (contexts key off it).
+    members:
+        Global ranks belonging to this communicator, in local-rank order.
+    rank:
+        This process's local rank within the communicator.
+    """
+
+    __slots__ = ("world", "comm_id", "members", "rank", "_opseq")
+
+    def __init__(self, world: World, comm_id: tuple, members: tuple[int, ...], rank: int):
+        self.world = world
+        self.comm_id = comm_id
+        self.members = tuple(members)
+        self.rank = int(rank)
+        self._opseq = 0
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def global_rank(self) -> int:
+        return self.members[self.rank]
+
+    def __repr__(self) -> str:
+        return f"SimComm(id={self.comm_id}, rank={self.rank}/{self.size})"
+
+    # ------------------------------------------------------------------ #
+    # step labelling (feeds the tracker)
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def step(self, label: str):
+        """Label all communication inside the block for metering."""
+        prev = self.world.step_label
+        self.world.step_label = label
+        try:
+            yield
+        finally:
+            self.world.step_label = prev
+
+    # ------------------------------------------------------------------ #
+    # the rendezvous primitive
+    # ------------------------------------------------------------------ #
+
+    def _exchange(self, payload) -> tuple[dict[int, Any], bool]:
+        """Contribute ``payload``; return (all contributions, completed_here).
+
+        ``completed_here`` is True on exactly one rank (the last to arrive)
+        — used so each collective is metered exactly once.
+        """
+        ctx = self.world.context(self.comm_id)
+        op_id = self._opseq
+        self._opseq += 1
+        deadline = time.monotonic() + self.world.timeout
+        with ctx.cv:
+            slot = ctx.slots.get(op_id)
+            if slot is None:
+                slot = ctx.slots[op_id] = _Slot()
+            if self.rank in slot.contrib:
+                raise CommError(
+                    f"rank {self.rank} participated twice in collective {op_id} "
+                    f"on {self.comm_id} — mismatched program order"
+                )
+            slot.contrib[self.rank] = payload
+            completed_here = len(slot.contrib) == self.size
+            if completed_here:
+                slot.complete = True
+                ctx.cv.notify_all()
+            else:
+                while not slot.complete:
+                    if self.world.failed.is_set():
+                        raise CommError("collective aborted: a peer rank failed")
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.world.abort()
+                        raise CommError(
+                            f"collective timeout on {self.comm_id} op {op_id}: "
+                            f"{len(slot.contrib)}/{self.size} ranks arrived"
+                        )
+                    ctx.cv.wait(min(remaining, 0.5))
+            result = slot.contrib
+            slot.taken += 1
+            if slot.taken == self.size:
+                del ctx.slots[op_id]
+        return result, completed_here
+
+    def _record(self, op: str, nbytes: int, total_bytes: int | None = None) -> None:
+        self.world.tracker.record(
+            self.world.step_label, op, self.size, nbytes, total_bytes
+        )
+
+    # ------------------------------------------------------------------ #
+    # collectives
+    # ------------------------------------------------------------------ #
+
+    def barrier(self) -> None:
+        """Synchronise all members."""
+        _, last = self._exchange(None)
+        if last:
+            self._record("barrier", 0, 0)
+
+    def bcast(self, obj, root: int = 0):
+        """Broadcast ``obj`` from local rank ``root`` to all members."""
+        self._check_root(root)
+        contrib, last = self._exchange(obj if self.rank == root else None)
+        result = contrib[root]
+        if last:
+            nbytes = payload_nbytes(result)
+            self._record("bcast", nbytes, nbytes * max(self.size - 1, 0))
+        return result
+
+    def allgather(self, obj) -> list:
+        """Every member receives the list of all contributions (rank order)."""
+        contrib, last = self._exchange(obj)
+        if last:
+            sizes = [payload_nbytes(v) for v in contrib.values()]
+            self._record("allgather", max(sizes, default=0),
+                         sum(sizes) * max(self.size - 1, 0))
+        return [contrib[r] for r in range(self.size)]
+
+    def gather(self, obj, root: int = 0) -> list | None:
+        """Root receives the list of contributions; others get ``None``."""
+        self._check_root(root)
+        contrib, last = self._exchange(obj)
+        if last:
+            sizes = [payload_nbytes(v) for v in contrib.values()]
+            self._record("gather", max(sizes, default=0), sum(sizes))
+        if self.rank == root:
+            return [contrib[r] for r in range(self.size)]
+        return None
+
+    def scatter(self, objs, root: int = 0):
+        """Root provides a list of ``size`` payloads; member ``i`` gets the
+        ``i``-th."""
+        self._check_root(root)
+        if self.rank == root:
+            objs = list(objs)
+            if len(objs) != self.size:
+                raise CommError(
+                    f"scatter needs {self.size} payloads, got {len(objs)}"
+                )
+        contrib, last = self._exchange(objs if self.rank == root else None)
+        payloads = contrib[root]
+        if last:
+            sizes = [payload_nbytes(v) for v in payloads]
+            self._record("scatter", max(sizes, default=0), sum(sizes))
+        return payloads[self.rank]
+
+    def allreduce(self, value, op: str = "sum"):
+        """Reduce scalars or same-shape ndarrays across members.
+
+        ``op`` is ``"sum"``, ``"max"`` or ``"min"``; combination is in rank
+        order so floating-point results are deterministic.
+        """
+        contrib, last = self._exchange(value)
+        if last:
+            nbytes = payload_nbytes(value)
+            self._record("allreduce", nbytes, nbytes * max(self.size - 1, 0))
+        values = [contrib[r] for r in range(self.size)]
+        return _reduce(values, op)
+
+    def reduce(self, value, op: str = "sum", root: int = 0):
+        """Like :meth:`allreduce` but only ``root`` receives the result."""
+        self._check_root(root)
+        contrib, last = self._exchange(value)
+        if last:
+            nbytes = payload_nbytes(value)
+            self._record("gather", nbytes, nbytes * max(self.size - 1, 0))
+        if self.rank != root:
+            return None
+        return _reduce([contrib[r] for r in range(self.size)], op)
+
+    def alltoall(self, sendlist) -> list:
+        """Personalised all-to-all: member ``i`` sends ``sendlist[j]`` to
+        member ``j`` and receives a list indexed by source rank."""
+        sendlist = list(sendlist)
+        if len(sendlist) != self.size:
+            raise CommError(
+                f"alltoall needs {self.size} payloads, got {len(sendlist)}"
+            )
+        contrib, last = self._exchange(sendlist)
+        if last:
+            per_rank = [
+                sum(payload_nbytes(x) for x in contrib[r]) for r in range(self.size)
+            ]
+            self._record("alltoall", max(per_rank, default=0), sum(per_rank))
+        return [contrib[src][self.rank] for src in range(self.size)]
+
+    # ------------------------------------------------------------------ #
+    # communicator management
+    # ------------------------------------------------------------------ #
+
+    def split(self, color: int, key: int | None = None) -> "SimComm":
+        """MPI_Comm_split: members sharing ``color`` form a new communicator,
+        ordered by ``(key, old local rank)``."""
+        if key is None:
+            key = self.rank
+        op_marker = self._opseq  # consistent across members (same program order)
+        contrib, _ = self._exchange((int(color), int(key)))
+        mine = (int(color), int(key))
+        group = sorted(
+            (ck[1], r) for r, ck in contrib.items() if ck[0] == mine[0]
+        )
+        local_ranks = [r for _, r in group]
+        members = tuple(self.members[r] for r in local_ranks)
+        new_rank = local_ranks.index(self.rank)
+        comm_id = (*self.comm_id, op_marker, mine[0])
+        return SimComm(self.world, comm_id, members, new_rank)
+
+    def dup(self) -> "SimComm":
+        """Duplicate the communicator (fresh collective sequence space)."""
+        return self.split(0, self.rank)
+
+    # ------------------------------------------------------------------ #
+    # point-to-point
+    # ------------------------------------------------------------------ #
+
+    def isend(self, obj, dest: int, tag: int = 0) -> "Request":
+        """Nonblocking send.  The simulated send buffers immediately, so
+        the request is born complete; the object models MPI semantics
+        (communication/computation overlap) for algorithm structure."""
+        self.send(obj, dest, tag)
+        return Request(ready=True)
+
+    def irecv(self, source: int, tag: int = 0) -> "Request":
+        """Nonblocking receive: returns a :class:`Request` whose
+        :meth:`~Request.wait` yields the message and whose
+        :meth:`~Request.test` probes without blocking.  The caller
+        computes in between — the overlap pattern of pipelined
+        algorithms."""
+        return Request(
+            recv_fn=lambda: self.recv(source, tag),
+            probe_fn=lambda: self._probe(source, tag),
+        )
+
+    def _probe(self, source: int, tag: int) -> bool:
+        """True if a message from ``source`` with ``tag`` is deliverable."""
+        ctx = self.world.context((*self.comm_id, "p2p", source, self.rank, tag))
+        with ctx.cv:
+            return any(
+                s.complete and s.taken == 0 for s in ctx.slots.values()
+            )
+
+    def send(self, obj, dest: int, tag: int = 0) -> None:
+        """Blocking-buffered send to local rank ``dest``."""
+        self._check_root(dest, "dest")
+        ctx = self.world.context((*self.comm_id, "p2p", self.rank, dest, tag))
+        with ctx.cv:
+            seq = ctx.seq
+            ctx.seq += 1
+            slot = ctx.slots[seq] = _Slot()
+            slot.contrib[0] = obj
+            slot.complete = True
+            ctx.cv.notify_all()
+        self.world.tracker.record(
+            self.world.step_label, "send", 2, payload_nbytes(obj)
+        )
+
+    def recv(self, source: int, tag: int = 0):
+        """Blocking receive from local rank ``source`` (FIFO per (src, tag))."""
+        self._check_root(source, "source")
+        ctx = self.world.context((*self.comm_id, "p2p", source, self.rank, tag))
+        deadline = time.monotonic() + self.world.timeout
+        with ctx.cv:
+            while True:
+                ready = [k for k, s in ctx.slots.items() if s.complete and s.taken == 0]
+                if ready:
+                    key = min(ready)
+                    slot = ctx.slots[key]
+                    slot.taken = 1
+                    obj = slot.contrib[0]
+                    del ctx.slots[key]
+                    return obj
+                if self.world.failed.is_set():
+                    raise CommError("recv aborted: a peer rank failed")
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.world.abort()
+                    raise CommError(
+                        f"recv timeout from rank {source} tag {tag}"
+                    )
+                ctx.cv.wait(min(remaining, 0.5))
+
+    # ------------------------------------------------------------------ #
+
+    def _check_root(self, root: int, name: str = "root") -> None:
+        if not 0 <= root < self.size:
+            raise CommError(f"{name} {root} out of range [0, {self.size})")
+
+
+class Request:
+    """Handle for a nonblocking operation (mpi4py-style).
+
+    ``wait()`` blocks until completion and returns the received object
+    (``None`` for sends); ``test()`` returns ``(done, value_or_None)``
+    without blocking once complete.
+    """
+
+    __slots__ = ("_recv_fn", "_probe_fn", "_done", "_value")
+
+    def __init__(self, *, ready: bool = False, recv_fn=None, probe_fn=None) -> None:
+        self._recv_fn = recv_fn
+        self._probe_fn = probe_fn
+        self._done = ready
+        self._value = None
+
+    def wait(self):
+        if not self._done:
+            if self._recv_fn is not None:
+                self._value = self._recv_fn()
+            self._done = True
+        return self._value
+
+    def test(self) -> tuple[bool, object]:
+        """Non-blocking completion check; completes the receive when the
+        matching message has arrived."""
+        if self._done:
+            return True, self._value
+        if self._probe_fn is not None and self._probe_fn():
+            return True, self.wait()
+        return False, None
+
+
+def _reduce(values: list, op: str):
+    if not values:
+        raise CommError("reduction over empty contribution set")
+    first = values[0]
+    if isinstance(first, np.ndarray):
+        stack = np.stack(values)
+        if op == "sum":
+            return stack.sum(axis=0)
+        if op == "max":
+            return stack.max(axis=0)
+        if op == "min":
+            return stack.min(axis=0)
+    else:
+        if op == "sum":
+            out = values[0]
+            for v in values[1:]:
+                out = out + v
+            return out
+        if op == "max":
+            return max(values)
+        if op == "min":
+            return min(values)
+    raise CommError(f"unknown reduction op {op!r}")

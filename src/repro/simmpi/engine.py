@@ -1,0 +1,89 @@
+"""SPMD execution engine: run the same function on ``p`` simulated ranks.
+
+Each rank runs in its own thread with its own :class:`SimComm` on the
+world communicator.  NumPy releases the GIL inside its C kernels, so local
+multiplies overlap; the collectives serialise through condition variables
+exactly where real MPI would synchronise.
+
+Failure semantics: if any rank raises, the world is aborted (all blocked
+collectives wake and raise :class:`~repro.errors.CommError`) and the
+engine raises :class:`~repro.errors.SpmdError` carrying the *original*
+per-rank exceptions — cascade errors caused by the abort are filtered out
+when at least one genuine failure exists.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from ..errors import CommError, SpmdError
+from .comm import DEFAULT_TIMEOUT, SimComm, World
+from .tracker import CommTracker
+
+
+def run_spmd(
+    nprocs: int,
+    fn: Callable[..., Any],
+    *args,
+    tracker: CommTracker | None = None,
+    timeout: float = DEFAULT_TIMEOUT,
+    **kwargs,
+) -> list:
+    """Execute ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of simulated processes.
+    fn:
+        The SPMD program.  Its first argument is the rank's
+        :class:`SimComm`; remaining arguments are shared (by reference —
+        treat them as read-only, like remotely-resident input data).
+    tracker:
+        Optional :class:`CommTracker` that will receive one event per
+        collective.  Pass one in whenever metering is needed; without it a
+        private tracker is created and discarded.
+    timeout:
+        Deadlock guard for collectives, in seconds.
+
+    Returns
+    -------
+    list
+        Per-rank return values of ``fn``, indexed by rank.
+    """
+    if nprocs <= 0:
+        raise ValueError(f"nprocs must be positive, got {nprocs}")
+    world = World(nprocs, tracker=tracker, timeout=timeout)
+    results: list[Any] = [None] * nprocs
+    failures: dict[int, BaseException] = {}
+    failures_lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        comm = SimComm(world, ("world",), tuple(range(nprocs)), rank)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 — reported via SpmdError
+            with failures_lock:
+                failures[rank] = exc
+            world.abort()
+
+    if nprocs == 1:
+        # fast path: no threads needed for a single rank
+        runner(0)
+    else:
+        threads = [
+            threading.Thread(target=runner, args=(rank,), name=f"simmpi-rank-{rank}")
+            for rank in range(nprocs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    if failures:
+        genuine = {
+            r: e for r, e in failures.items() if not isinstance(e, CommError)
+        }
+        raise SpmdError(genuine or failures)
+    return results

@@ -1,0 +1,47 @@
+"""Payload size accounting for the simulated-MPI layer.
+
+The communication metering needs the wire size of whatever the algorithms
+send.  Sizes follow the paper's convention of ``r = 24`` bytes per sparse
+nonzero (two 8-byte indices + one 8-byte value, Sec. IV-A); raw NumPy
+arrays count their buffer size; Python scalars count 8 bytes (one word on
+the wire); containers sum their elements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.matrix import BYTES_PER_NONZERO, SparseMatrix
+
+#: wire size of a Python scalar (int/float/bool) — one 8-byte word.
+SCALAR_NBYTES = 8
+
+
+def payload_nbytes(obj) -> int:
+    """Wire size in bytes of a payload passed through a collective."""
+    if obj is None:
+        return 0
+    if isinstance(obj, SparseMatrix):
+        # r bytes per nonzero, the paper's accounting (Sec. IV-A).  No
+        # indptr term: hypersparse tiles go over the wire in an
+        # nnz-proportional format (CombBLAS uses DCSC / coordinate tuples
+        # for exactly this reason), so a dense column-pointer array never
+        # needs to be transmitted.
+        return obj.nnz * BYTES_PER_NONZERO
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bool, int, float, np.integer, np.floating, np.bool_)):
+        return SCALAR_NBYTES
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(payload_nbytes(x) for x in obj)
+    # objects exposing nbytes (array-likes)
+    nbytes = getattr(obj, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    raise TypeError(f"cannot size payload of type {type(obj).__name__}")

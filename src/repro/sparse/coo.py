@@ -1,0 +1,97 @@
+"""COO (coordinate triple) utilities.
+
+The distributed pipeline constantly moves matrices around as flat
+``(rows, cols, vals)`` triples — they serialise trivially and merge by
+key — so the COO <-> CSC conversions here are fully vectorised and are on
+the hot path of almost every collective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+from .matrix import INDEX_DTYPE, VALUE_DTYPE
+
+
+def sort_coo(nrows: int, rows, cols, vals):
+    """Sort triples by (col, row) — CSC storage order.
+
+    Returns new arrays; the sort is stable so equal keys (duplicates)
+    preserve their input order, which matters for deterministic summation.
+    """
+    rows = np.asarray(rows, dtype=INDEX_DTYPE)
+    cols = np.asarray(cols, dtype=INDEX_DTYPE)
+    vals = np.asarray(vals, dtype=VALUE_DTYPE)
+    key = cols * np.int64(max(nrows, 1)) + rows
+    order = np.argsort(key, kind="stable")
+    return rows[order], cols[order], vals[order]
+
+
+def dedup_coo(nrows: int, rows, cols, vals):
+    """Sort triples into CSC order and sum duplicate coordinates.
+
+    This is the workhorse of every "merge" in the pipeline: given a pile of
+    partial products, grouping by (col, row) and summing within groups is
+    exactly the accumulation a hash table performs, done with one sort and
+    one segmented reduction.
+    """
+    rows, cols, vals = sort_coo(nrows, rows, cols, vals)
+    if rows.shape[0] == 0:
+        return rows, cols, vals
+    key = cols * np.int64(max(nrows, 1)) + rows
+    boundary = np.empty(key.shape[0], dtype=bool)
+    boundary[0] = True
+    np.not_equal(key[1:], key[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    summed = np.add.reduceat(vals, starts)
+    return rows[starts], cols[starts], summed
+
+
+def coo_to_csc_arrays(
+    nrows: int,
+    ncols: int,
+    rows,
+    cols,
+    vals,
+    *,
+    sum_duplicates: bool = True,
+):
+    """Convert COO triples to validated CSC arrays (indptr, rowidx, values).
+
+    Raises :class:`~repro.errors.FormatError` on out-of-range coordinates.
+    """
+    rows = np.asarray(rows, dtype=INDEX_DTYPE)
+    cols = np.asarray(cols, dtype=INDEX_DTYPE)
+    vals = np.asarray(vals, dtype=VALUE_DTYPE)
+    if not (rows.shape == cols.shape == vals.shape):
+        raise FormatError(
+            f"COO arrays have mismatched lengths "
+            f"({rows.shape[0]}, {cols.shape[0]}, {vals.shape[0]})"
+        )
+    if rows.shape[0]:
+        if rows.min() < 0 or rows.max() >= nrows:
+            raise FormatError(f"row index out of range [0, {nrows})")
+        if cols.min() < 0 or cols.max() >= ncols:
+            raise FormatError(f"column index out of range [0, {ncols})")
+    if sum_duplicates:
+        rows, cols, vals = dedup_coo(nrows, rows, cols, vals)
+    else:
+        rows, cols, vals = sort_coo(nrows, rows, cols, vals)
+    counts = np.bincount(cols, minlength=ncols).astype(INDEX_DTYPE)
+    indptr = np.concatenate(([0], np.cumsum(counts)))
+    return indptr, rows, vals
+
+
+def concat_coo(parts):
+    """Concatenate a sequence of (rows, cols, vals) triples into one."""
+    if not parts:
+        return (
+            np.empty(0, dtype=INDEX_DTYPE),
+            np.empty(0, dtype=INDEX_DTYPE),
+            np.empty(0, dtype=VALUE_DTYPE),
+        )
+    rows = np.concatenate([np.asarray(p[0], dtype=INDEX_DTYPE) for p in parts])
+    cols = np.concatenate([np.asarray(p[1], dtype=INDEX_DTYPE) for p in parts])
+    vals = np.concatenate([np.asarray(p[2], dtype=VALUE_DTYPE) for p in parts])
+    return rows, cols, vals

@@ -1,0 +1,406 @@
+"""Structural operations on CSC matrices.
+
+These are the data-layout primitives the distributed algorithms are made
+of: column splitting for batches (plain and block-cyclic, Fig. 1(i) of the
+paper), column concatenation for reassembling batched output (Alg. 4
+line 7), tile extraction for grid distribution, transpose for the A·Aᵀ
+applications, triangular extraction for triangle counting, and the pruning
+operators HipMCL applies to each output batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .matrix import INDEX_DTYPE, VALUE_DTYPE, SparseMatrix
+
+
+# --------------------------------------------------------------------- #
+# transpose and triangular parts
+# --------------------------------------------------------------------- #
+
+def transpose(a: SparseMatrix) -> SparseMatrix:
+    """Transpose; output is sorted within columns (CSC of Aᵀ == CSR of A)."""
+    rows, cols, vals = a.rowidx, a.col_indices(), a.values
+    return SparseMatrix.from_coo(a.ncols, a.nrows, cols, rows, vals, sum_duplicates=False)
+
+
+def triu(a: SparseMatrix, k: int = 0) -> SparseMatrix:
+    """Entries on or above the ``k``-th diagonal (``k=1`` is strict upper)."""
+    return _tri_filter(a, lambda r, c: c - r >= k)
+
+
+def tril(a: SparseMatrix, k: int = 0) -> SparseMatrix:
+    """Entries on or below the ``k``-th diagonal (``k=-1`` is strict lower)."""
+    return _tri_filter(a, lambda r, c: c - r <= k)
+
+
+def _tri_filter(a: SparseMatrix, pred) -> SparseMatrix:
+    cols = a.col_indices()
+    keep = pred(a.rowidx, cols)
+    csum = np.concatenate(([0], np.cumsum(keep, dtype=INDEX_DTYPE)))
+    indptr = csum[a.indptr]
+    return SparseMatrix(
+        a.nrows, a.ncols, indptr, a.rowidx[keep], a.values[keep],
+        sorted_within_columns=a.sorted_within_columns, validate=False,
+    )
+
+
+# --------------------------------------------------------------------- #
+# scaling
+# --------------------------------------------------------------------- #
+
+def scale_columns(a: SparseMatrix, scales) -> SparseMatrix:
+    """Multiply column ``j`` by ``scales[j]`` (e.g. MCL column normalise)."""
+    scales = np.asarray(scales, dtype=VALUE_DTYPE)
+    if scales.shape != (a.ncols,):
+        raise ShapeError(f"scales has shape {scales.shape}, expected ({a.ncols},)")
+    values = a.values * np.repeat(scales, np.diff(a.indptr))
+    return SparseMatrix(
+        a.nrows, a.ncols, a.indptr, a.rowidx, values,
+        sorted_within_columns=a.sorted_within_columns, validate=False,
+    )
+
+
+def scale_rows(a: SparseMatrix, scales) -> SparseMatrix:
+    """Multiply row ``i`` by ``scales[i]``."""
+    scales = np.asarray(scales, dtype=VALUE_DTYPE)
+    if scales.shape != (a.nrows,):
+        raise ShapeError(f"scales has shape {scales.shape}, expected ({a.nrows},)")
+    values = a.values * scales[a.rowidx]
+    return SparseMatrix(
+        a.nrows, a.ncols, a.indptr, a.rowidx, values,
+        sorted_within_columns=a.sorted_within_columns, validate=False,
+    )
+
+
+def elementwise_power(a: SparseMatrix, exponent: float) -> SparseMatrix:
+    """Raise each stored value to ``exponent`` (MCL inflation kernel)."""
+    return SparseMatrix(
+        a.nrows, a.ncols, a.indptr, a.rowidx, np.power(a.values, exponent),
+        sorted_within_columns=a.sorted_within_columns, validate=False,
+    )
+
+
+# --------------------------------------------------------------------- #
+# column slicing / splitting / concatenation
+# --------------------------------------------------------------------- #
+
+def col_slice(a: SparseMatrix, start: int, stop: int) -> SparseMatrix:
+    """Columns ``[start, stop)`` as a new matrix of width ``stop - start``."""
+    if not 0 <= start <= stop <= a.ncols:
+        raise ShapeError(f"column range [{start}, {stop}) invalid for ncols={a.ncols}")
+    lo, hi = a.indptr[start], a.indptr[stop]
+    return SparseMatrix(
+        a.nrows,
+        stop - start,
+        a.indptr[start : stop + 1] - lo,
+        a.rowidx[lo:hi],
+        a.values[lo:hi],
+        sorted_within_columns=a.sorted_within_columns,
+        validate=False,
+    )
+
+
+def col_select(a: SparseMatrix, cols) -> SparseMatrix:
+    """Gather an arbitrary list of columns (in the given order)."""
+    cols = np.asarray(cols, dtype=INDEX_DTYPE)
+    if cols.shape[0] and (cols.min() < 0 or cols.max() >= a.ncols):
+        raise ShapeError(f"column selection out of range [0, {a.ncols})")
+    counts = np.diff(a.indptr)[cols]
+    indptr = np.concatenate(([0], np.cumsum(counts, dtype=INDEX_DTYPE)))
+    total = int(indptr[-1])
+    # gather indices: for each selected column, its contiguous CSC span
+    starts = a.indptr[cols]
+    offsets = np.arange(total, dtype=INDEX_DTYPE) - np.repeat(indptr[:-1], counts)
+    gather = np.repeat(starts, counts) + offsets
+    return SparseMatrix(
+        a.nrows, cols.shape[0], indptr, a.rowidx[gather], a.values[gather],
+        sorted_within_columns=a.sorted_within_columns, validate=False,
+    )
+
+
+def col_split(a: SparseMatrix, nparts: int) -> list[SparseMatrix]:
+    """Split into ``nparts`` contiguous column blocks (widths differ by <=1).
+
+    Block ``i`` gets columns ``[bounds[i], bounds[i+1])`` where the first
+    ``ncols % nparts`` blocks are one column wider — the standard balanced
+    block partition.
+    """
+    bounds = split_bounds(a.ncols, nparts)
+    return [col_slice(a, bounds[i], bounds[i + 1]) for i in range(nparts)]
+
+
+def split_bounds(n: int, nparts: int) -> np.ndarray:
+    """Boundaries of the balanced block partition of ``range(n)``."""
+    if nparts <= 0:
+        raise ShapeError(f"nparts must be positive, got {nparts}")
+    base, extra = divmod(n, nparts)
+    sizes = np.full(nparts, base, dtype=INDEX_DTYPE)
+    sizes[:extra] += 1
+    return np.concatenate(([0], np.cumsum(sizes)))
+
+
+def col_split_block_cyclic(
+    a: SparseMatrix, nparts: int, nblocks_per_part: int
+) -> tuple[list[SparseMatrix], list[np.ndarray]]:
+    """Block-cyclic column split (paper Fig. 1(i)).
+
+    The columns are first cut into ``nparts * nblocks_per_part`` contiguous
+    blocks; part ``i`` receives blocks ``i, i + nparts, i + 2*nparts, ...``.
+    For batching, ``nparts = b`` and ``nblocks_per_part = l`` so each batch
+    draws one block from the territory of every layer, balancing the
+    Merge-Fiber load.
+
+    Returns ``(parts, col_maps)`` where ``col_maps[i]`` lists the original
+    column index of every column of part ``i`` — needed to reassemble or to
+    interpret batched output.
+    """
+    total_blocks = nparts * nblocks_per_part
+    bounds = split_bounds(a.ncols, total_blocks)
+    parts: list[SparseMatrix] = []
+    col_maps: list[np.ndarray] = []
+    for i in range(nparts):
+        block_ids = range(i, total_blocks, nparts)
+        cols = np.concatenate(
+            [np.arange(bounds[blk], bounds[blk + 1], dtype=INDEX_DTYPE) for blk in block_ids]
+        ) if total_blocks else np.empty(0, dtype=INDEX_DTYPE)
+        parts.append(col_select(a, cols))
+        col_maps.append(cols)
+    return parts, col_maps
+
+
+def col_concat(parts) -> SparseMatrix:
+    """Concatenate matrices side by side (Alg. 4 line 7, ColConcat)."""
+    parts = list(parts)
+    if not parts:
+        raise ShapeError("cannot concatenate zero matrices")
+    nrows = parts[0].nrows
+    if any(p.nrows != nrows for p in parts):
+        raise ShapeError("all parts must have the same number of rows")
+    ncols = sum(p.ncols for p in parts)
+    indptr = np.zeros(ncols + 1, dtype=INDEX_DTYPE)
+    pos = 0
+    offset = 0
+    for p in parts:
+        indptr[pos + 1 : pos + p.ncols + 1] = p.indptr[1:] + offset
+        pos += p.ncols
+        offset += p.nnz
+    rowidx = np.concatenate([p.rowidx for p in parts]) if parts else np.empty(0)
+    values = np.concatenate([p.values for p in parts]) if parts else np.empty(0)
+    return SparseMatrix(
+        nrows, ncols, indptr, rowidx, values,
+        sorted_within_columns=all(p.sorted_within_columns for p in parts),
+        validate=False,
+    )
+
+
+def hstack_interleave_block_cyclic(
+    parts, col_maps, ncols: int
+) -> SparseMatrix:
+    """Reassemble the output of a block-cyclic split into original order.
+
+    ``parts[i]`` holds the columns listed in ``col_maps[i]``; the result has
+    ``ncols`` columns with every column returned to its original position.
+    """
+    parts = list(parts)
+    if len(parts) != len(col_maps):
+        raise ShapeError("parts and col_maps must have equal length")
+    wide = col_concat(parts)
+    all_cols = np.concatenate([np.asarray(m, dtype=INDEX_DTYPE) for m in col_maps]) \
+        if col_maps else np.empty(0, dtype=INDEX_DTYPE)
+    if wide.ncols != all_cols.shape[0]:
+        raise ShapeError(
+            f"col_maps cover {all_cols.shape[0]} columns but parts have {wide.ncols}"
+        )
+    # position of original column j inside `wide`
+    inverse = np.empty(ncols, dtype=INDEX_DTYPE)
+    inverse.fill(-1)
+    inverse[all_cols] = np.arange(all_cols.shape[0], dtype=INDEX_DTYPE)
+    if np.any(inverse < 0):
+        raise ShapeError("col_maps do not cover all output columns")
+    return col_select(wide, inverse)
+
+
+def hadamard(a: SparseMatrix, b: SparseMatrix) -> SparseMatrix:
+    """Elementwise product on the intersection of the sparsity patterns.
+
+    Used by the masked triangle-count formulation: only coordinates present
+    in *both* operands survive, with values multiplied.
+    """
+    if a.shape != b.shape:
+        raise ShapeError(f"hadamard shape mismatch: {a.shape} vs {b.shape}")
+    if a.nnz == 0 or b.nnz == 0:
+        return SparseMatrix.empty(a.nrows, a.ncols)
+    scale = np.int64(max(a.nrows, 1))
+    ka = a.col_indices() * scale + a.rowidx
+    kb = b.col_indices() * scale + b.rowidx
+    oa = np.argsort(ka, kind="stable")
+    ob = np.argsort(kb, kind="stable")
+    common, ia, ib = np.intersect1d(
+        ka[oa], kb[ob], assume_unique=True, return_indices=True
+    )
+    rows = common % scale
+    cols = common // scale
+    vals = a.values[oa][ia] * b.values[ob][ib]
+    return SparseMatrix.from_coo(a.nrows, a.ncols, rows, cols, vals, sum_duplicates=False)
+
+
+def spmv(a: SparseMatrix, x) -> np.ndarray:
+    """Sparse matrix × dense vector: ``y = A @ x`` (length ``nrows``).
+
+    The workhorse of iterative solvers and PageRank; fully vectorised via
+    a scatter-add over the stored entries.
+    """
+    x = np.asarray(x, dtype=VALUE_DTYPE)
+    if x.shape != (a.ncols,):
+        raise ShapeError(f"vector has shape {x.shape}, expected ({a.ncols},)")
+    y = np.zeros(a.nrows, dtype=VALUE_DTYPE)
+    if a.nnz:
+        np.add.at(y, a.rowidx, a.values * x[a.col_indices()])
+    return y
+
+
+def diagonal(a: SparseMatrix) -> np.ndarray:
+    """Dense vector of the main diagonal (zeros where absent)."""
+    n = min(a.nrows, a.ncols)
+    out = np.zeros(n, dtype=VALUE_DTYPE)
+    cols = a.col_indices()
+    on_diag = (a.rowidx == cols) & (a.rowidx < n)
+    out[a.rowidx[on_diag]] = a.values[on_diag]
+    return out
+
+
+def column_sums(a: SparseMatrix) -> np.ndarray:
+    """Per-column value sums (length ``ncols``)."""
+    out = np.zeros(a.ncols, dtype=VALUE_DTYPE)
+    if a.nnz:
+        np.add.at(out, a.col_indices(), a.values)
+    return out
+
+
+# --------------------------------------------------------------------- #
+# tile extraction (grid distribution)
+# --------------------------------------------------------------------- #
+
+def submatrix(
+    a: SparseMatrix, row_start: int, row_stop: int, col_start: int, col_stop: int
+) -> SparseMatrix:
+    """Extract ``A[row_start:row_stop, col_start:col_stop]`` with local indices."""
+    if not (0 <= row_start <= row_stop <= a.nrows):
+        raise ShapeError(f"row range [{row_start}, {row_stop}) invalid for nrows={a.nrows}")
+    sliced = col_slice(a, col_start, col_stop)
+    keep = (sliced.rowidx >= row_start) & (sliced.rowidx < row_stop)
+    csum = np.concatenate(([0], np.cumsum(keep, dtype=INDEX_DTYPE)))
+    indptr = csum[sliced.indptr]
+    return SparseMatrix(
+        row_stop - row_start,
+        col_stop - col_start,
+        indptr,
+        sliced.rowidx[keep] - row_start,
+        sliced.values[keep],
+        sorted_within_columns=sliced.sorted_within_columns,
+        validate=False,
+    )
+
+
+# --------------------------------------------------------------------- #
+# permutation (load balancing)
+# --------------------------------------------------------------------- #
+
+def permute(
+    a: SparseMatrix,
+    row_perm=None,
+    col_perm=None,
+) -> SparseMatrix:
+    """Apply row/column permutations: ``B[p[i], q[j]] = A[i, j]``.
+
+    ``row_perm[i]`` is the new index of old row ``i`` (same for columns);
+    ``None`` leaves that dimension untouched.  CombBLAS/HipMCL apply a
+    random symmetric permutation before distributing skewed matrices so
+    that block distributions become load balanced — the technique the
+    ``bench_ablation_imbalance`` experiment measures.
+    """
+    rows, cols, vals = a.to_coo()
+    if row_perm is not None:
+        row_perm = np.asarray(row_perm, dtype=INDEX_DTYPE)
+        if row_perm.shape != (a.nrows,) or (
+            np.sort(row_perm) != np.arange(a.nrows)
+        ).any():
+            raise ShapeError("row_perm must be a permutation of range(nrows)")
+        rows = row_perm[rows]
+    if col_perm is not None:
+        col_perm = np.asarray(col_perm, dtype=INDEX_DTYPE)
+        if col_perm.shape != (a.ncols,) or (
+            np.sort(col_perm) != np.arange(a.ncols)
+        ).any():
+            raise ShapeError("col_perm must be a permutation of range(ncols)")
+        cols = col_perm[cols]
+    return SparseMatrix.from_coo(a.nrows, a.ncols, rows, cols, vals,
+                                 sum_duplicates=False)
+
+
+def random_symmetric_permutation(a: SparseMatrix, seed=None) -> tuple[SparseMatrix, np.ndarray]:
+    """Apply one random permutation to both dimensions of a square matrix.
+
+    Returns ``(permuted, perm)``; spectra, products and clustering are
+    preserved up to relabelling, but block distributions of skewed
+    matrices become balanced in expectation.
+    """
+    if a.nrows != a.ncols:
+        raise ShapeError("symmetric permutation requires a square matrix")
+    from ..utils.rng import as_rng
+
+    rng = as_rng(seed)
+    perm = rng.permutation(a.nrows).astype(INDEX_DTYPE)
+    return permute(a, perm, perm), perm
+
+
+# --------------------------------------------------------------------- #
+# pruning (the per-batch post-processing of HipMCL)
+# --------------------------------------------------------------------- #
+
+def prune_threshold(a: SparseMatrix, threshold: float) -> SparseMatrix:
+    """Drop entries with ``|value| < threshold``."""
+    keep = np.abs(a.values) >= threshold
+    csum = np.concatenate(([0], np.cumsum(keep, dtype=INDEX_DTYPE)))
+    indptr = csum[a.indptr]
+    return SparseMatrix(
+        a.nrows, a.ncols, indptr, a.rowidx[keep], a.values[keep],
+        sorted_within_columns=a.sorted_within_columns, validate=False,
+    )
+
+
+def prune_topk_per_column(a: SparseMatrix, k: int) -> SparseMatrix:
+    """Keep the ``k`` largest-magnitude entries of every column.
+
+    This is the Markov-clustering "selection" prune the paper cites as the
+    reason batching suffices: each output batch is pruned immediately, so
+    the full dense-ish product never has to exist at once.  Ties are broken
+    toward smaller row indices for determinism.
+    """
+    if k < 0:
+        raise ShapeError(f"k must be non-negative, got {k}")
+    counts = np.diff(a.indptr)
+    if a.nnz == 0 or k >= int(counts.max(initial=0)):
+        return a
+    keep_mask = np.zeros(a.nnz, dtype=bool)
+    for j in range(a.ncols):
+        lo, hi = int(a.indptr[j]), int(a.indptr[j + 1])
+        width = hi - lo
+        if width <= k:
+            keep_mask[lo:hi] = True
+            continue
+        if k == 0:
+            continue
+        mag = np.abs(a.values[lo:hi])
+        # stable selection: order by (-magnitude, row) and keep first k
+        order = np.lexsort((a.rowidx[lo:hi], -mag))
+        keep_mask[lo + order[:k]] = True
+    csum = np.concatenate(([0], np.cumsum(keep_mask, dtype=INDEX_DTYPE)))
+    indptr = csum[a.indptr]
+    return SparseMatrix(
+        a.nrows, a.ncols, indptr, a.rowidx[keep_mask], a.values[keep_mask],
+        sorted_within_columns=a.sorted_within_columns, validate=False,
+    )

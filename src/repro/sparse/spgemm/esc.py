@@ -1,0 +1,97 @@
+"""Vectorised ESC (Expand / Sort / Compress) SpGEMM.
+
+For ``C = A @ B`` every nonzero ``B(k, j)`` expands into ``nnz(A(:, k))``
+partial products.  The expansion is materialised as flat COO arrays with
+pure NumPy gather arithmetic, then compressed by one key sort plus a
+segmented reduction.  Cost: O(flops) to expand, O(flops log flops) to
+sort — all at C speed, which in CPython beats any per-element accumulator
+loop by orders of magnitude.  This is the reproduction's production
+default kernel (see the package docstring for how it relates to the
+paper's hash/heap/hybrid kernels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ShapeError
+from ..matrix import INDEX_DTYPE, VALUE_DTYPE, SparseMatrix
+from ..semiring import PLUS_TIMES, Semiring, get_semiring
+
+
+def expand_products(
+    a: SparseMatrix, b: SparseMatrix, semiring: Semiring = PLUS_TIMES
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Materialise all partial products of ``A @ B`` as COO triples.
+
+    Returns ``(rows, cols, vals)`` of length exactly ``flops``; duplicates
+    are *not* merged.  This is also the building block of the distributed
+    Local-Multiply, whose unmerged result size is what the paper's memory
+    analysis (Eq. 1) bounds.
+    """
+    if a.ncols != b.nrows:
+        raise ShapeError(
+            f"cannot multiply {a.nrows}x{a.ncols} by {b.nrows}x{b.ncols}"
+        )
+    if a.nnz == 0 or b.nnz == 0:
+        empty_i = np.empty(0, dtype=INDEX_DTYPE)
+        return empty_i, empty_i.copy(), np.empty(0, dtype=VALUE_DTYPE)
+    k = b.rowidx                       # inner index of each B nonzero
+    lens = np.diff(a.indptr)[k]        # expansion length per B nonzero
+    total = int(lens.sum())            # == flops
+    if total == 0:
+        empty_i = np.empty(0, dtype=INDEX_DTYPE)
+        return empty_i, empty_i.copy(), np.empty(0, dtype=VALUE_DTYPE)
+    # Gather indices into A's storage: for B nonzero t, the contiguous span
+    # A.indptr[k[t]] .. +lens[t]. Built without Python loops:
+    seg_ends = np.cumsum(lens)
+    seg_starts = seg_ends - lens
+    offsets = np.arange(total, dtype=INDEX_DTYPE) - np.repeat(seg_starts, lens)
+    gather = np.repeat(a.indptr[k], lens) + offsets
+    rows = a.rowidx[gather]
+    vals = semiring.mul(a.values[gather], np.repeat(b.values, lens)).astype(
+        VALUE_DTYPE, copy=False
+    )
+    cols = np.repeat(b.col_indices(), lens)
+    return rows, cols, vals
+
+
+def compress_products(
+    nrows: int,
+    ncols: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    semiring: Semiring = PLUS_TIMES,
+) -> SparseMatrix:
+    """Merge COO partial products into a sorted CSC matrix."""
+    if rows.shape[0] == 0:
+        return SparseMatrix.empty(nrows, ncols)
+    key = cols * np.int64(max(nrows, 1)) + rows
+    order = np.argsort(key, kind="stable")
+    key = key[order]
+    boundary = np.empty(key.shape[0], dtype=bool)
+    boundary[0] = True
+    np.not_equal(key[1:], key[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    merged_vals = semiring.reduce_segments(vals[order], starts).astype(
+        VALUE_DTYPE, copy=False
+    )
+    merged_rows = rows[order][starts]
+    merged_cols = cols[order][starts]
+    counts = np.bincount(merged_cols, minlength=ncols).astype(INDEX_DTYPE)
+    indptr = np.concatenate(([0], np.cumsum(counts)))
+    return SparseMatrix(
+        nrows, ncols, indptr, merged_rows, merged_vals,
+        sorted_within_columns=True, validate=False,
+    )
+
+
+def spgemm_esc(
+    a: SparseMatrix, b: SparseMatrix, semiring=PLUS_TIMES
+) -> SparseMatrix:
+    """``C = A @ B`` via expand/sort/compress.  Accepts unsorted inputs;
+    emits sorted columns."""
+    semiring = get_semiring(semiring)
+    rows, cols, vals = expand_products(a, b, semiring)
+    return compress_products(a.nrows, b.ncols, rows, cols, vals, semiring)

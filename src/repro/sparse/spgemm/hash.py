@@ -1,0 +1,57 @@
+"""Sort-free hash SpGEMM — the paper's new Local-Multiply kernel (Sec. IV-D).
+
+Gustavson column-by-column: output column ``C(:, j)`` is the semiring sum
+of columns ``A(:, k)`` scaled by ``B(k, j)``.  Each column is accumulated
+in a hash table and emitted **without sorting**, in hash-insertion order.
+The kernel neither requires sorted input columns nor produces sorted
+output — the property that lets the distributed pipeline defer all sorting
+to the final Merge-Fiber.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ShapeError
+from ..matrix import INDEX_DTYPE, VALUE_DTYPE, SparseMatrix
+from ..semiring import PLUS_TIMES, get_semiring
+from .accumulators import HashAccumulator
+
+
+def spgemm_hash(a: SparseMatrix, b: SparseMatrix, semiring=PLUS_TIMES) -> SparseMatrix:
+    """``C = A @ B`` with per-column hash accumulation (unsorted output)."""
+    if a.ncols != b.nrows:
+        raise ShapeError(
+            f"cannot multiply {a.nrows}x{a.ncols} by {b.nrows}x{b.ncols}"
+        )
+    semiring = get_semiring(semiring)
+    acc = HashAccumulator(semiring)
+    mul = semiring.mul
+    out_rows: list[np.ndarray] = []
+    out_vals: list[np.ndarray] = []
+    counts = np.zeros(b.ncols, dtype=INDEX_DTYPE)
+    a_indptr, a_rowidx, a_values = a.indptr, a.rowidx, a.values
+    for j in range(b.ncols):
+        blo, bhi = b.indptr[j], b.indptr[j + 1]
+        for t in range(blo, bhi):
+            k = b.rowidx[t]
+            bval = b.values[t]
+            lo, hi = a_indptr[k], a_indptr[k + 1]
+            if lo == hi:
+                continue
+            acc.scatter(
+                a_rowidx[lo:hi],
+                mul(a_values[lo:hi], bval).astype(VALUE_DTYPE, copy=False),
+            )
+        rows, vals = acc.gather()
+        counts[j] = rows.shape[0]
+        if rows.shape[0]:
+            out_rows.append(rows)
+            out_vals.append(vals)
+    indptr = np.concatenate(([0], np.cumsum(counts)))
+    rowidx = np.concatenate(out_rows) if out_rows else np.empty(0, dtype=INDEX_DTYPE)
+    values = np.concatenate(out_vals) if out_vals else np.empty(0, dtype=VALUE_DTYPE)
+    return SparseMatrix(
+        a.nrows, b.ncols, indptr, rowidx, values,
+        sorted_within_columns=False, validate=False,
+    )

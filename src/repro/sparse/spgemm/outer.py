@@ -1,0 +1,86 @@
+"""Outer-product SpGEMM formulation.
+
+Gustavson's algorithm (the other kernels here) iterates over *output*
+columns; the outer-product formulation iterates over the *inner*
+dimension: ``C = sum_k A(:, k) B(k, :)`` — each inner index k contributes
+a rank-1 update.  This is the formulation behind propagation-blocking
+SpGEMM [27] and 1.5D/outer-product distributed algorithms; partial
+products arrive in k-order (neither row- nor column-grouped), so an
+explicit global accumulation pass is mandatory — exactly why it pairs
+naturally with sort-based merging and is memory-hungry without blocking.
+
+Included as the formulation-taxonomy point; numerically identical to the
+other kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ShapeError
+from ..matrix import INDEX_DTYPE, VALUE_DTYPE, SparseMatrix
+from ..semiring import PLUS_TIMES, get_semiring
+from .esc import compress_products
+
+
+def spgemm_outer(
+    a: SparseMatrix,
+    b: SparseMatrix,
+    semiring=PLUS_TIMES,
+    *,
+    block_size: int = 64,
+) -> SparseMatrix:
+    """``C = A @ B`` via blocked rank-1 updates over the inner dimension.
+
+    ``block_size`` inner indices are expanded per round (the propagation-
+    blocking idea: bound the unmerged buffer instead of materialising all
+    ``flops`` products at once); rounds are merged incrementally.
+    """
+    if a.ncols != b.nrows:
+        raise ShapeError(
+            f"cannot multiply {a.nrows}x{a.ncols} by {b.nrows}x{b.ncols}"
+        )
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    semiring = get_semiring(semiring)
+    # B in row-major access: transpose once so B's row k is a column slice
+    from ..ops import transpose
+
+    bt = transpose(b)  # bt column k = B row k
+    out = SparseMatrix.empty(a.nrows, b.ncols)
+    for k0 in range(0, a.ncols, block_size):
+        k1 = min(k0 + block_size, a.ncols)
+        rows_parts = []
+        cols_parts = []
+        vals_parts = []
+        for k in range(k0, k1):
+            alo, ahi = int(a.indptr[k]), int(a.indptr[k + 1])
+            blo, bhi = int(bt.indptr[k]), int(bt.indptr[k + 1])
+            if alo == ahi or blo == bhi:
+                continue
+            a_rows = a.rowidx[alo:ahi]
+            a_vals = a.values[alo:ahi]
+            b_cols = bt.rowidx[blo:bhi]
+            b_vals = bt.values[blo:bhi]
+            # rank-1 update: all pairs (i, j) with A(i,k), B(k,j) nonzero
+            rows_parts.append(np.repeat(a_rows, b_cols.shape[0]))
+            cols_parts.append(np.tile(b_cols, a_rows.shape[0]))
+            vals_parts.append(
+                semiring.mul(
+                    np.repeat(a_vals, b_vals.shape[0]),
+                    np.tile(b_vals, a_vals.shape[0]),
+                ).astype(VALUE_DTYPE, copy=False)
+            )
+        if not rows_parts:
+            continue
+        block = compress_products(
+            a.nrows, b.ncols,
+            np.concatenate(rows_parts),
+            np.concatenate(cols_parts),
+            np.concatenate(vals_parts),
+            semiring,
+        )
+        from ..merge import merge_grouped
+
+        out = merge_grouped([out, block], semiring=semiring) if out.nnz else block
+    return out

@@ -1,0 +1,54 @@
+"""SPA-based SpGEMM — Gilbert/Moler/Schreiber dense sparse accumulator [21].
+
+One dense value array of length ``nrows`` is reused across all output
+columns with generation stamping; per column the scatter is a vectorised
+``np.add.at``.  Included for completeness of the accumulator taxonomy the
+paper surveys (Sec. II-C) and as an ablation point: SPA is fast when
+columns are dense-ish but pays O(column gather) regardless of sparsity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ShapeError
+from ..matrix import INDEX_DTYPE, VALUE_DTYPE, SparseMatrix
+from ..semiring import PLUS_TIMES, get_semiring
+from .accumulators import SpAccumulator
+
+
+def spgemm_spa(a: SparseMatrix, b: SparseMatrix, semiring=PLUS_TIMES) -> SparseMatrix:
+    """``C = A @ B`` with a dense sparse accumulator (sorted output)."""
+    if a.ncols != b.nrows:
+        raise ShapeError(
+            f"cannot multiply {a.nrows}x{a.ncols} by {b.nrows}x{b.ncols}"
+        )
+    semiring = get_semiring(semiring)
+    mul = semiring.mul
+    acc = SpAccumulator(a.nrows, semiring)
+    out_rows: list[np.ndarray] = []
+    out_vals: list[np.ndarray] = []
+    counts = np.zeros(b.ncols, dtype=INDEX_DTYPE)
+    for j in range(b.ncols):
+        blo, bhi = int(b.indptr[j]), int(b.indptr[j + 1])
+        for t in range(blo, bhi):
+            k = int(b.rowidx[t])
+            lo, hi = int(a.indptr[k]), int(a.indptr[k + 1])
+            if lo == hi:
+                continue
+            acc.scatter(
+                a.rowidx[lo:hi],
+                mul(a.values[lo:hi], b.values[t]).astype(VALUE_DTYPE, copy=False),
+            )
+        rows, vals = acc.gather()
+        counts[j] = rows.shape[0]
+        if rows.shape[0]:
+            out_rows.append(rows)
+            out_vals.append(vals)
+    indptr = np.concatenate(([0], np.cumsum(counts)))
+    rowidx = np.concatenate(out_rows) if out_rows else np.empty(0, dtype=INDEX_DTYPE)
+    values = np.concatenate(out_vals) if out_vals else np.empty(0, dtype=VALUE_DTYPE)
+    return SparseMatrix(
+        a.nrows, b.ncols, indptr, rowidx, values,
+        sorted_within_columns=True, validate=False,
+    )

@@ -1,0 +1,114 @@
+"""Kernel suites: named bundles of (local multiply, merge) implementations.
+
+The distributed algorithms take a :class:`KernelSuite` so the Fig. 15 /
+Table VII ablation — this paper's sort-free hash kernels vs. the prior
+sorted heap kernels vs. the hybrid of [25] — is a one-argument swap:
+
+>>> from repro.sparse import get_suite
+>>> get_suite("unsorted-hash").emits_sorted
+False
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..matrix import SparseMatrix
+from ..semiring import PLUS_TIMES, get_semiring
+from .esc import spgemm_esc
+from .hash import spgemm_hash
+from .heap import spgemm_heap
+from .hybrid import spgemm_hybrid
+from .spa import spgemm_spa
+
+
+@dataclass(frozen=True)
+class KernelSuite:
+    """A coherent choice of local-multiply and k-way-merge kernels.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    local_multiply:
+        ``(A, B, semiring) -> C`` kernel for one SUMMA stage.
+    merge:
+        ``(parts, semiring) -> merged`` k-way merge used for Merge-Layer
+        and Merge-Fiber (see :mod:`repro.sparse.merge`).
+    requires_sorted_inputs:
+        Whether ``local_multiply`` needs A's columns sorted.
+    emits_sorted:
+        Whether intermediate results come out sorted.  The paper's point:
+        only the *final* output must be sorted, so a suite with
+        ``emits_sorted=False`` skips all intermediate sorting work.
+    """
+
+    name: str
+    local_multiply: Callable
+    merge: Callable
+    requires_sorted_inputs: bool
+    emits_sorted: bool
+
+
+def _build_registry() -> dict[str, KernelSuite]:
+    # imported here to avoid a circular import with merge.py
+    from ..merge import merge_grouped, merge_hash, merge_heap
+
+    return {
+        # this paper (Sec. IV-D): hash multiply + hash merge, nothing sorted
+        "unsorted-hash": KernelSuite(
+            "unsorted-hash", spgemm_hash, merge_hash, False, False
+        ),
+        # prior work [13]: heap multiply + heap merge, everything sorted
+        "sorted-heap": KernelSuite(
+            "sorted-heap", spgemm_heap, merge_heap, True, True
+        ),
+        # Nagasaka et al. [25]: hybrid multiply (sorted out) + heap merge
+        "hybrid": KernelSuite(
+            "hybrid", spgemm_hybrid, merge_heap, True, True
+        ),
+        # SPA multiply + grouped merge (sorted) — accumulator-taxonomy point
+        "spa": KernelSuite("spa", spgemm_spa, merge_grouped, False, True),
+        # vectorised production default of this reproduction
+        "esc": KernelSuite("esc", spgemm_esc, merge_grouped, False, True),
+    }
+
+
+_REGISTRY: dict[str, KernelSuite] | None = None
+
+
+def get_suite(name_or_suite) -> KernelSuite:
+    """Resolve a kernel suite by name, or pass a suite through unchanged."""
+    global _REGISTRY
+    if isinstance(name_or_suite, KernelSuite):
+        return name_or_suite
+    if _REGISTRY is None:
+        _REGISTRY = _build_registry()
+    try:
+        return _REGISTRY[name_or_suite]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel suite {name_or_suite!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_suites() -> list[str]:
+    """Names of all registered kernel suites."""
+    get_suite("esc")  # force registry construction
+    assert _REGISTRY is not None
+    return sorted(_REGISTRY)
+
+
+def multiply(
+    a: SparseMatrix,
+    b: SparseMatrix,
+    suite="esc",
+    semiring=PLUS_TIMES,
+) -> SparseMatrix:
+    """Top-level local SpGEMM: ``C = A (x) B`` under a semiring and suite."""
+    suite = get_suite(suite)
+    semiring = get_semiring(semiring)
+    if suite.requires_sorted_inputs and not a.sorted_within_columns:
+        a = a.sort_indices()
+    return suite.local_multiply(a, b, semiring)

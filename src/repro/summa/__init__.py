@@ -1,0 +1,40 @@
+"""Distributed SpGEMM algorithms (the paper's core contribution).
+
+* :func:`summa2d` — Alg. 1, 2D sparse SUMMA;
+* :func:`summa3d` — Alg. 2, communication-avoiding 3D sparse SUMMA;
+* :func:`symbolic3d` — Alg. 3, distributed symbolic step computing the
+  number of batches a memory budget allows;
+* :func:`batched_summa3d` — Alg. 4, the integrated communication-avoiding,
+  memory-constrained BatchedSUMMA3D.
+
+All run on the simulated-MPI runtime; pass a
+:class:`~repro.simmpi.CommTracker` to meter every collective.
+"""
+
+from .batched import batched_summa3d, batched_summa3d_rows
+from .planner import (
+    PlanChoice,
+    auto_config,
+    batches_lower_bound,
+    batches_upper_bound,
+    recommend_layers,
+)
+from .result import SummaResult, SymbolicResult
+from .summa2d import summa2d
+from .summa3d import summa3d
+from .symbolic3d import symbolic3d
+
+__all__ = [
+    "summa2d",
+    "batched_summa3d_rows",
+    "summa3d",
+    "symbolic3d",
+    "batched_summa3d",
+    "SummaResult",
+    "SymbolicResult",
+    "auto_config",
+    "PlanChoice",
+    "batches_lower_bound",
+    "batches_upper_bound",
+    "recommend_layers",
+]

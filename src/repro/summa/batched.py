@@ -1,0 +1,301 @@
+"""BatchedSUMMA3D driver (paper Alg. 4) — the library's flagship entry point.
+
+The driver validates inputs, builds the process grid, launches the SPMD
+program on the simulated-MPI engine, and reassembles the distributed
+output.  When a memory budget is given and no explicit batch count, the
+distributed symbolic step (Alg. 3) chooses ``b`` exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..grid.distribution import gather_tiles
+from ..grid.grid3d import ProcGrid3D
+from ..simmpi.engine import run_spmd
+from ..simmpi.tracker import CommTracker
+from ..sparse.matrix import BYTES_PER_NONZERO, SparseMatrix
+from ..utils.timing import StepTimes
+from .core import spmd_batched_summa3d
+from .result import SummaResult
+
+
+def batched_summa3d(
+    a: SparseMatrix,
+    b: SparseMatrix,
+    nprocs: int = 4,
+    layers: int = 1,
+    *,
+    batches: int | None = None,
+    memory_budget: int | None = None,
+    bytes_per_nonzero: int = BYTES_PER_NONZERO,
+    suite="esc",
+    semiring="plus_times",
+    keep_output: bool = True,
+    postprocess=None,
+    on_batch=None,
+    mask: SparseMatrix | None = None,
+    mask_complement: bool = False,
+    batch_scheme: str = "block-cyclic",
+    merge_policy: str = "deferred",
+    spill_dir=None,
+    tracker: CommTracker | None = None,
+    timeout: float = 120.0,
+) -> SummaResult:
+    """Multiply ``C = A @ B`` with the memory-constrained, communication-
+    avoiding BatchedSUMMA3D algorithm.
+
+    Parameters
+    ----------
+    a, b:
+        Global input matrices (``a.ncols == b.nrows``).  In a real
+        deployment these live pre-distributed; the simulation hands each
+        rank its tile.
+    nprocs:
+        Simulated process count ``p``; ``p / layers`` must be a perfect
+        square.
+    layers:
+        ``l``, the communication-avoiding replication factor.
+    batches:
+        Explicit ``b``.  ``None`` (default) lets the symbolic step compute
+        it from ``memory_budget``; with neither given, ``b = 1``.
+    memory_budget:
+        Aggregate memory ``M`` in bytes across all processes.
+    suite:
+        Kernel suite name (``"esc"``, ``"unsorted-hash"``, ``"sorted-heap"``,
+        ``"hybrid"``, ``"spa"``) or a :class:`~repro.sparse.KernelSuite`.
+    semiring:
+        Semiring name or instance (default ordinary arithmetic).
+    keep_output:
+        When False the product is discarded batch-by-batch (the paper's
+        memory-constrained usage); ``result.matrix`` is ``None``.
+    postprocess:
+        Distributed per-batch hook ``fn(batch, c0, c1, column_block) ->
+        SparseMatrix`` running inside the SPMD region (see
+        :func:`~repro.summa.core.spmd_batched_summa3d`).
+    on_batch:
+        Driver-side hook ``fn(batch, c0_c1_list, batch_matrix)`` called
+        after the run with each gathered batch, in batch order — the
+        "application consumes the batch" integration point.
+    mask:
+        Optional output mask of shape ``(a.nrows, b.ncols)``: only
+        coordinates present in the mask's pattern survive (GraphBLAS
+        ``mxm`` with a mask; with ``mask_complement=True``, only
+        coordinates *absent* from it).  Applied per batch inside the
+        distributed postprocess, so masked entries are discarded before
+        they accumulate — the triangle-counting usage (Sec. V-B).
+    batch_scheme:
+        ``"block-cyclic"`` (paper Fig. 1(i)) or ``"block"`` (contiguous
+        split; the Merge-Fiber load-imbalance ablation).
+    merge_policy:
+        ``"deferred"`` (Alg. 1 line 8, the paper's choice) or
+        ``"incremental"`` (merge each stage immediately: lower transient
+        memory, potentially more merge work — Sec. III-A).
+    spill_dir:
+        Directory to save each gathered batch to (``batch_<i>.npz``, the
+        paper's "saved to disk by the application" mode).  Implies the
+        batches are gathered; combine with ``keep_output=False`` for the
+        memory-constrained pattern.
+    tracker:
+        Optional communication meter shared with the caller.
+
+    Returns
+    -------
+    SummaResult
+    """
+    if a.ncols != b.nrows:
+        raise ShapeError(
+            f"cannot multiply {a.nrows}x{a.ncols} by {b.nrows}x{b.ncols}"
+        )
+    if batches is not None and batches < 1:
+        raise ShapeError(f"batches must be >= 1, got {batches}")
+    grid = ProcGrid3D(nprocs, layers)
+    if tracker is None:
+        tracker = CommTracker()
+
+    if mask is not None:
+        if mask.shape != (a.nrows, b.ncols):
+            raise ShapeError(
+                f"mask shape {mask.shape} != product shape {(a.nrows, b.ncols)}"
+            )
+        postprocess = _compose_mask(mask, mask_complement, postprocess)
+
+    per_rank = run_spmd(
+        nprocs,
+        spmd_batched_summa3d,
+        a,
+        b,
+        grid,
+        batches=batches,
+        memory_budget=memory_budget,
+        bytes_per_nonzero=bytes_per_nonzero,
+        suite=suite,
+        semiring=semiring,
+        keep_pieces=keep_output or on_batch is not None or spill_dir is not None,
+        postprocess=postprocess,
+        batch_scheme=batch_scheme,
+        merge_policy=merge_policy,
+        tracker=tracker,
+        timeout=timeout,
+    )
+
+    ran_batches = per_rank[0]["batches"]
+    per_rank_times = [r["times"] for r in per_rank]
+    step_times = StepTimes.critical_path(per_rank_times)
+    max_local_bytes = max(r["max_local_bytes"] for r in per_rank)
+    info = dict(per_rank[0]["info"])
+    info.update(
+        suite=str(getattr(suite, "name", suite)),
+        semiring=str(getattr(semiring, "name", semiring)),
+        layers=layers,
+        nprocs=nprocs,
+    )
+
+    info["fiber_piece_nnz"] = [r["fiber_piece_nnz"] for r in per_rank]
+    info["batch_scheme"] = batch_scheme
+    info["merge_policy"] = merge_policy
+
+    matrix = None
+    if keep_output or on_batch is not None or spill_dir is not None:
+        all_pieces = [
+            (r0, c0, tile)
+            for r in per_rank
+            for (_batch, r0, c0, tile) in r["pieces"]
+        ]
+        if on_batch is not None or spill_dir is not None:
+            for batch in range(ran_batches):
+                batch_pieces = [
+                    (r0, c0, tile)
+                    for r in per_rank
+                    for (bt, r0, c0, tile) in r["pieces"]
+                    if bt == batch
+                ]
+                batch_matrix = gather_tiles(a.nrows, b.ncols, batch_pieces)
+                spans = sorted({(c0, c0 + t.ncols) for _r0, c0, t in batch_pieces})
+                if spill_dir is not None:
+                    import os
+
+                    from ..sparse.io import save_matrix
+
+                    os.makedirs(spill_dir, exist_ok=True)
+                    save_matrix(
+                        os.path.join(spill_dir, f"batch_{batch}.npz"),
+                        batch_matrix,
+                    )
+                if on_batch is not None:
+                    on_batch(batch, spans, batch_matrix)
+        if keep_output:
+            matrix = gather_tiles(a.nrows, b.ncols, all_pieces)
+
+    return SummaResult(
+        matrix=matrix,
+        grid=grid,
+        batches=ran_batches,
+        step_times=step_times,
+        per_rank_times=per_rank_times,
+        tracker=tracker,
+        max_local_bytes=max_local_bytes,
+        info=info,
+    )
+
+
+def _compose_mask(mask: SparseMatrix, complement: bool, inner):
+    """Build a postprocess hook applying an output mask per column block,
+    composed before any user-provided hook."""
+    from ..sparse.ops import hadamard, submatrix
+
+    def hook(batch: int, c0: int, c1: int, block: SparseMatrix) -> SparseMatrix:
+        mask_block = submatrix(mask, 0, mask.nrows, c0, c1)
+        if complement:
+            from ..sparse.matrix import INDEX_DTYPE
+            from ..sparse.spgemm.masked import _mask_keys
+
+            keys = (
+                block.col_indices() * np.int64(max(block.nrows, 1))
+                + block.rowidx
+            )
+            mkeys = _mask_keys(mask_block)
+            pos = np.searchsorted(mkeys, keys)
+            pos = np.minimum(pos, max(mkeys.shape[0] - 1, 0))
+            inside = (
+                mkeys[pos] == keys
+                if mkeys.shape[0]
+                else np.zeros(keys.shape[0], bool)
+            )
+            keep = ~inside
+            csum = np.concatenate(([0], np.cumsum(keep, dtype=INDEX_DTYPE)))
+            block = SparseMatrix(
+                block.nrows, block.ncols, csum[block.indptr],
+                block.rowidx[keep], block.values[keep],
+                sorted_within_columns=block.sorted_within_columns,
+                validate=False,
+            )
+        else:
+            pattern = SparseMatrix(
+                mask_block.nrows, mask_block.ncols, mask_block.indptr,
+                mask_block.rowidx, np.ones(mask_block.nnz),
+                sorted_within_columns=mask_block.sorted_within_columns,
+                validate=False,
+            )
+            block = hadamard(block, pattern)
+        if inner is not None:
+            block = inner(batch, c0, c1, block)
+        return block
+
+    return hook
+
+
+def batched_summa3d_rows(
+    a: SparseMatrix,
+    b: SparseMatrix,
+    nprocs: int = 4,
+    layers: int = 1,
+    *,
+    batches: int | None = None,
+    memory_budget: int | None = None,
+    suite="esc",
+    semiring="plus_times",
+    keep_output: bool = True,
+    on_batch=None,
+    tracker: CommTracker | None = None,
+    timeout: float = 120.0,
+) -> SummaResult:
+    """Row-wise batched SpGEMM: each batch computes ``nrows / b`` *rows*
+    of ``C`` (paper Sec. IV-B).
+
+    Column batching re-broadcasts **A** once per batch, which is expensive
+    when ``nnz(A) >> nnz(B)``; batching over rows re-broadcasts **B**
+    instead.  Implemented through the transpose identity
+    ``C = (Bᵀ Aᵀ)ᵀ``: the column-batched algorithm runs on the transposed
+    operands, so inside the run the roles of the A- and B-Broadcast steps
+    are swapped (metered accordingly).  ``on_batch`` receives each batch
+    already transposed back — a row block of ``C``, with ``spans`` giving
+    its global *row* ranges.
+
+    Only ordinary arithmetic and other commutative-multiply semirings
+    preserve the identity; the multiply order is swapped by the transpose.
+    """
+    from ..sparse.ops import transpose
+
+    def transposed_hook(batch, spans, batch_matrix):
+        on_batch(batch, spans, transpose(batch_matrix))
+
+    result = batched_summa3d(
+        transpose(b),
+        transpose(a),
+        nprocs=nprocs,
+        layers=layers,
+        batches=batches,
+        memory_budget=memory_budget,
+        suite=suite,
+        semiring=semiring,
+        keep_output=keep_output,
+        on_batch=transposed_hook if on_batch is not None else None,
+        tracker=tracker,
+        timeout=timeout,
+    )
+    if result.matrix is not None:
+        result.matrix = transpose(result.matrix)
+    result.info["batch_axis"] = "rows"
+    return result

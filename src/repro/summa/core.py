@@ -1,0 +1,350 @@
+"""The SPMD body shared by SUMMA2D / SUMMA3D / BatchedSUMMA3D.
+
+One rank-program implements Alg. 4 of the paper (with Alg. 1 and Alg. 2 as
+inner structure); the public wrappers fix ``layers`` and ``batches`` to
+recover the simpler algorithms:
+
+=====================  ========  =========
+algorithm              layers    batches
+=====================  ========  =========
+SUMMA2D (Alg. 1)        1         1
+SUMMA3D (Alg. 2)        l         1
+BatchedSUMMA3D (Alg.4)  l         b (symbolic or given)
+=====================  ========  =========
+
+Step labels match the paper's breakdowns exactly: ``Symbolic``,
+``A-Broadcast``, ``B-Broadcast``, ``Local-Multiply``, ``Merge-Layer``,
+``AllToAll-Fiber``, ``Merge-Fiber`` — every figure in the evaluation
+section is a stack of these.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..errors import MemoryBudgetError
+from ..grid.distribution import (
+    batch_layer_blocks,
+    batch_local_columns,
+    c_tile_columns,
+    extract_a_tile,
+    extract_b_tile,
+    gather_tiles,
+)
+from ..grid.grid3d import GridComms, ProcGrid3D
+from ..simmpi.comm import SimComm
+from ..sparse.matrix import BYTES_PER_NONZERO, SparseMatrix
+from ..sparse.ops import col_select, col_slice, split_bounds, submatrix
+from ..sparse.semiring import get_semiring
+from ..sparse.spgemm.suite import get_suite
+from ..sparse.spgemm.symbolic import symbolic_nnz
+from ..utils.timing import StepTimes
+
+STEP_SYMBOLIC = "Symbolic"
+STEP_A_BCAST = "A-Broadcast"
+STEP_B_BCAST = "B-Broadcast"
+STEP_LOCAL_MULTIPLY = "Local-Multiply"
+STEP_MERGE_LAYER = "Merge-Layer"
+STEP_ALLTOALL_FIBER = "AllToAll-Fiber"
+STEP_MERGE_FIBER = "Merge-Fiber"
+STEP_POSTPROCESS = "Batch-Postprocess"
+
+ALL_STEPS = (
+    STEP_SYMBOLIC,
+    STEP_A_BCAST,
+    STEP_B_BCAST,
+    STEP_LOCAL_MULTIPLY,
+    STEP_MERGE_LAYER,
+    STEP_ALLTOALL_FIBER,
+    STEP_MERGE_FIBER,
+)
+
+
+class TileSource:
+    """An operand whose tiles are already distributed.
+
+    The SPMD core normally extracts each rank's tile from a global matrix
+    (the simulation stand-in for pre-distributed data).  A ``TileSource``
+    instead hands the core per-rank tiles directly — the mechanism behind
+    :class:`repro.dist.DistContext`, where matrices persist across
+    multiplications without re-extraction.
+    """
+
+    __slots__ = ("nrows", "ncols", "_getter")
+
+    def __init__(self, nrows: int, ncols: int, getter) -> None:
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self._getter = getter
+
+    def tile(self, rank: int) -> SparseMatrix:
+        return self._getter(rank)
+
+
+def _operand_tile(operand, grid: ProcGrid3D, rank: int, which: str) -> SparseMatrix:
+    if isinstance(operand, TileSource):
+        return operand.tile(rank)
+    if which == "A":
+        return extract_a_tile(operand, grid, rank)
+    return extract_b_tile(operand, grid, rank)
+
+
+class _MemoryMeter:
+    """Per-rank high-water memory accounting at r = 24 bytes/nonzero."""
+
+    __slots__ = ("base", "transient", "held", "high_water")
+
+    def __init__(self, base_bytes: int) -> None:
+        self.base = int(base_bytes)   # input tiles, live for the whole run
+        self.transient = 0            # stage partials / fiber pieces
+        self.held = 0                 # accumulated output pieces
+        self.high_water = int(base_bytes)
+
+    def snapshot(self) -> None:
+        total = self.base + self.transient + self.held
+        if total > self.high_water:
+            self.high_water = total
+
+
+def spmd_symbolic3d(
+    comms: GridComms,
+    a: SparseMatrix,
+    b: SparseMatrix,
+    memory_budget: int,
+    bytes_per_nonzero: int,
+    times: StepTimes,
+) -> dict:
+    """Alg. 3 as seen by one rank: returns the batch count and statistics.
+
+    ``memory_budget`` is the aggregate memory ``M`` over all processes;
+    Alg. 3 line 12 works with the per-process share ``M / p``.
+    """
+    grid = comms.grid
+    a_tile = _operand_tile(a, grid, comms.world.rank, "A")
+    b_tile = _operand_tile(b, grid, comms.world.rank, "B")
+    t0 = time.perf_counter()
+    local_unmerged_nnz = 0
+    with comms.world.step(STEP_SYMBOLIC):
+        for s in range(grid.stages):
+            a_recv = comms.row.bcast(a_tile, root=s)
+            b_recv = comms.col.bcast(b_tile, root=s)
+            # LocalSymbolic: nnz of this stage's (internally merged) product;
+            # summed over stages it is the unmerged storage of Alg. 1 line 7.
+            local_unmerged_nnz += symbolic_nnz(a_recv, b_recv)
+        max_nnz_c = comms.world.allreduce(local_unmerged_nnz, op="max")
+        max_nnz_a = comms.world.allreduce(a_tile.nnz, op="max")
+        max_nnz_b = comms.world.allreduce(b_tile.nnz, op="max")
+    times.add(STEP_SYMBOLIC, time.perf_counter() - t0)
+
+    r = bytes_per_nonzero
+    per_proc = memory_budget / grid.nprocs
+    denom = per_proc - r * (max_nnz_a + max_nnz_b)
+    if denom <= 0:
+        raise MemoryBudgetError(
+            f"inputs alone exceed the per-process budget: M/p = {per_proc:.0f} B "
+            f"<= r*(maxnnzA + maxnnzB) = {r * (max_nnz_a + max_nnz_b)} B"
+        )
+    batches = max(1, int(np.ceil(r * max_nnz_c / denom)))
+    batches = min(batches, max(1, b.ncols))
+    return {
+        "batches": batches,
+        "max_nnz_c": int(max_nnz_c),
+        "max_nnz_a": int(max_nnz_a),
+        "max_nnz_b": int(max_nnz_b),
+    }
+
+
+def spmd_batched_summa3d(
+    comm: SimComm,
+    a: SparseMatrix,
+    b: SparseMatrix,
+    grid: ProcGrid3D,
+    *,
+    batches: int | None,
+    memory_budget: int | None,
+    bytes_per_nonzero: int = BYTES_PER_NONZERO,
+    suite="esc",
+    semiring="plus_times",
+    keep_pieces: bool = True,
+    postprocess=None,
+    batch_scheme: str = "block-cyclic",
+    merge_policy: str = "deferred",
+) -> dict:
+    """Alg. 4 (BatchedSUMMA3D) as executed by one rank.
+
+    Parameters
+    ----------
+    comm:
+        This rank's world communicator (size must equal ``grid.nprocs``).
+    a, b:
+        The *global* input matrices; each rank extracts its own tile —
+        the simulation stand-in for data that is already distributed.
+    batches:
+        Batch count; ``None`` runs the symbolic step (requires
+        ``memory_budget``).
+    postprocess:
+        Optional ``fn(batch, col_start, col_stop, block) -> SparseMatrix``
+        applied per batch to the complete column block (all ``nrows``
+        rows), distributed along the process-column communicator.  This is
+        the hook HipMCL-style pruning uses (paper Sec. V-C).
+    batch_scheme:
+        ``"block-cyclic"`` (paper Fig. 1(i), balances Merge-Fiber) or
+        ``"block"`` (contiguous; the load-imbalance ablation).
+    merge_policy:
+        ``"deferred"`` merges all stage partials once per batch (the
+        paper's choice, Alg. 1 line 8); ``"incremental"`` folds each stage
+        into the running result immediately — lower transient memory, more
+        merge work in the worst case (Sec. III-A discussion).
+
+    Returns (per rank)
+    ------------------
+    dict with ``pieces`` (list of ``(batch, r0, c0, tile)``), ``times``,
+    ``batches``, ``max_local_bytes`` and symbolic statistics when run.
+    """
+    if merge_policy not in ("deferred", "incremental"):
+        raise ValueError(
+            f"unknown merge policy {merge_policy!r}; "
+            "expected 'deferred' or 'incremental'"
+        )
+    suite = get_suite(suite)
+    semiring = get_semiring(semiring)
+    comms = GridComms.build(comm, grid)
+    i, j, k = comms.i, comms.j, comms.k
+    times = StepTimes()
+    info: dict = {}
+
+    if batches is None:
+        if memory_budget is None:
+            batches = 1
+        else:
+            sym = spmd_symbolic3d(
+                comms, a, b, memory_budget, bytes_per_nonzero, times
+            )
+            batches = sym["batches"]
+            info["symbolic"] = sym
+
+    a_tile = _operand_tile(a, grid, comm.rank, "A")
+    b_tile = _operand_tile(b, grid, comm.rank, "B")
+    if suite.requires_sorted_inputs:
+        a_tile = a_tile.sort_indices()
+        b_tile = b_tile.sort_indices()
+    meter = _MemoryMeter(a_tile.nbytes + b_tile.nbytes)
+
+    # geometry shared by every batch
+    row_bounds = split_bounds(a.nrows, grid.pr)
+    r0 = int(row_bounds[i])
+    col_super = split_bounds(b.ncols, grid.pc)
+    super_w = int(col_super[j + 1]) - int(col_super[j])
+
+    # ColSplit of local B into b batches (Alg. 4 line 4)
+    pieces: list[tuple[int, int, int, SparseMatrix]] = []
+    fiber_piece_nnz: list[int] = []  # per-batch received fiber volume
+    for batch in range(batches):
+        local_cols = batch_local_columns(
+            super_w, batches, grid.layers, batch, batch_scheme
+        )
+        b_batch = col_select(b_tile, local_cols)
+
+        # ---- SUMMA2D within the layer (Alg. 1) ----
+        partials: list[SparseMatrix] = []
+        for s in range(grid.stages):
+            t0 = time.perf_counter()
+            with comms.row.step(STEP_A_BCAST):
+                a_recv = comms.row.bcast(a_tile, root=s)
+            times.add(STEP_A_BCAST, time.perf_counter() - t0)
+
+            t0 = time.perf_counter()
+            with comms.col.step(STEP_B_BCAST):
+                b_recv = comms.col.bcast(b_batch, root=s)
+            times.add(STEP_B_BCAST, time.perf_counter() - t0)
+
+            t0 = time.perf_counter()
+            stage_out = suite.local_multiply(a_recv, b_recv, semiring)
+            times.add(STEP_LOCAL_MULTIPLY, time.perf_counter() - t0)
+
+            if merge_policy == "incremental" and partials:
+                t0 = time.perf_counter()
+                partials = [suite.merge([partials[0], stage_out], semiring)]
+                times.add(STEP_MERGE_LAYER, time.perf_counter() - t0)
+            else:
+                partials.append(stage_out)
+
+            meter.transient = (
+                sum(p.nbytes for p in partials) + a_recv.nbytes + b_recv.nbytes
+            )
+            meter.snapshot()
+
+        t0 = time.perf_counter()
+        d_local = suite.merge(partials, semiring) if len(partials) > 1 else partials[0]
+        times.add(STEP_MERGE_LAYER, time.perf_counter() - t0)
+        partials = []
+        meter.transient = d_local.nbytes
+        meter.snapshot()
+
+        # ---- fiber exchange and merge (Alg. 2 lines 4-6) ----
+        if grid.layers > 1:
+            widths = [
+                e - s_ for s_, e in batch_layer_blocks(
+                    super_w, batches, grid.layers, batch, batch_scheme
+                )
+            ]
+            offsets = np.concatenate(([0], np.cumsum(widths)))
+            sendlist = [
+                col_slice(d_local, int(offsets[t]), int(offsets[t + 1]))
+                for t in range(grid.layers)
+            ]
+            t0 = time.perf_counter()
+            with comms.fiber.step(STEP_ALLTOALL_FIBER):
+                received = comms.fiber.alltoall(sendlist)
+            times.add(STEP_ALLTOALL_FIBER, time.perf_counter() - t0)
+            fiber_piece_nnz.append(sum(p.nnz for p in received))
+            meter.transient = d_local.nbytes + sum(p.nbytes for p in received)
+            meter.snapshot()
+
+            t0 = time.perf_counter()
+            c_tile = suite.merge(received, semiring) if len(received) > 1 else received[0]
+            # the final output is kept sorted within columns (Sec. IV-D)
+            c_tile = c_tile.sort_indices()
+            times.add(STEP_MERGE_FIBER, time.perf_counter() - t0)
+        else:
+            c_tile = d_local.sort_indices()
+        meter.transient = c_tile.nbytes
+        meter.snapshot()
+
+        c0, c1 = c_tile_columns(
+            grid, b.ncols, batches, batch, j, k, batch_scheme
+        )
+        assert c1 - c0 == c_tile.ncols
+
+        if postprocess is not None:
+            t0 = time.perf_counter()
+            with comms.col.step(STEP_POSTPROCESS):
+                gathered = comms.col.allgather(c_tile)
+            block = gather_tiles(
+                a.nrows,
+                c1 - c0,
+                (
+                    (int(row_bounds[ii]), 0, tile)
+                    for ii, tile in enumerate(gathered)
+                ),
+            )
+            block = postprocess(batch, c0, c1, block)
+            c_tile = submatrix(block, r0, int(row_bounds[i + 1]), 0, c1 - c0)
+            times.add(STEP_POSTPROCESS, time.perf_counter() - t0)
+
+        if keep_pieces:
+            pieces.append((batch, r0, c0, c_tile))
+            meter.held += c_tile.nbytes
+        meter.transient = 0
+        meter.snapshot()
+
+    return {
+        "pieces": pieces,
+        "times": times,
+        "batches": batches,
+        "max_local_bytes": meter.high_water,
+        "fiber_piece_nnz": fiber_piece_nnz,
+        "info": info,
+    }

@@ -1,0 +1,211 @@
+"""Batch-count bounds and layer selection (paper Sec. IV-A, contribution 3).
+
+The exact batch count requires the distributed symbolic step
+(:func:`~repro.summa.symbolic3d`), but cheap analytic bounds bracket it:
+
+* **lower bound** — assume perfect merging inside Local-Multiply, so the
+  unmerged intermediate is exactly ``nnz(C)`` (Eq. 2 with
+  ``mem(C) = r * nnz(C)``);
+* **upper bound** — assume no merging at all, so the intermediate is
+  ``flops`` nonzeros (the worst case of Eq. 1).
+
+The true per-process requirement sits between them (Eq. 1:
+``flops >= sum_k nnz(D^(k)) >= nnz(C)``); a test asserts
+``lower <= symbolic_b <= upper * slack`` where slack covers the
+max-vs-mean load imbalance Alg. 3 deliberately budgets for.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import PlannerError
+from ..sparse.matrix import BYTES_PER_NONZERO
+
+
+def _batches_bound(
+    intermediate_nnz: int,
+    nnz_a: int,
+    nnz_b: int,
+    memory_budget: int,
+    bytes_per_nonzero: int = BYTES_PER_NONZERO,
+) -> int:
+    r = bytes_per_nonzero
+    denom = memory_budget - r * (nnz_a + nnz_b)
+    if denom <= 0:
+        raise PlannerError(
+            f"memory budget {memory_budget} B cannot even hold the inputs "
+            f"({r * (nnz_a + nnz_b)} B)"
+        )
+    return max(1, math.ceil(r * intermediate_nnz / denom))
+
+
+def batches_lower_bound(
+    nnz_c: int,
+    nnz_a: int,
+    nnz_b: int,
+    memory_budget: int,
+    bytes_per_nonzero: int = BYTES_PER_NONZERO,
+) -> int:
+    """Eq. (2) with perfect intermediate compression (``mem(C) = r nnz(C)``)."""
+    return _batches_bound(nnz_c, nnz_a, nnz_b, memory_budget, bytes_per_nonzero)
+
+
+def batches_upper_bound(
+    flops: int,
+    nnz_a: int,
+    nnz_b: int,
+    memory_budget: int,
+    bytes_per_nonzero: int = BYTES_PER_NONZERO,
+) -> int:
+    """Eq. (2) with zero intermediate compression (``mem(C) = r flops``)."""
+    return _batches_bound(flops, nnz_a, nnz_b, memory_budget, bytes_per_nonzero)
+
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """Outcome of the joint (layers, batches) auto-tuner."""
+
+    layers: int
+    batches: int
+    predicted_seconds: float
+    candidates: tuple  # (layers, batches, predicted_seconds) per option
+
+
+def auto_config(
+    a,
+    b,
+    nprocs: int,
+    *,
+    memory_budget: int | None = None,
+    machine=None,
+    use_symbolic: bool = True,
+    bytes_per_nonzero: int = BYTES_PER_NONZERO,
+) -> PlanChoice:
+    """Choose layers and batches jointly for one multiplication.
+
+    For every valid layer count the batch requirement is computed — by the
+    *exact* distributed symbolic step when ``use_symbolic`` (the paper's
+    procedure), else by the analytic estimate — and the α–β model scores
+    the full per-step time.  The argmin is returned with the whole
+    candidate table for inspection.
+
+    This automates the paper's manual procedure ("we set l = 16 as it
+    usually gives the best result", Sec. V-D) and resolves its observed
+    tension: more layers cut broadcasts but can *increase* the batch count
+    (Fig. 10), so the two must be chosen together.
+    """
+    import math as _math
+
+    from ..model.machine import CORI_KNL
+    from ..model.predictor import estimate_batches, predict_steps
+    from ..sparse.spgemm.symbolic import symbolic_flops, symbolic_nnz
+
+    machine = machine if machine is not None else CORI_KNL
+    stats = dict(
+        nnz_a=a.nnz,
+        nnz_b=b.nnz,
+        nnz_c=symbolic_nnz(a, b),
+        flops=symbolic_flops(a, b),
+    )
+    candidates = []
+    for layers in range(1, nprocs + 1):
+        if nprocs % layers:
+            continue
+        if _math.isqrt(nprocs // layers) ** 2 != nprocs // layers:
+            continue
+        if memory_budget is None:
+            batches = 1
+        elif use_symbolic:
+            from .symbolic3d import symbolic3d
+
+            from ..errors import MemoryBudgetError, SpmdError
+
+            try:
+                batches = symbolic3d(
+                    a, b, nprocs=nprocs, layers=layers,
+                    memory_budget=memory_budget,
+                    bytes_per_nonzero=bytes_per_nonzero,
+                ).batches
+            except (MemoryBudgetError, SpmdError) as exc:
+                if isinstance(exc, SpmdError) and not all(
+                    isinstance(e, MemoryBudgetError)
+                    for e in exc.failures.values()
+                ):
+                    raise
+                # genuinely infeasible at this layer count: the per-process
+                # input maxima exceed the share (layering splits tiles
+                # thinner, so higher l can be feasible where l=1 is not)
+                continue
+        else:
+            try:
+                batches = estimate_batches(
+                    memory_budget=memory_budget,
+                    nprocs=nprocs,
+                    layers=layers,
+                    bytes_per_nonzero=bytes_per_nonzero,
+                    **stats,
+                )
+            except ValueError:
+                continue
+        predicted = predict_steps(
+            machine, nprocs=nprocs, layers=layers, batches=batches, **stats
+        ).total()
+        candidates.append((layers, batches, predicted))
+    if not candidates:
+        raise PlannerError(
+            f"no feasible (layers, batches) configuration for nprocs={nprocs} "
+            f"under budget {memory_budget}"
+        )
+    best = min(candidates, key=lambda c: c[2])
+    return PlanChoice(
+        layers=best[0],
+        batches=best[1],
+        predicted_seconds=best[2],
+        candidates=tuple(candidates),
+    )
+
+
+def recommend_layers(
+    nprocs: int,
+    *,
+    nnz_a: int,
+    nnz_b: int,
+    flops: int,
+    batches: int = 1,
+    machine=None,
+) -> int:
+    """Choose the layer count ``l`` minimising the modelled communication.
+
+    Candidates are the divisors ``l`` of ``nprocs`` with square ``p / l``;
+    the α–β cost of A-Broadcast + B-Broadcast + AllToAll-Fiber (Table II)
+    is evaluated for each and the argmin returned.  This encodes the
+    paper's observed tradeoff: broadcasts shrink like ``1/sqrt(l)`` while
+    the fiber all-to-all grows with ``l`` (Table VI), so the optimum is an
+    interior point that moves right as broadcasts dominate.
+    """
+    from ..model.machine import CORI_KNL
+    from ..model.complexity import total_comm_time
+
+    machine = machine if machine is not None else CORI_KNL
+    candidates = [
+        l for l in range(1, nprocs + 1)
+        if nprocs % l == 0 and math.isqrt(nprocs // l) ** 2 == nprocs // l
+    ]
+    if not candidates:
+        raise PlannerError(f"no valid layer counts for nprocs={nprocs}")
+    return min(
+        candidates,
+        key=lambda l: total_comm_time(
+            machine,
+            nprocs=nprocs,
+            layers=l,
+            batches=batches,
+            nnz_a=nnz_a,
+            nnz_b=nnz_b,
+            flops=flops,
+        ),
+    )

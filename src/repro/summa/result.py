@@ -1,0 +1,81 @@
+"""Result containers for the distributed algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..grid.grid3d import ProcGrid3D
+from ..simmpi.tracker import CommTracker
+from ..sparse.matrix import SparseMatrix
+from ..utils.timing import StepTimes
+
+
+@dataclass
+class SummaResult:
+    """Outcome of a distributed SpGEMM run.
+
+    Attributes
+    ----------
+    matrix:
+        The gathered global product, or ``None`` when the caller opted not
+        to keep it (memory-constrained usage where batches were consumed by
+        a callback).
+    grid:
+        The process grid the run used.
+    batches:
+        Number of batches executed (1 unless memory-constrained).
+    step_times:
+        Critical-path (max over ranks) seconds per algorithm step.
+    per_rank_times:
+        Per-rank step breakdowns, indexed by global rank.
+    tracker:
+        Communication meter with one event per collective.
+    max_local_bytes:
+        Highest simultaneous per-process memory (bytes, at r = 24 B/nonzero
+        accounting) any rank reached — the quantity the paper's batching
+        keeps under ``M / p``.
+    info:
+        Run metadata (kernel suite, semiring, symbolic statistics, ...).
+    """
+
+    matrix: SparseMatrix | None
+    grid: ProcGrid3D
+    batches: int
+    step_times: StepTimes
+    per_rank_times: list[StepTimes]
+    tracker: CommTracker
+    max_local_bytes: int
+    info: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        nnz = self.matrix.nnz if self.matrix is not None else "discarded"
+        return (
+            f"SummaResult(grid={self.grid!r}, batches={self.batches}, "
+            f"nnz(C)={nnz}, total_time={self.step_times.total():.4f}s)"
+        )
+
+
+@dataclass
+class SymbolicResult:
+    """Outcome of the distributed symbolic step (Alg. 3).
+
+    ``batches`` is the exact b of Alg. 3 line 12; the ``max_*`` fields are
+    the AllReduce-max quantities it is computed from.
+    """
+
+    batches: int
+    max_nnz_c: int
+    max_nnz_a: int
+    max_nnz_b: int
+    memory_budget: int
+    bytes_per_nonzero: int
+    grid: ProcGrid3D
+    step_times: StepTimes
+    tracker: CommTracker
+    info: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"SymbolicResult(b={self.batches}, maxnnzC={self.max_nnz_c}, "
+            f"grid={self.grid!r})"
+        )

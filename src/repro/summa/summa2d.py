@@ -1,0 +1,41 @@
+"""2D sparse SUMMA (paper Alg. 1) — the classic CombBLAS baseline.
+
+A thin specialisation of the batched driver with ``layers = 1`` and
+``batches = 1``: the stage structure, broadcasts and layer merge are
+identical; the fiber steps vanish.
+"""
+
+from __future__ import annotations
+
+from ..simmpi.tracker import CommTracker
+from ..sparse.matrix import SparseMatrix
+from .batched import batched_summa3d
+from .result import SummaResult
+
+
+def summa2d(
+    a: SparseMatrix,
+    b: SparseMatrix,
+    nprocs: int = 4,
+    *,
+    suite="esc",
+    semiring="plus_times",
+    tracker: CommTracker | None = None,
+    timeout: float = 120.0,
+) -> SummaResult:
+    """Multiply ``C = A @ B`` on a square 2D process grid.
+
+    ``nprocs`` must be a perfect square.  See :func:`batched_summa3d` for
+    parameter semantics.
+    """
+    return batched_summa3d(
+        a,
+        b,
+        nprocs=nprocs,
+        layers=1,
+        batches=1,
+        suite=suite,
+        semiring=semiring,
+        tracker=tracker,
+        timeout=timeout,
+    )

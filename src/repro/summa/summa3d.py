@@ -1,0 +1,42 @@
+"""3D sparse SUMMA (paper Alg. 2) — communication-avoiding, unbatched.
+
+``batched_summa3d`` with ``batches = 1``: per-layer SUMMA2D followed by
+the fiber ColSplit / AllToAll / Merge that assembles the final product
+from each layer's low-rank contribution.
+"""
+
+from __future__ import annotations
+
+from ..simmpi.tracker import CommTracker
+from ..sparse.matrix import SparseMatrix
+from .batched import batched_summa3d
+from .result import SummaResult
+
+
+def summa3d(
+    a: SparseMatrix,
+    b: SparseMatrix,
+    nprocs: int = 8,
+    layers: int = 2,
+    *,
+    suite="esc",
+    semiring="plus_times",
+    tracker: CommTracker | None = None,
+    timeout: float = 120.0,
+) -> SummaResult:
+    """Multiply ``C = A @ B`` on a ``sqrt(p/l) x sqrt(p/l) x l`` grid.
+
+    ``nprocs / layers`` must be a perfect square.  See
+    :func:`batched_summa3d` for parameter semantics.
+    """
+    return batched_summa3d(
+        a,
+        b,
+        nprocs=nprocs,
+        layers=layers,
+        batches=1,
+        suite=suite,
+        semiring=semiring,
+        tracker=tracker,
+        timeout=timeout,
+    )

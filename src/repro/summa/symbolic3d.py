@@ -1,0 +1,83 @@
+"""Distributed symbolic step driver (paper Alg. 3).
+
+Runs only the structure pass — broadcasts plus local symbolic multiplies —
+and returns the exact batch count ``b`` the given memory budget requires,
+along with the AllReduce-max statistics it is computed from.
+"""
+
+from __future__ import annotations
+
+from ..errors import ShapeError
+from ..grid.grid3d import GridComms, ProcGrid3D
+from ..simmpi.comm import SimComm
+from ..simmpi.engine import run_spmd
+from ..simmpi.tracker import CommTracker
+from ..sparse.matrix import BYTES_PER_NONZERO, SparseMatrix
+from ..utils.timing import StepTimes
+from .core import spmd_symbolic3d
+from .result import SymbolicResult
+
+
+def _spmd_symbolic(
+    comm: SimComm,
+    a: SparseMatrix,
+    b: SparseMatrix,
+    grid: ProcGrid3D,
+    memory_budget: int,
+    bytes_per_nonzero: int,
+) -> dict:
+    comms = GridComms.build(comm, grid)
+    times = StepTimes()
+    out = spmd_symbolic3d(comms, a, b, memory_budget, bytes_per_nonzero, times)
+    out["times"] = times
+    return out
+
+
+def symbolic3d(
+    a: SparseMatrix,
+    b: SparseMatrix,
+    nprocs: int = 4,
+    layers: int = 1,
+    *,
+    memory_budget: int,
+    bytes_per_nonzero: int = BYTES_PER_NONZERO,
+    tracker: CommTracker | None = None,
+    timeout: float = 120.0,
+) -> SymbolicResult:
+    """Compute the exact number of batches a memory budget requires.
+
+    ``memory_budget`` is the aggregate memory ``M`` in bytes across all
+    ``nprocs`` processes.  Raises
+    :class:`~repro.errors.MemoryBudgetError` when even the inputs do not
+    fit (no batch count can help, Sec. II-B).
+    """
+    if a.ncols != b.nrows:
+        raise ShapeError(
+            f"cannot multiply {a.nrows}x{a.ncols} by {b.nrows}x{b.ncols}"
+        )
+    grid = ProcGrid3D(nprocs, layers)
+    if tracker is None:
+        tracker = CommTracker()
+    per_rank = run_spmd(
+        nprocs,
+        _spmd_symbolic,
+        a,
+        b,
+        grid,
+        memory_budget,
+        bytes_per_nonzero,
+        tracker=tracker,
+        timeout=timeout,
+    )
+    first = per_rank[0]
+    return SymbolicResult(
+        batches=first["batches"],
+        max_nnz_c=first["max_nnz_c"],
+        max_nnz_a=first["max_nnz_a"],
+        max_nnz_b=first["max_nnz_b"],
+        memory_budget=memory_budget,
+        bytes_per_nonzero=bytes_per_nonzero,
+        grid=grid,
+        step_times=StepTimes.critical_path(r["times"] for r in per_rank),
+        tracker=tracker,
+    )

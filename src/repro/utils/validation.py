@@ -1,0 +1,55 @@
+"""Argument validation helpers shared across the library.
+
+These raise plain ``ValueError``/``TypeError`` (not library errors): they
+guard *caller* mistakes at the public API boundary, whereas
+:mod:`repro.errors` classes describe *domain* failures.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def check_positive(name: str, value) -> int:
+    """Require ``value`` to be a positive integer; return it as ``int``."""
+    iv = _as_int(name, value)
+    if iv <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return iv
+
+
+def check_nonnegative(name: str, value) -> int:
+    """Require ``value`` to be a non-negative integer; return it as ``int``."""
+    iv = _as_int(name, value)
+    if iv < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return iv
+
+
+def check_index(name: str, value, size: int) -> int:
+    """Require ``0 <= value < size``; return it as ``int``."""
+    iv = _as_int(name, value)
+    if not 0 <= iv < size:
+        raise ValueError(f"{name} must be in [0, {size}), got {value!r}")
+    return iv
+
+
+def check_power_of(name: str, value, base: int) -> int:
+    """Require ``value`` to be an exact power of ``base`` (>= 1)."""
+    iv = check_positive(name, value)
+    k = round(math.log(iv, base))
+    if base**k != iv:
+        raise ValueError(f"{name} must be a power of {base}, got {value!r}")
+    return iv
+
+
+def _as_int(name: str, value) -> int:
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got bool")
+    try:
+        iv = int(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be an integer, got {value!r}") from exc
+    if iv != value:
+        raise ValueError(f"{name} must be integral, got {value!r}")
+    return iv

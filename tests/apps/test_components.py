@@ -1,0 +1,71 @@
+"""Tests for connected components via semiring closure."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps import connected_components
+from repro.data import erdos_renyi, planted_partition
+from repro.sparse import SparseMatrix, from_edges, random_sparse
+
+
+def _nx_components(adj):
+    g = nx.Graph()
+    g.add_nodes_from(range(adj.nrows))
+    rows, cols, _ = adj.to_coo()
+    g.add_edges_from((int(r), int(c)) for r, c in zip(rows, cols) if r < c)
+    return list(nx.connected_components(g))
+
+
+def _assert_matches(adj, labels):
+    comps = _nx_components(adj)
+    assert len(set(labels.tolist())) == len(comps)
+    for comp in comps:
+        assert len({labels[v] for v in comp}) == 1
+
+
+class TestConnectedComponents:
+    def test_planted_islands(self):
+        adj, _ = planted_partition(50, 4, p_in=0.6, p_out=0.0, seed=261)
+        _assert_matches(adj, connected_components(adj, nprocs=4))
+
+    @pytest.mark.parametrize("seed", [262, 263])
+    def test_sparse_random_graph(self, seed):
+        adj = erdos_renyi(60, avg_degree=1.2, seed=seed)  # fragmented
+        _assert_matches(adj, connected_components(adj, nprocs=4))
+
+    def test_fully_connected(self):
+        adj = erdos_renyi(40, avg_degree=10, seed=264)
+        labels = connected_components(adj, nprocs=4)
+        if len(_nx_components(adj)) == 1:
+            assert len(set(labels.tolist())) == 1
+
+    def test_no_edges_all_singletons(self):
+        adj = SparseMatrix.empty(12, 12)
+        labels = connected_components(adj, nprocs=1)
+        assert len(set(labels.tolist())) == 12
+
+    def test_single_path(self):
+        adj = from_edges(6, 6, [[i, i + 1] for i in range(5)], symmetric=True)
+        labels = connected_components(adj, nprocs=1)
+        assert len(set(labels.tolist())) == 1
+
+    def test_labels_contiguous_and_deterministic(self):
+        adj = erdos_renyi(40, avg_degree=1.0, seed=265)
+        l1 = connected_components(adj, nprocs=4)
+        l2 = connected_components(adj, nprocs=1)
+        assert np.array_equal(l1, l2)
+        assert sorted(set(l1.tolist())) == list(range(len(set(l1.tolist()))))
+
+    def test_memory_budget_variant(self):
+        adj, _ = planted_partition(48, 3, p_in=0.6, p_out=0.0, seed=266)
+        budget = 60 * adj.nnz * 24
+        labels = connected_components(adj, nprocs=4, memory_budget=budget)
+        _assert_matches(adj, labels)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            connected_components(random_sparse(3, 4, nnz=2, seed=0))
+
+    def test_empty_graph(self):
+        assert connected_components(SparseMatrix.empty(0, 0)).shape == (0,)

@@ -1,0 +1,81 @@
+"""Tests for the distributed Jaccard similarity application."""
+
+import numpy as np
+import pytest
+
+from repro.apps import jaccard_similarity
+from repro.data import kmer_matrix
+from repro.sparse import from_dense
+from repro.sparse.matrix import BYTES_PER_NONZERO
+
+
+def _brute(km, threshold):
+    d = (km.to_dense() != 0).astype(float)
+    s = d @ d.T
+    deg = d.sum(axis=1)
+    out = {}
+    n = km.nrows
+    for i in range(n):
+        for j in range(i + 1, n):
+            union = deg[i] + deg[j] - s[i, j]
+            if union > 0 and s[i, j] / union >= threshold:
+                out[(i, j)] = s[i, j] / union
+    return out
+
+
+class TestJaccard:
+    @pytest.mark.parametrize("threshold", [0.1, 0.3, 0.7])
+    def test_matches_brute_force(self, threshold):
+        km = kmer_matrix(45, 180, kmers_per_seq=12, seed=91)
+        res = jaccard_similarity(km, threshold=threshold, nprocs=4)
+        brute = _brute(km, threshold)
+        got = res.as_dict()
+        assert set(got) == set(brute)
+        for k, v in brute.items():
+            assert got[k] == pytest.approx(v)
+
+    def test_identical_rows_have_similarity_one(self):
+        m = from_dense(np.array([
+            [1, 1, 0, 1],
+            [1, 1, 0, 1],
+            [0, 0, 1, 0],
+        ], dtype=float))
+        res = jaccard_similarity(m, threshold=0.99, nprocs=1)
+        assert res.as_dict() == {(0, 1): 1.0}
+
+    def test_disjoint_rows_no_pairs(self):
+        m = from_dense(np.eye(5))
+        res = jaccard_similarity(m, threshold=0.01, nprocs=1)
+        assert res.count == 0
+        assert res.pairs.shape == (0, 3)
+
+    def test_weights_ignored(self):
+        km = kmer_matrix(30, 100, kmers_per_seq=8, seed=92)
+        weighted = from_dense(km.to_dense() * 7.5)
+        a = jaccard_similarity(km, threshold=0.2, nprocs=1)
+        b = jaccard_similarity(weighted, threshold=0.2, nprocs=1)
+        assert a.as_dict() == b.as_dict()
+
+    def test_batched_same_result(self):
+        km = kmer_matrix(40, 150, kmers_per_seq=10, seed=93)
+        base = jaccard_similarity(km, threshold=0.15, nprocs=4)
+        budget = 25 * km.nnz * BYTES_PER_NONZERO
+        tight = jaccard_similarity(
+            km, threshold=0.15, nprocs=4, memory_budget=budget
+        )
+        assert base.as_dict() == tight.as_dict()
+
+    def test_invalid_threshold(self):
+        km = kmer_matrix(10, 30, kmers_per_seq=4, seed=94)
+        with pytest.raises(ValueError):
+            jaccard_similarity(km, threshold=0.0)
+        with pytest.raises(ValueError):
+            jaccard_similarity(km, threshold=1.5)
+
+    def test_pairs_sorted_and_upper_triangular(self):
+        km = kmer_matrix(35, 120, kmers_per_seq=10, seed=95)
+        res = jaccard_similarity(km, threshold=0.1, nprocs=4)
+        if res.count:
+            keys = [(int(i), int(j)) for i, j, _s in res.pairs]
+            assert keys == sorted(keys)
+            assert all(i < j for i, j in keys)

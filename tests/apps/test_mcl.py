@@ -1,0 +1,166 @@
+"""Tests for the Markov clustering application."""
+
+import numpy as np
+import pytest
+
+from repro.apps import markov_cluster
+from repro.apps.mcl import _chaos, _column_normalise
+from repro.data import planted_partition
+from repro.sparse import eye, from_dense, random_sparse
+from repro.sparse.matrix import BYTES_PER_NONZERO
+from repro.sparse.ops import column_sums
+
+
+class TestHelpers:
+    def test_column_normalise(self):
+        m = random_sparse(10, 10, nnz=40, seed=1)
+        n = _column_normalise(m)
+        sums = column_sums(n)
+        nonempty = np.diff(n.indptr) > 0
+        assert np.allclose(sums[nonempty], 1.0)
+
+    def test_chaos_zero_on_idempotent(self):
+        # a permutation-like stochastic matrix with one 1.0 per column
+        assert _chaos(eye(5)) == pytest.approx(0.0)
+
+    def test_chaos_positive_on_unconverged(self):
+        m = from_dense(np.array([[0.6], [0.4]]))
+        assert _chaos(m) == pytest.approx(0.6 - (0.36 + 0.16))
+
+
+class TestClustering:
+    def test_recovers_planted_partition(self):
+        adj, truth = planted_partition(80, 4, p_in=0.6, p_out=0.01, seed=10)
+        res = markov_cluster(adj, nprocs=4, max_iterations=30)
+        assert res.converged
+        assert res.n_clusters == 4
+        # perfect agreement up to label permutation
+        for c in range(4):
+            members = np.flatnonzero(truth == c)
+            assert len(set(res.labels[members].tolist())) == 1
+
+    def test_disconnected_components_separate(self):
+        adj, _ = planted_partition(30, 3, p_in=0.8, p_out=0.0, seed=11)
+        res = markov_cluster(adj, nprocs=1, max_iterations=30)
+        assert res.n_clusters == 3
+
+    def test_single_clique_single_cluster(self):
+        adj = from_dense(np.ones((12, 12)))
+        res = markov_cluster(adj, nprocs=1, max_iterations=20)
+        assert res.n_clusters == 1
+
+    def test_labels_contiguous(self):
+        adj, _ = planted_partition(40, 4, p_in=0.7, p_out=0.02, seed=12)
+        res = markov_cluster(adj, nprocs=4, max_iterations=30)
+        assert sorted(set(res.labels.tolist())) == list(range(res.n_clusters))
+
+    def test_clusters_method_partitions_vertices(self):
+        adj, _ = planted_partition(40, 4, p_in=0.7, p_out=0.02, seed=13)
+        res = markov_cluster(adj, nprocs=4, max_iterations=30)
+        all_vertices = np.sort(np.concatenate(res.clusters()))
+        assert np.array_equal(all_vertices, np.arange(40))
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            markov_cluster(random_sparse(4, 5, nnz=4, seed=0))
+
+    def test_adds_missing_self_loops(self):
+        # adjacency without diagonal still clusters
+        adj = from_dense(np.array([
+            [0, 1, 0, 0],
+            [1, 0, 0, 0],
+            [0, 0, 0, 1],
+            [0, 0, 1, 0],
+        ], dtype=float))
+        res = markov_cluster(adj, nprocs=1, max_iterations=20)
+        assert res.n_clusters == 2
+        assert res.labels[0] == res.labels[1]
+        assert res.labels[2] == res.labels[3]
+
+
+class TestBatchedClustering:
+    def test_memory_budget_forces_batches(self):
+        adj, truth = planted_partition(60, 3, p_in=0.7, p_out=0.02, seed=14)
+        # budget sized to a small multiple of the input: forces b > 1 in
+        # the expensive early iterations
+        budget = 12 * adj.nnz * BYTES_PER_NONZERO
+        res = markov_cluster(
+            adj, nprocs=4, layers=1, memory_budget=budget, max_iterations=30
+        )
+        assert any(it.batches > 1 for it in res.iterations)
+        assert res.n_clusters == 3
+
+    def test_batched_equals_unbatched_clusters(self):
+        adj, _ = planted_partition(60, 3, p_in=0.7, p_out=0.02, seed=15)
+        res_a = markov_cluster(adj, nprocs=4, max_iterations=30)
+        budget = 12 * adj.nnz * BYTES_PER_NONZERO
+        res_b = markov_cluster(
+            adj, nprocs=4, memory_budget=budget, max_iterations=30
+        )
+        # same partition up to relabelling
+        mapping = {}
+        for la, lb in zip(res_a.labels.tolist(), res_b.labels.tolist()):
+            assert mapping.setdefault(la, lb) == lb
+
+    def test_iteration_stats_recorded(self):
+        adj, _ = planted_partition(40, 2, p_in=0.7, p_out=0.02, seed=16)
+        res = markov_cluster(adj, nprocs=4, max_iterations=15)
+        assert len(res.iterations) >= 1
+        first = res.iterations[0]
+        assert first.batches >= 1
+        assert first.nnz > 0
+        assert first.step_times.total() > 0
+
+    def test_layers_do_not_change_result(self):
+        adj, _ = planted_partition(48, 4, p_in=0.7, p_out=0.02, seed=17)
+        r1 = markov_cluster(adj, nprocs=4, layers=1, max_iterations=25)
+        r4 = markov_cluster(adj, nprocs=4, layers=4, max_iterations=25)
+        mapping = {}
+        for la, lb in zip(r1.labels.tolist(), r4.labels.tolist()):
+            assert mapping.setdefault(la, lb) == lb
+
+
+class TestResidentMCL:
+    def test_matches_broadcast_variant(self):
+        from repro.apps import markov_cluster_resident
+
+        adj, _ = planted_partition(60, 4, p_in=0.65, p_out=0.02, seed=211)
+        std = markov_cluster(adj, nprocs=4, max_iterations=30)
+        res = markov_cluster_resident(adj, nprocs=4, max_iterations=30)
+        assert res.converged == std.converged
+        mapping = {}
+        for la, lb in zip(std.labels.tolist(), res.labels.tolist()):
+            assert mapping.setdefault(la, lb) == lb
+
+    def test_resident_with_memory_budget(self):
+        from repro.apps import markov_cluster_resident
+        from repro.sparse.matrix import BYTES_PER_NONZERO
+
+        adj, truth = planted_partition(60, 3, p_in=0.7, p_out=0.02, seed=212)
+        res = markov_cluster_resident(
+            adj, nprocs=4,
+            memory_budget=14 * adj.nnz * BYTES_PER_NONZERO,
+            max_iterations=30, keep_per_column=24,
+        )
+        assert res.n_clusters == 3
+        assert any(it.batches >= 1 for it in res.iterations)
+
+    def test_resident_on_layered_grid(self):
+        from repro.apps import markov_cluster_resident
+
+        adj, _ = planted_partition(48, 4, p_in=0.7, p_out=0.02, seed=213)
+        r1 = markov_cluster_resident(adj, nprocs=4, layers=1,
+                                     max_iterations=25)
+        r4 = markov_cluster_resident(adj, nprocs=4, layers=4,
+                                     max_iterations=25)
+        mapping = {}
+        for la, lb in zip(r1.labels.tolist(), r4.labels.tolist()):
+            assert mapping.setdefault(la, lb) == lb
+
+    def test_chaos_recorded_distributed(self):
+        from repro.apps import markov_cluster_resident
+
+        adj, _ = planted_partition(40, 2, p_in=0.7, p_out=0.02, seed=214)
+        res = markov_cluster_resident(adj, nprocs=4, max_iterations=15)
+        assert res.iterations[0].chaos > 0
+        assert res.iterations[-1].chaos < 1e-3  # converged

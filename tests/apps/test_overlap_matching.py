@@ -1,0 +1,113 @@
+"""Tests for sequence overlap detection and heavy-connectivity matching."""
+
+import numpy as np
+import pytest
+
+from repro.apps import find_overlaps, heavy_connectivity_matching
+from repro.data import kmer_matrix
+from repro.sparse import SparseMatrix, from_dense
+from repro.sparse.matrix import BYTES_PER_NONZERO
+
+
+def _brute_pairs(km, min_shared):
+    d = km.to_dense()
+    s = d @ d.T
+    n = km.nrows
+    return {
+        (i, j): int(s[i, j])
+        for i in range(n)
+        for j in range(i + 1, n)
+        if s[i, j] >= min_shared
+    }
+
+
+class TestFindOverlaps:
+    @pytest.mark.parametrize("min_shared", [1, 2, 4])
+    def test_matches_brute_force(self, min_shared):
+        km = kmer_matrix(50, 250, kmers_per_seq=10, seed=1)
+        got = find_overlaps(km, min_shared=min_shared, nprocs=4)
+        expected = _brute_pairs(km, min_shared)
+        assert got.as_set() == set(expected)
+        for i, j, shared in got.pairs:
+            assert expected[(int(i), int(j))] == int(shared)
+
+    def test_batched_same_result(self):
+        km = kmer_matrix(50, 250, kmers_per_seq=10, seed=2)
+        base = find_overlaps(km, min_shared=2, nprocs=4)
+        budget = 30 * km.nnz * BYTES_PER_NONZERO
+        batched = find_overlaps(
+            km, min_shared=2, nprocs=4, memory_budget=budget
+        )
+        assert batched.as_set() == base.as_set()
+        assert batched.batches >= 1
+
+    def test_3d_same_result(self):
+        km = kmer_matrix(40, 200, kmers_per_seq=8, seed=3)
+        base = find_overlaps(km, min_shared=2, nprocs=1)
+        threed = find_overlaps(km, min_shared=2, nprocs=8, layers=2)
+        assert threed.as_set() == base.as_set()
+
+    def test_no_overlaps(self):
+        # each sequence uses its own private k-mer
+        km = from_dense(np.eye(6))
+        got = find_overlaps(km, min_shared=1, nprocs=1)
+        assert got.count == 0
+        assert got.pairs.shape == (0, 3)
+
+    def test_pairs_sorted(self):
+        km = kmer_matrix(30, 50, kmers_per_seq=6, seed=4)
+        got = find_overlaps(km, min_shared=1, nprocs=4)
+        if got.count > 1:
+            keys = [tuple(p[:2]) for p in got.pairs.tolist()]
+            assert keys == sorted(keys)
+
+    def test_diagonal_excluded(self):
+        km = kmer_matrix(20, 40, kmers_per_seq=6, seed=5)
+        got = find_overlaps(km, min_shared=1, nprocs=1)
+        assert all(i < j for i, j, _ in got.pairs)
+
+
+class TestMatching:
+    def test_symmetric_involution(self):
+        inc = kmer_matrix(30, 80, kmers_per_seq=8, seed=6)
+        m = heavy_connectivity_matching(inc, nprocs=4)
+        for v in range(30):
+            if m[v] >= 0:
+                assert m[m[v]] == v
+                assert m[v] != v
+
+    def test_two_obvious_pairs(self):
+        # vertices 0-1 share 3 nets, 2-3 share 2 nets, nothing else
+        inc = from_dense(np.array([
+            [1, 1, 1, 0, 0],
+            [1, 1, 1, 0, 0],
+            [0, 0, 0, 1, 1],
+            [0, 0, 0, 1, 1],
+        ], dtype=float))
+        m = heavy_connectivity_matching(inc, nprocs=1)
+        assert m[0] == 1 and m[1] == 0
+        assert m[2] == 3 and m[3] == 2
+
+    def test_min_weight_filters(self):
+        inc = from_dense(np.array([
+            [1, 1, 0],
+            [1, 0, 0],
+        ], dtype=float))  # pair (0,1) shares exactly 1 net
+        m1 = heavy_connectivity_matching(inc, nprocs=1, min_weight=1.0)
+        m2 = heavy_connectivity_matching(inc, nprocs=1, min_weight=2.0)
+        assert m1[0] == 1
+        assert m2[0] == -1
+
+    def test_batched_matching_valid(self):
+        inc = kmer_matrix(40, 120, kmers_per_seq=8, seed=7)
+        budget = 20 * inc.nnz * BYTES_PER_NONZERO
+        m = heavy_connectivity_matching(
+            inc, nprocs=4, memory_budget=budget
+        )
+        for v in range(40):
+            if m[v] >= 0:
+                assert m[m[v]] == v
+
+    def test_empty_incidence(self):
+        m = heavy_connectivity_matching(SparseMatrix.empty(5, 5), nprocs=1)
+        assert np.all(m == -1)

@@ -1,0 +1,99 @@
+"""Triangle counting / clustering coefficients vs networkx oracle."""
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.apps import clustering_coefficients, count_triangles
+from repro.data import erdos_renyi, rmat
+from repro.sparse import SparseMatrix, from_dense, from_edges
+
+
+def _to_nx(a):
+    g = nx.Graph()
+    g.add_nodes_from(range(a.nrows))
+    rows, cols, _ = a.to_coo()
+    g.add_edges_from(
+        (int(r), int(c)) for r, c in zip(rows, cols) if r < c
+    )
+    return g
+
+
+class TestCountTriangles:
+    def test_single_triangle(self):
+        a = from_edges(3, 3, [[0, 1], [1, 2], [0, 2]], symmetric=True)
+        assert count_triangles(a, nprocs=1) == 1
+
+    def test_square_no_triangle(self):
+        a = from_edges(4, 4, [[0, 1], [1, 2], [2, 3], [3, 0]], symmetric=True)
+        assert count_triangles(a, nprocs=1) == 0
+
+    def test_complete_graph(self):
+        n = 8
+        a = from_dense(np.ones((n, n)) - np.eye(n))
+        assert count_triangles(a, nprocs=4) == n * (n - 1) * (n - 2) // 6
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_vs_networkx(self, seed):
+        a = erdos_renyi(90, avg_degree=9, seed=seed)
+        expected = sum(nx.triangles(_to_nx(a)).values()) // 3
+        assert count_triangles(a, nprocs=4) == expected
+
+    def test_rmat_vs_networkx(self):
+        a = rmat(7, edge_factor=5, seed=4)
+        expected = sum(nx.triangles(_to_nx(a)).values()) // 3
+        assert count_triangles(a, nprocs=4, layers=1) == expected
+
+    def test_self_loops_ignored(self):
+        a = from_edges(
+            3, 3, [[0, 1], [1, 2], [0, 2], [0, 0], [1, 1]], symmetric=True
+        )
+        assert count_triangles(a, nprocs=1) == 1
+
+    def test_weights_ignored(self):
+        a = from_edges(
+            3, 3, [[0, 1], [1, 2], [0, 2]], values=[9.0, 0.5, 3.3],
+            symmetric=True,
+        )
+        assert count_triangles(a, nprocs=1) == 1
+
+    def test_3d_grid_same_count(self):
+        a = erdos_renyi(60, avg_degree=8, seed=5)
+        assert count_triangles(a, nprocs=8, layers=2) == count_triangles(a, nprocs=1)
+
+    def test_batched_same_count(self):
+        a = erdos_renyi(60, avg_degree=8, seed=6)
+        t_ref = count_triangles(a, nprocs=1)
+        t_budget = count_triangles(
+            a, nprocs=4, memory_budget=40 * a.nnz * 24
+        )
+        assert t_budget == t_ref
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            count_triangles(SparseMatrix.empty(3, 4), nprocs=1)
+
+    def test_empty_graph(self):
+        assert count_triangles(SparseMatrix.empty(5, 5), nprocs=1) == 0
+
+
+class TestClusteringCoefficients:
+    @pytest.mark.parametrize("seed", [7, 8])
+    def test_vs_networkx(self, seed):
+        a = erdos_renyi(70, avg_degree=8, seed=seed)
+        expected = nx.clustering(_to_nx(a))
+        got = clustering_coefficients(a, nprocs=4)
+        assert np.allclose(got, [expected[i] for i in range(70)])
+
+    def test_triangle_graph_all_one(self):
+        a = from_edges(3, 3, [[0, 1], [1, 2], [0, 2]], symmetric=True)
+        assert np.allclose(clustering_coefficients(a, nprocs=1), 1.0)
+
+    def test_star_graph_zero(self):
+        a = from_edges(5, 5, [[0, i] for i in range(1, 5)], symmetric=True)
+        assert np.allclose(clustering_coefficients(a, nprocs=1), 0.0)
+
+    def test_isolated_vertices_zero(self):
+        a = from_edges(6, 6, [[0, 1]], symmetric=True)
+        cc = clustering_coefficients(a, nprocs=1)
+        assert np.allclose(cc, 0.0)

@@ -1,0 +1,144 @@
+"""Tests for the 3D distribution index arithmetic (paper Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DistributionError
+from repro.grid import ProcGrid3D
+from repro.grid.distribution import (
+    a_tile_range,
+    b_tile_range,
+    batch_layer_blocks,
+    batch_local_columns,
+    c_tile_columns,
+    extract_a_tile,
+    extract_b_tile,
+    gather_tiles,
+    nested_slice,
+)
+from repro.sparse import SparseMatrix, random_sparse
+from repro.sparse.ops import split_bounds
+
+
+class TestNestedSlice:
+    def test_divisible(self):
+        # 12 cols, 2 super-blocks, 3 slices: super 1 slice 0 = [6, 8)
+        assert nested_slice(12, 2, 1, 3, 0) == (6, 8)
+
+    def test_non_divisible(self):
+        # 10 into 3 super-blocks: [0,4) [4,7) [7,10); block 0 into 2: [0,2) [2,4)
+        assert nested_slice(10, 3, 0, 2, 1) == (2, 4)
+
+    def test_covers_dimension(self):
+        n, outer, inner = 23, 3, 4
+        spans = [
+            nested_slice(n, outer, j, inner, k)
+            for j in range(outer)
+            for k in range(inner)
+        ]
+        covered = sorted(spans)
+        assert covered[0][0] == 0 and covered[-1][1] == n
+        for (s0, e0), (s1, _e1) in zip(covered, covered[1:]):
+            assert e0 == s1
+
+
+@pytest.mark.parametrize("nprocs,layers", [(1, 1), (4, 1), (8, 2), (16, 4), (4, 4)])
+class TestTileCoverage:
+    def test_a_tiles_partition(self, nprocs, layers):
+        grid = ProcGrid3D(nprocs, layers)
+        a = random_sparse(37, 41, nnz=300, seed=1)
+        total = 0
+        seen = set()
+        for rank in range(nprocs):
+            tile = extract_a_tile(a, grid, rank)
+            total += tile.nnz
+            i, j, k = grid.coords(rank)
+            r0, r1, c0, c1 = a_tile_range(grid, 37, 41, i, j, k)
+            assert tile.shape == (r1 - r0, c1 - c0)
+            seen.add((r0, r1, c0, c1))
+        assert total == a.nnz
+        assert len(seen) == nprocs
+
+    def test_b_tiles_partition(self, nprocs, layers):
+        grid = ProcGrid3D(nprocs, layers)
+        b = random_sparse(41, 29, nnz=250, seed=2)
+        total = sum(
+            extract_b_tile(b, grid, rank).nnz for rank in range(nprocs)
+        )
+        assert total == b.nnz
+
+    def test_gather_reconstructs_a(self, nprocs, layers):
+        grid = ProcGrid3D(nprocs, layers)
+        a = random_sparse(37, 41, nnz=300, seed=3)
+        pieces = []
+        for rank in range(nprocs):
+            i, j, k = grid.coords(rank)
+            r0, _r1, c0, _c1 = a_tile_range(grid, 37, 41, i, j, k)
+            pieces.append((r0, c0, extract_a_tile(a, grid, rank)))
+        assert gather_tiles(37, 41, pieces).allclose(a)
+
+    def test_inner_dimension_alignment(self, nprocs, layers):
+        """A's stage-s column block must equal B's stage-s row block."""
+        grid = ProcGrid3D(nprocs, layers)
+        n = 33
+        for k in range(layers):
+            for s in range(grid.stages):
+                _r0, _r1, ac0, ac1 = a_tile_range(grid, n, n, 0, s, k)
+                br0, br1, _c0, _c1 = b_tile_range(grid, n, n, s, 0, k)
+                assert (ac0, ac1) == (br0, br1)
+
+
+class TestBatchBlocks:
+    def test_blocks_cover_batches(self):
+        width, b, l = 29, 3, 4
+        cols = np.concatenate(
+            [batch_local_columns(width, b, l, batch) for batch in range(b)]
+        )
+        assert np.array_equal(np.sort(cols), np.arange(width))
+
+    def test_block_cyclic_structure(self):
+        # width 12, 2 batches, 3 layers: bounds at multiples of 2
+        blocks = batch_layer_blocks(12, 2, 3, 0)
+        assert blocks == [(0, 2), (4, 6), (8, 10)]
+        blocks = batch_layer_blocks(12, 2, 3, 1)
+        assert blocks == [(2, 4), (6, 8), (10, 12)]
+
+    def test_single_batch_is_layer_slices(self):
+        assert batch_layer_blocks(10, 1, 2, 0) == [(0, 5), (5, 10)]
+
+    def test_batch_out_of_range(self):
+        with pytest.raises(DistributionError):
+            batch_layer_blocks(10, 2, 2, 5)
+
+    def test_c_columns_consistent_with_blocks(self):
+        grid = ProcGrid3D(8, layers=2)
+        ncols, batches = 26, 3
+        spans = []
+        for batch in range(batches):
+            for j in range(grid.pc):
+                for k in range(grid.layers):
+                    spans.append(c_tile_columns(grid, ncols, batches, batch, j, k))
+        covered = sorted(spans)
+        assert covered[0][0] == 0 and covered[-1][1] == ncols
+        for (s0, e0), (s1, _) in zip(covered, covered[1:]):
+            assert e0 == s1
+
+    def test_width_smaller_than_blocks(self):
+        # degenerate: more blocks than columns -> some empty blocks, no crash
+        blocks = batch_layer_blocks(3, 4, 2, 3)
+        assert all(e >= s for s, e in blocks)
+
+
+class TestGatherTiles:
+    def test_empty(self):
+        assert gather_tiles(4, 4, []).nnz == 0
+
+    def test_overlap_detected(self):
+        t = SparseMatrix.from_coo(2, 2, [0], [0], [1.0])
+        with pytest.raises(DistributionError):
+            gather_tiles(4, 4, [(0, 0, t), (0, 0, t)])
+
+    def test_offsets_applied(self):
+        t = SparseMatrix.from_coo(2, 2, [1], [1], [5.0])
+        out = gather_tiles(4, 4, [(2, 2, t)])
+        assert out.to_dense()[3, 3] == 5.0

@@ -1,0 +1,133 @@
+"""Tests for process-grid geometry and communicator construction."""
+
+import pytest
+
+from repro.errors import GridError
+from repro.grid import ProcGrid3D
+from repro.grid.grid3d import GridComms
+from repro.simmpi import run_spmd
+
+
+class TestGeometry:
+    def test_shape_2d(self):
+        g = ProcGrid3D(9, layers=1)
+        assert g.shape == (3, 3, 1)
+        assert g.stages == 3
+
+    def test_shape_3d(self):
+        g = ProcGrid3D(16, layers=4)
+        assert g.shape == (2, 2, 4)
+
+    def test_single_process(self):
+        g = ProcGrid3D(1)
+        assert g.shape == (1, 1, 1)
+
+    def test_all_layers(self):
+        g = ProcGrid3D(4, layers=4)
+        assert g.shape == (1, 1, 4)
+
+    def test_coords_rank_roundtrip(self):
+        g = ProcGrid3D(18, layers=2)
+        for rank in range(18):
+            i, j, k = g.coords(rank)
+            assert g.rank_of(i, j, k) == rank
+
+    def test_coords_layer_major(self):
+        g = ProcGrid3D(8, layers=2)
+        assert g.coords(0) == (0, 0, 0)
+        assert g.coords(3) == (1, 1, 0)
+        assert g.coords(4) == (0, 0, 1)
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(GridError):
+            ProcGrid3D(0)
+        with pytest.raises(GridError):
+            ProcGrid3D(-4)
+
+    def test_invalid_layers(self):
+        with pytest.raises(GridError):
+            ProcGrid3D(4, layers=0)
+        with pytest.raises(GridError):
+            ProcGrid3D(4, layers=3)
+
+    def test_non_square_layer(self):
+        with pytest.raises(GridError, match="perfect square"):
+            ProcGrid3D(8, layers=1)
+
+    def test_rank_out_of_range(self):
+        g = ProcGrid3D(4)
+        with pytest.raises(GridError):
+            g.coords(4)
+        with pytest.raises(GridError):
+            g.rank_of(2, 0, 0)
+
+    def test_equality_hash(self):
+        assert ProcGrid3D(8, 2) == ProcGrid3D(8, 2)
+        assert ProcGrid3D(8, 2) != ProcGrid3D(16, 4)
+        assert hash(ProcGrid3D(4)) == hash(ProcGrid3D(4))
+
+    def test_repr(self):
+        assert "2x2x2" in repr(ProcGrid3D(8, 2))
+
+
+class TestGridComms:
+    def test_comm_sizes(self):
+        grid = ProcGrid3D(16, layers=4)
+
+        def prog(comm):
+            comms = GridComms.build(comm, grid)
+            return (comms.row.size, comms.col.size, comms.fiber.size,
+                    comms.layer.size)
+
+        out = run_spmd(16, prog)
+        assert all(o == (2, 2, 4, 4) for o in out)
+
+    def test_local_ranks_match_grid_coords(self):
+        grid = ProcGrid3D(8, layers=2)
+
+        def prog(comm):
+            comms = GridComms.build(comm, grid)
+            i, j, k = grid.coords(comm.rank)
+            return (
+                comms.row.rank == j,
+                comms.col.rank == i,
+                comms.fiber.rank == k,
+                (comms.i, comms.j, comms.k) == (i, j, k),
+            )
+
+        assert all(all(o) for o in run_spmd(8, prog))
+
+    def test_row_comm_members_share_row_and_layer(self):
+        grid = ProcGrid3D(16, layers=4)
+
+        def prog(comm):
+            comms = GridComms.build(comm, grid)
+            members = comms.row.allgather(comm.rank)
+            coords = [grid.coords(m) for m in members]
+            return all(
+                c[0] == comms.i and c[2] == comms.k for c in coords
+            )
+
+        assert all(run_spmd(16, prog))
+
+    def test_fiber_members_share_row_col(self):
+        grid = ProcGrid3D(16, layers=4)
+
+        def prog(comm):
+            comms = GridComms.build(comm, grid)
+            members = comms.fiber.allgather(comm.rank)
+            coords = [grid.coords(m) for m in members]
+            return all(
+                c[0] == comms.i and c[1] == comms.j for c in coords
+            )
+
+        assert all(run_spmd(16, prog))
+
+    def test_world_size_mismatch(self):
+        grid = ProcGrid3D(4)
+
+        def prog(comm):
+            GridComms.build(comm, grid)
+
+        with pytest.raises(Exception):
+            run_spmd(9, prog)

@@ -1,0 +1,105 @@
+"""Edge-shape coverage: hypersparse operands, degenerate dimensions,
+grids larger than the matrix — everything must stay correct when tiles
+are empty or one entry wide."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import SparseMatrix, eye, multiply, random_sparse
+from repro.summa import batched_summa3d, summa2d, summa3d
+
+
+class TestHypersparse:
+    def test_fewer_nonzeros_than_processes(self):
+        a = SparseMatrix.from_coo(50, 50, [3, 41], [17, 8], [1.0, 2.0])
+        r = batched_summa3d(a, a, nprocs=16, layers=4, batches=2)
+        assert r.matrix.allclose(multiply(a, a))
+
+    def test_single_nonzero(self):
+        a = SparseMatrix.from_coo(30, 30, [7], [9], [3.0])
+        b = SparseMatrix.from_coo(30, 30, [9], [2], [4.0])
+        r = summa3d(a, b, nprocs=8, layers=2)
+        assert r.matrix.nnz == 1
+        assert r.matrix.to_dense()[7, 2] == 12.0
+
+    def test_empty_times_nonempty(self):
+        a = SparseMatrix.empty(20, 20)
+        b = random_sparse(20, 20, nnz=50, seed=171)
+        assert batched_summa3d(a, b, nprocs=4, batches=3).matrix.nnz == 0
+
+    def test_hypersparse_aat(self):
+        # 2 nnz per column on average — the Rice-kmers regime
+        a = random_sparse(30, 300, nnz=60, seed=172)
+        from repro.sparse import transpose
+
+        r = batched_summa3d(a, transpose(a), nprocs=4, batches=2)
+        assert r.matrix.allclose(multiply(a, transpose(a)))
+
+
+class TestDegenerateDimensions:
+    def test_grid_larger_than_rows(self):
+        a = random_sparse(3, 40, nnz=30, seed=173)
+        b = random_sparse(40, 3, nnz=30, seed=174)
+        r = summa2d(a, b, nprocs=16)  # 4x4 grid for 3 rows
+        assert r.matrix.allclose(multiply(a, b))
+
+    def test_grid_larger_than_columns(self):
+        a = random_sparse(40, 2, nnz=20, seed=175)
+        b = random_sparse(2, 40, nnz=20, seed=176)
+        r = batched_summa3d(a, b, nprocs=16, layers=4, batches=2)
+        assert r.matrix.allclose(multiply(a, b))
+
+    def test_one_by_one(self):
+        a = SparseMatrix.from_coo(1, 1, [0], [0], [2.0])
+        r = summa2d(a, a, nprocs=4)
+        assert r.matrix.to_dense()[0, 0] == 4.0
+
+    def test_vector_times_row(self):
+        # outer product: (n x 1) @ (1 x n) — rank-1 blowup
+        col = random_sparse(25, 1, nnz=10, seed=177)
+        row = random_sparse(1, 25, nnz=10, seed=178)
+        r = batched_summa3d(col, row, nprocs=4, batches=3)
+        assert r.matrix.allclose(multiply(col, row))
+        assert r.matrix.nnz == 100
+
+    def test_row_times_vector(self):
+        # inner product: (1 x n) @ (n x 1) — single output entry
+        row = random_sparse(1, 25, nnz=10, seed=179)
+        col = random_sparse(25, 1, nnz=10, seed=180)
+        r = summa2d(row, col, nprocs=4)
+        assert r.matrix.allclose(multiply(row, col))
+
+    def test_more_batches_than_output_columns(self):
+        a = random_sparse(20, 20, nnz=60, seed=181)
+        b = random_sparse(20, 2, nnz=10, seed=182)
+        r = batched_summa3d(a, b, nprocs=4, batches=50)
+        assert r.matrix.allclose(multiply(a, b))
+
+
+class TestExtremePatterns:
+    def test_diagonal_squared(self):
+        d = eye(37, value=3.0)
+        r = summa3d(d, d, nprocs=8, layers=2)
+        assert np.allclose(r.matrix.to_dense(), 9.0 * np.eye(37))
+
+    def test_dense_small(self):
+        from repro.sparse import from_dense
+
+        rng = np.random.default_rng(183)
+        a = from_dense(rng.random((12, 12)))
+        r = batched_summa3d(a, a, nprocs=9, batches=2)
+        assert np.allclose(r.matrix.to_dense(), a.to_dense() @ a.to_dense())
+
+    def test_single_dense_column(self):
+        a = SparseMatrix.from_coo(
+            30, 30, list(range(30)), [5] * 30, [1.0] * 30
+        )
+        r = batched_summa3d(a, a, nprocs=4, layers=1, batches=3)
+        assert r.matrix.allclose(multiply(a, a))
+
+    def test_single_dense_row(self):
+        a = SparseMatrix.from_coo(
+            30, 30, [5] * 30, list(range(30)), [1.0] * 30
+        )
+        r = summa3d(a, a, nprocs=4, layers=4)
+        assert r.matrix.allclose(multiply(a, a))

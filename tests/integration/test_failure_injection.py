@@ -1,0 +1,158 @@
+"""Failure-injection tests: the stack must fail loudly and coherently.
+
+DESIGN.md's failure matrix: per-rank exceptions surface with rank
+attribution, blocked peers are released (no hangs), budget exhaustion is
+a typed error, and bad configurations are rejected before any thread
+spawns.
+"""
+
+import pytest
+
+from repro.errors import (
+    CommError,
+    GridError,
+    MemoryBudgetError,
+    ShapeError,
+    SpmdError,
+)
+from repro.simmpi import run_spmd
+from repro.sparse import SparseMatrix, random_sparse
+from repro.summa import batched_summa3d, symbolic3d
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return random_sparse(32, 32, nnz=300, seed=161)
+
+
+class TestRankFailures:
+    def test_single_rank_failure_attributed(self):
+        def prog(comm):
+            if comm.rank == 2:
+                raise ValueError("boom on rank 2")
+            comm.barrier()
+
+        with pytest.raises(SpmdError) as info:
+            run_spmd(4, prog, timeout=10)
+        assert list(info.value.failures) == [2]
+        assert "boom on rank 2" in str(info.value)
+
+    def test_multiple_failures_all_reported(self):
+        def prog(comm):
+            if comm.rank % 2 == 0:
+                raise RuntimeError(f"rank {comm.rank} died")
+            comm.barrier()
+
+        with pytest.raises(SpmdError) as info:
+            run_spmd(4, prog, timeout=10)
+        assert set(info.value.failures) == {0, 2}
+
+    def test_blocked_peers_released_not_hung(self):
+        """Ranks waiting inside a collective when a peer dies must wake
+        promptly (CommError), not run into the timeout."""
+        import time
+
+        def prog(comm):
+            if comm.rank == 0:
+                raise RuntimeError("early death")
+            comm.barrier()
+
+        t0 = time.monotonic()
+        with pytest.raises(SpmdError):
+            run_spmd(4, prog, timeout=60)
+        assert time.monotonic() - t0 < 10  # released by abort, not timeout
+
+    def test_cascading_commerrors_filtered(self):
+        def prog(comm):
+            if comm.rank == 0:
+                raise KeyError("original")
+            comm.barrier()  # peers die with CommError after the abort
+
+        with pytest.raises(SpmdError) as info:
+            run_spmd(3, prog, timeout=10)
+        # only the genuine failure is reported, not the cascade
+        assert list(info.value.failures) == [0]
+        assert isinstance(info.value.failures[0], KeyError)
+
+    def test_failure_during_alltoall(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise RuntimeError("dead before exchange")
+            comm.alltoall([None] * comm.size)
+
+        with pytest.raises(SpmdError):
+            run_spmd(4, prog, timeout=10)
+
+
+class TestDistributedFailures:
+    def test_postprocess_exception_propagates(self, matrix):
+        def bad_postprocess(batch, c0, c1, block):
+            raise RuntimeError("postprocess exploded")
+
+        with pytest.raises(SpmdError) as info:
+            batched_summa3d(
+                matrix, matrix, nprocs=4, batches=2,
+                postprocess=bad_postprocess, timeout=15,
+            )
+        assert any(
+            "postprocess exploded" in str(e) for e in info.value.failures.values()
+        )
+
+    def test_budget_exhaustion_typed(self, matrix):
+        with pytest.raises(SpmdError) as info:
+            symbolic3d(matrix, matrix, nprocs=4, memory_budget=100, timeout=15)
+        assert all(
+            isinstance(e, MemoryBudgetError)
+            for e in info.value.failures.values()
+        )
+
+    def test_bad_suite_fails_every_rank(self, matrix):
+        with pytest.raises(SpmdError):
+            batched_summa3d(matrix, matrix, nprocs=4, batches=1,
+                            suite="nonexistent", timeout=15)
+
+    def test_bad_grid_rejected_before_spawn(self, matrix):
+        with pytest.raises(GridError):
+            batched_summa3d(matrix, matrix, nprocs=7, batches=1)
+
+    def test_shape_rejected_before_spawn(self):
+        a = random_sparse(4, 5, nnz=4, seed=0)
+        with pytest.raises(ShapeError):
+            batched_summa3d(a, a, nprocs=1)
+
+    def test_postprocess_shape_corruption_detected(self, matrix):
+        """A postprocess returning the wrong shape must not silently
+        corrupt the output."""
+        def shrink(batch, c0, c1, block):
+            from repro.sparse.ops import col_slice
+
+            return col_slice(block, 0, max(block.ncols - 1, 0))
+
+        with pytest.raises(SpmdError):
+            batched_summa3d(
+                matrix, matrix, nprocs=4, batches=2,
+                postprocess=shrink, timeout=15,
+            )
+
+
+class TestCollectiveMisuse:
+    def test_double_participation_detected(self):
+        """A rank calling a collective twice while peers call it once is a
+        program-order bug; the mismatch must be diagnosed."""
+        def prog(comm):
+            if comm.rank == 0:
+                comm.barrier()
+                comm.barrier()
+            else:
+                comm.barrier()
+
+        # rank 0's second barrier can never complete: timeout diagnoses it
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog, timeout=1.5)
+
+    def test_mismatched_split_color_types(self):
+        def prog(comm):
+            comm.split(color="not-an-int")  # type: ignore[arg-type]
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog, timeout=10)

@@ -1,0 +1,88 @@
+"""Unit tests for the per-column accumulators."""
+
+import numpy as np
+
+from repro.sparse.semiring import MIN_PLUS, PLUS_TIMES
+from repro.sparse.spgemm.accumulators import HashAccumulator, SpAccumulator
+
+
+class TestHashAccumulator:
+    def test_basic_accumulate(self):
+        acc = HashAccumulator()
+        acc.scatter(np.array([5, 2, 5]), np.array([1.0, 2.0, 3.0]))
+        rows, vals = acc.gather()
+        assert rows.tolist() == [5, 2]          # insertion order
+        assert vals.tolist() == [4.0, 2.0]
+
+    def test_gather_resets(self):
+        acc = HashAccumulator()
+        acc.scatter(np.array([1]), np.array([1.0]))
+        acc.gather()
+        rows, vals = acc.gather()
+        assert rows.shape == (0,)
+        assert len(acc) == 0
+
+    def test_multiple_scatters(self):
+        acc = HashAccumulator()
+        acc.scatter(np.array([0, 1]), np.array([1.0, 1.0]))
+        acc.scatter(np.array([1, 2]), np.array([1.0, 1.0]))
+        rows, vals = acc.gather()
+        assert dict(zip(rows.tolist(), vals.tolist())) == {0: 1.0, 1: 2.0, 2: 1.0}
+
+    def test_semiring_min(self):
+        acc = HashAccumulator(MIN_PLUS)
+        acc.scatter(np.array([3, 3]), np.array([5.0, 2.0]))
+        rows, vals = acc.gather()
+        assert vals.tolist() == [2.0]
+
+    def test_len(self):
+        acc = HashAccumulator()
+        acc.scatter(np.array([1, 2, 1]), np.array([1.0, 1.0, 1.0]))
+        assert len(acc) == 2
+
+
+class TestSpAccumulator:
+    def test_basic_accumulate(self):
+        acc = SpAccumulator(10)
+        acc.scatter(np.array([7, 3, 7]), np.array([1.0, 2.0, 3.0]))
+        rows, vals = acc.gather()
+        assert rows.tolist() == [3, 7]          # sorted
+        assert vals.tolist() == [2.0, 4.0]
+
+    def test_generation_isolation(self):
+        acc = SpAccumulator(10)
+        acc.scatter(np.array([4]), np.array([1.0]))
+        acc.gather()
+        acc.scatter(np.array([4]), np.array([5.0]))
+        rows, vals = acc.gather()
+        assert vals.tolist() == [5.0]           # previous generation invisible
+
+    def test_empty_gather(self):
+        acc = SpAccumulator(10)
+        rows, vals = acc.gather()
+        assert rows.shape == (0,)
+
+    def test_semiring_min(self):
+        acc = SpAccumulator(10, MIN_PLUS)
+        acc.scatter(np.array([2, 2, 5]), np.array([4.0, 1.0, 9.0]))
+        rows, vals = acc.gather()
+        assert dict(zip(rows.tolist(), vals.tolist())) == {2: 1.0, 5: 9.0}
+
+    def test_repeated_rows_in_one_batch(self):
+        acc = SpAccumulator(10)
+        acc.scatter(np.array([1, 1, 1, 1]), np.array([1.0, 1.0, 1.0, 1.0]))
+        rows, vals = acc.gather()
+        assert rows.tolist() == [1] and vals.tolist() == [4.0]
+
+    def test_agreement_between_accumulators(self, rng):
+        rows = rng.integers(0, 50, size=200)
+        vals = rng.random(200)
+        h = HashAccumulator(PLUS_TIMES)
+        s = SpAccumulator(50, PLUS_TIMES)
+        h.scatter(rows, vals)
+        s.scatter(rows, vals)
+        hr, hv = h.gather()
+        sr, sv = s.gather()
+        order = np.argsort(hr)
+        assert np.array_equal(hr[order], sr)
+        assert np.allclose(hv[order], sv)

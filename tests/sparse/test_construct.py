@@ -1,0 +1,118 @@
+"""Unit tests for matrix constructors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import diag, eye, from_dense, from_edges, random_sparse, zeros
+
+
+class TestEyeDiagZeros:
+    def test_eye(self):
+        m = eye(4)
+        assert np.allclose(m.to_dense(), np.eye(4))
+
+    def test_eye_scaled(self):
+        assert np.allclose(eye(3, value=2.5).to_dense(), 2.5 * np.eye(3))
+
+    def test_diag(self):
+        m = diag([1.0, 0.0, 3.0])
+        assert m.nnz == 2  # explicit zero dropped
+        assert m.to_dense()[2, 2] == 3.0
+
+    def test_zeros(self):
+        assert zeros(3, 5).nnz == 0
+
+
+class TestFromDense:
+    def test_roundtrip(self, rng):
+        d = rng.random((6, 7)) * (rng.random((6, 7)) < 0.5)
+        assert np.allclose(from_dense(d).to_dense(), d)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            from_dense(np.ones(3))
+
+
+class TestFromEdges:
+    def test_basic(self):
+        m = from_edges(3, 3, [[0, 1], [2, 0]])
+        d = m.to_dense()
+        assert d[0, 1] == 1.0 and d[2, 0] == 1.0
+        assert m.nnz == 2
+
+    def test_duplicate_edges_sum(self):
+        m = from_edges(2, 2, [[0, 1], [0, 1]])
+        assert m.to_dense()[0, 1] == 2.0
+
+    def test_symmetric(self):
+        m = from_edges(3, 3, [[0, 1]], symmetric=True)
+        d = m.to_dense()
+        assert d[0, 1] == 1.0 and d[1, 0] == 1.0
+
+    def test_symmetric_self_loop_not_doubled(self):
+        m = from_edges(2, 2, [[1, 1]], symmetric=True)
+        assert m.to_dense()[1, 1] == 1.0
+
+    def test_symmetric_requires_square(self):
+        with pytest.raises(ShapeError):
+            from_edges(2, 3, [[0, 1]], symmetric=True)
+
+    def test_empty_edges(self):
+        assert from_edges(3, 3, []).nnz == 0
+
+    def test_bad_shape(self):
+        with pytest.raises(ShapeError):
+            from_edges(3, 3, [[0, 1, 2]])
+
+    def test_with_values(self):
+        m = from_edges(2, 2, [[0, 0]], values=[7.5])
+        assert m.to_dense()[0, 0] == 7.5
+
+
+class TestRandomSparse:
+    def test_exact_nnz(self):
+        m = random_sparse(20, 30, nnz=50, seed=1)
+        assert m.nnz == 50
+
+    def test_density(self):
+        m = random_sparse(10, 10, density=0.25, seed=2)
+        assert m.nnz == 25
+
+    def test_determinism(self):
+        a = random_sparse(15, 15, nnz=40, seed=3)
+        b = random_sparse(15, 15, nnz=40, seed=3)
+        assert a.allclose(b)
+
+    def test_different_seeds_differ(self):
+        a = random_sparse(15, 15, nnz=40, seed=3)
+        b = random_sparse(15, 15, nnz=40, seed=4)
+        assert not a.allclose(b)
+
+    def test_needs_exactly_one_sizing(self):
+        with pytest.raises(ValueError):
+            random_sparse(5, 5)
+        with pytest.raises(ValueError):
+            random_sparse(5, 5, density=0.1, nnz=3)
+
+    def test_nnz_too_large(self):
+        with pytest.raises(ValueError):
+            random_sparse(3, 3, nnz=10)
+
+    def test_dense_regime_permutation(self):
+        m = random_sparse(6, 6, nnz=30, seed=5)
+        assert m.nnz == 30
+
+    def test_no_explicit_zeros(self):
+        m = random_sparse(30, 30, nnz=200, seed=6)
+        assert np.all(m.values != 0.0)
+
+    def test_value_kinds(self):
+        for kind in ("uniform", "ones", "normal"):
+            m = random_sparse(10, 10, nnz=20, seed=7, values=kind)
+            assert np.all(m.values != 0.0)
+        with pytest.raises(ValueError):
+            random_sparse(5, 5, nnz=3, values="bogus")
+
+    def test_empty(self):
+        assert random_sparse(0, 0, nnz=0, seed=0).nnz == 0

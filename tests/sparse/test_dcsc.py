@@ -1,0 +1,95 @@
+"""Tests for the DCSC hypersparse format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.sparse import SparseMatrix, eye, random_sparse
+from repro.sparse.dcsc import DcscMatrix, dcsc_saving, from_dcsc, to_dcsc
+
+
+class TestRoundTrip:
+    def test_random(self, square_matrix):
+        assert from_dcsc(to_dcsc(square_matrix)).allclose(square_matrix)
+
+    def test_hypersparse(self):
+        m = SparseMatrix.from_coo(10000, 10000, [3, 77], [42, 9000], [1.0, 2.0])
+        d = to_dcsc(m)
+        assert d.nzc == 2
+        assert from_dcsc(d).allclose(m)
+
+    def test_empty(self):
+        d = to_dcsc(SparseMatrix.empty(5, 7))
+        assert d.nnz == 0 and d.nzc == 0
+        assert from_dcsc(d).shape == (5, 7)
+
+    def test_dense_column_structure(self):
+        m = eye(20)
+        d = to_dcsc(m)
+        assert d.nzc == 20
+        assert from_dcsc(d).allclose(m)
+
+    def test_unsorted_columns_roundtrip(self):
+        m = SparseMatrix(4, 2, [0, 2, 3], [3, 1, 0], [1.0, 2.0, 3.0],
+                         sorted_within_columns=False)
+        d = to_dcsc(m)
+        back = from_dcsc(d, sorted_within_columns=False)
+        assert back.allclose(m)
+
+
+class TestStorage:
+    def test_nbytes_dimension_independent(self):
+        small = SparseMatrix.from_coo(10, 10, [1], [2], [5.0])
+        huge = SparseMatrix.from_coo(10**6, 10**6, [1], [2], [5.0])
+        assert to_dcsc(small).nbytes == to_dcsc(huge).nbytes
+
+    def test_saving_large_for_hypersparse(self):
+        m = SparseMatrix.from_coo(50000, 50000, [1, 2, 3], [10, 20, 30],
+                                  [1.0, 1.0, 1.0])
+        assert dcsc_saving(m) > 1000  # CSC's indptr dominates massively
+
+    def test_saving_modest_for_dense_columns(self):
+        m = random_sparse(40, 40, density=0.5, seed=191)
+        assert dcsc_saving(m) < 2.0
+
+    def test_nzc_at_most_nnz(self, square_matrix):
+        d = to_dcsc(square_matrix)
+        assert d.nzc <= d.nnz
+
+
+class TestValidation:
+    def test_bad_jc_range(self):
+        d = DcscMatrix(
+            nrows=3, ncols=3,
+            jc=np.array([5]), cp=np.array([0, 1]),
+            ir=np.array([0]), num=np.array([1.0]),
+        )
+        with pytest.raises(FormatError):
+            from_dcsc(d)
+
+    def test_bad_cp_length(self):
+        d = DcscMatrix(
+            nrows=3, ncols=3,
+            jc=np.array([1]), cp=np.array([0, 1, 1]),
+            ir=np.array([0]), num=np.array([1.0]),
+        )
+        with pytest.raises(FormatError):
+            from_dcsc(d)
+
+    def test_repr(self, square_matrix):
+        assert "nzc=" in repr(to_dcsc(square_matrix))
+
+
+class TestWireFormatJustification:
+    def test_hypersparse_tile_regime(self):
+        """The extreme-scale justification: at p = 262144 on a 70M-row
+        matrix, a tile has ~4300 columns but possibly only dozens of
+        entries — DCSC keeps the wire cost nnz-proportional."""
+        tile = SparseMatrix.from_coo(
+            4300, 4300, [5, 100, 4000], [7, 7, 2000], [1.0, 1.0, 1.0]
+        )
+        d = to_dcsc(tile)
+        # wire size ~ r * nnz, as the simulator's accounting assumes
+        assert d.nbytes < 3 * tile.nnz * 24
+        csc_bytes = tile.indptr.nbytes + tile.rowidx.nbytes + tile.values.nbytes
+        assert csc_bytes > 10 * d.nbytes

@@ -1,0 +1,116 @@
+"""I/O round-trip tests (npz and MatrixMarket)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.sparse import (
+    SparseMatrix,
+    load_matrix,
+    load_matrix_market,
+    random_sparse,
+    save_matrix,
+    save_matrix_market,
+)
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path, square_matrix):
+        path = tmp_path / "m.npz"
+        save_matrix(path, square_matrix)
+        back = load_matrix(path)
+        assert back.allclose(square_matrix)
+        assert back.sorted_within_columns == square_matrix.sorted_within_columns
+
+    def test_roundtrip_empty(self, tmp_path):
+        path = tmp_path / "e.npz"
+        save_matrix(path, SparseMatrix.empty(5, 7))
+        back = load_matrix(path)
+        assert back.shape == (5, 7) and back.nnz == 0
+
+    def test_preserves_unsorted_flag(self, tmp_path):
+        m = SparseMatrix(3, 1, [0, 2], [2, 0], [1.0, 2.0],
+                         sorted_within_columns=False)
+        path = tmp_path / "u.npz"
+        save_matrix(path, m)
+        assert not load_matrix(path).sorted_within_columns
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path, square_matrix):
+        path = tmp_path / "m.mtx"
+        save_matrix_market(path, square_matrix, comment="test matrix")
+        back = load_matrix_market(path)
+        assert back.allclose(square_matrix)
+
+    def test_roundtrip_rectangular(self, tmp_path):
+        m = random_sparse(13, 29, nnz=70, seed=1)
+        path = tmp_path / "r.mtx"
+        save_matrix_market(path, m)
+        assert load_matrix_market(path).allclose(m)
+
+    def test_roundtrip_empty(self, tmp_path):
+        path = tmp_path / "e.mtx"
+        save_matrix_market(path, SparseMatrix.empty(3, 4))
+        back = load_matrix_market(path)
+        assert back.shape == (3, 4) and back.nnz == 0
+
+    def test_pattern_field(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n"
+        m = load_matrix_market(io.StringIO(text))
+        assert np.allclose(m.to_dense(), np.eye(2))
+
+    def test_symmetric_expansion(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n"
+            "2 1 5.0\n"
+            "3 3 7.0\n"
+        )
+        m = load_matrix_market(io.StringIO(text))
+        d = m.to_dense()
+        assert d[1, 0] == 5.0 and d[0, 1] == 5.0 and d[2, 2] == 7.0
+        assert m.nnz == 3  # diagonal not doubled
+
+    def test_comments_skipped(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n% another\n"
+            "1 1 1\n1 1 3.5\n"
+        )
+        m = load_matrix_market(io.StringIO(text))
+        assert m.to_dense()[0, 0] == 3.5
+
+    def test_bad_header(self):
+        with pytest.raises(FormatError, match="header"):
+            load_matrix_market(io.StringIO("garbage\n"))
+
+    def test_unsupported_format(self):
+        with pytest.raises(FormatError, match="coordinate"):
+            load_matrix_market(
+                io.StringIO("%%MatrixMarket matrix array real general\n")
+            )
+
+    def test_wrong_entry_count(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n"
+        with pytest.raises(FormatError, match="expected 3 entries"):
+            load_matrix_market(io.StringIO(text))
+
+    def test_integer_field(self):
+        text = "%%MatrixMarket matrix coordinate integer general\n2 2 1\n2 2 4\n"
+        m = load_matrix_market(io.StringIO(text))
+        assert m.to_dense()[1, 1] == 4.0
+
+
+class TestGzip:
+    def test_gz_roundtrip(self, tmp_path, square_matrix):
+        import gzip
+
+        plain = tmp_path / "m.mtx"
+        save_matrix_market(plain, square_matrix)
+        gz = tmp_path / "m.mtx.gz"
+        with open(plain, "rb") as src, gzip.open(gz, "wb") as dst:
+            dst.write(src.read())
+        assert load_matrix_market(gz).allclose(square_matrix)

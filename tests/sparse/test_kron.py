@@ -1,0 +1,95 @@
+"""Tests for the Kronecker product and stencil constructions."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import SparseMatrix, eye, random_sparse
+from repro.sparse.kron import kron, kron_power, laplacian_2d
+
+
+class TestKron:
+    def test_matches_numpy(self):
+        a = random_sparse(4, 5, nnz=8, seed=231)
+        b = random_sparse(3, 2, nnz=4, seed=232)
+        assert np.allclose(
+            kron(a, b).to_dense(), np.kron(a.to_dense(), b.to_dense())
+        )
+
+    def test_nnz_product(self):
+        a = random_sparse(6, 6, nnz=10, seed=233)
+        b = random_sparse(4, 4, nnz=7, seed=234)
+        assert kron(a, b).nnz == 70
+
+    def test_identity_factors(self):
+        a = random_sparse(5, 5, nnz=12, seed=235)
+        out = kron(eye(3), a)
+        d = out.to_dense()
+        assert np.allclose(d[:5, :5], a.to_dense())
+        assert np.allclose(d[:5, 5:10], 0.0)
+
+    def test_empty_factor(self):
+        a = random_sparse(3, 3, nnz=4, seed=236)
+        out = kron(a, SparseMatrix.empty(2, 2))
+        assert out.shape == (6, 6) and out.nnz == 0
+
+    def test_mixed_product_property(self):
+        """(A (x) B)(C (x) D) == (AC) (x) (BD)."""
+        from repro.sparse import multiply
+
+        a = random_sparse(3, 4, nnz=6, seed=237)
+        b = random_sparse(2, 3, nnz=4, seed=238)
+        c = random_sparse(4, 3, nnz=6, seed=239)
+        d = random_sparse(3, 2, nnz=4, seed=240)
+        lhs = multiply(kron(a, b), kron(c, d))
+        rhs = kron(multiply(a, c), multiply(b, d))
+        assert lhs.allclose(rhs)
+
+
+class TestKronPower:
+    def test_zero_power(self):
+        a = random_sparse(3, 3, nnz=4, seed=241)
+        assert kron_power(a, 0).shape == (1, 1)
+
+    def test_two_matches_double_kron(self):
+        a = random_sparse(3, 3, nnz=4, seed=242)
+        assert kron_power(a, 2).allclose(kron(a, a))
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            kron_power(eye(2), -1)
+
+    def test_rmat_connection(self):
+        """The Kronecker power of the R-MAT seed concentrates mass in the
+        top-left quadrant — the structural skew R-MAT samples from."""
+        from repro.sparse import from_dense
+
+        seed = from_dense(np.array([[0.57, 0.19], [0.19, 0.05]]))
+        k3 = kron_power(seed, 3).to_dense()
+        assert k3[0, 0] == pytest.approx(0.57**3)
+        assert k3[0, 0] > k3[-1, -1] * 100
+
+
+class TestLaplacian:
+    def test_symmetric(self):
+        lap = laplacian_2d(5)
+        assert lap.allclose(lap.T)
+
+    def test_interior_row_sums_zero(self):
+        lap = laplacian_2d(4).to_dense()
+        # interior vertex (1,1) -> index 5 in row-major: full stencil
+        assert lap[5, 5] == 4.0
+        assert lap[5].sum() == pytest.approx(0.0)
+
+    def test_positive_semidefinite(self):
+        lap = laplacian_2d(4).to_dense()
+        eigenvalues = np.linalg.eigvalsh(lap)
+        assert eigenvalues.min() > -1e-10
+
+    def test_squaring_on_distributed_grid(self):
+        """Stencil matrices through the full distributed pipeline."""
+        from repro.sparse import multiply
+        from repro.summa import batched_summa3d
+
+        lap = laplacian_2d(6)
+        r = batched_summa3d(lap, lap, nprocs=4, layers=1, batches=2)
+        assert r.matrix.allclose(multiply(lap, lap))

@@ -1,0 +1,164 @@
+"""Unit tests for the CSC container and its invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.sparse import SparseMatrix, eye, random_sparse
+from tests.conftest import to_scipy
+
+
+class TestConstruction:
+    def test_from_coo_basic(self):
+        m = SparseMatrix.from_coo(3, 3, [0, 1, 2], [0, 1, 2], [1.0, 2.0, 3.0])
+        assert m.shape == (3, 3)
+        assert m.nnz == 3
+        assert np.allclose(np.diag(m.to_dense()), [1, 2, 3])
+
+    def test_from_coo_sums_duplicates(self):
+        m = SparseMatrix.from_coo(2, 2, [0, 0, 1], [0, 0, 1], [1.0, 2.0, 5.0])
+        assert m.nnz == 2
+        assert m.to_dense()[0, 0] == 3.0
+
+    def test_empty(self):
+        m = SparseMatrix.empty(4, 7)
+        assert m.shape == (4, 7)
+        assert m.nnz == 0
+        assert m.to_dense().sum() == 0
+
+    def test_zero_dimension(self):
+        m = SparseMatrix.empty(0, 0)
+        assert m.nnz == 0
+
+    def test_validates_indptr_length(self):
+        with pytest.raises(FormatError, match="indptr length"):
+            SparseMatrix(2, 2, [0, 1], [0], [1.0])
+
+    def test_validates_indptr_start(self):
+        with pytest.raises(FormatError, match="start at 0"):
+            SparseMatrix(2, 2, [1, 1, 1], [], [])
+
+    def test_validates_indptr_monotone(self):
+        with pytest.raises(FormatError, match="non-decreasing"):
+            SparseMatrix(2, 2, [0, 2, 1], [0, 1], [1.0, 2.0])
+
+    def test_validates_row_range(self):
+        with pytest.raises(FormatError, match="row index out of range"):
+            SparseMatrix(2, 2, [0, 1, 2], [0, 5], [1.0, 2.0])
+
+    def test_validates_duplicates(self):
+        with pytest.raises(FormatError, match="duplicate"):
+            SparseMatrix(2, 2, [0, 2, 2], [1, 1], [1.0, 2.0],
+                         sorted_within_columns=False)
+
+    def test_validates_sortedness_claim(self):
+        with pytest.raises(FormatError, match="unsorted"):
+            SparseMatrix(3, 1, [0, 2], [2, 0], [1.0, 2.0],
+                         sorted_within_columns=True)
+
+    def test_unsorted_flag_accepts_unsorted(self):
+        m = SparseMatrix(3, 1, [0, 2], [2, 0], [1.0, 2.0],
+                         sorted_within_columns=False)
+        assert m.nnz == 2
+
+    def test_array_length_mismatch(self):
+        with pytest.raises(FormatError, match="array lengths"):
+            SparseMatrix(2, 2, [0, 1, 2], [0, 1, 0], [1.0, 2.0])
+
+
+class TestAccessors:
+    def test_col_nnz(self):
+        m = SparseMatrix.from_coo(3, 3, [0, 1, 2], [0, 0, 2], [1, 1, 1])
+        assert m.col_nnz().tolist() == [2, 0, 1]
+
+    def test_col_indices(self):
+        m = SparseMatrix.from_coo(3, 3, [0, 1, 2], [0, 0, 2], [1, 1, 1])
+        assert m.col_indices().tolist() == [0, 0, 2]
+
+    def test_column_view(self):
+        m = SparseMatrix.from_coo(4, 2, [1, 3, 0], [0, 0, 1], [5.0, 6.0, 7.0])
+        rows, vals = m.column(0)
+        assert rows.tolist() == [1, 3]
+        assert vals.tolist() == [5.0, 6.0]
+
+    def test_column_out_of_range(self):
+        m = SparseMatrix.empty(2, 2)
+        with pytest.raises(IndexError):
+            m.column(5)
+
+    def test_nbytes_is_24_per_nonzero_plus_indptr(self):
+        m = random_sparse(10, 10, nnz=20, seed=0)
+        assert m.nbytes == 20 * 24
+
+
+class TestConversions:
+    def test_dense_roundtrip(self, rng):
+        dense = rng.random((8, 9)) * (rng.random((8, 9)) < 0.4)
+        from repro.sparse import from_dense
+
+        m = from_dense(dense)
+        assert np.allclose(m.to_dense(), dense)
+
+    def test_to_coo_roundtrip(self, square_matrix):
+        rows, cols, vals = square_matrix.to_coo()
+        back = SparseMatrix.from_coo(
+            square_matrix.nrows, square_matrix.ncols, rows, cols, vals
+        )
+        assert back.allclose(square_matrix)
+
+    def test_scipy_agreement(self, square_matrix):
+        assert np.allclose(
+            to_scipy(square_matrix).toarray(), square_matrix.to_dense()
+        )
+
+    def test_sort_indices_idempotent(self, square_matrix):
+        assert square_matrix.sort_indices() is square_matrix
+
+    def test_sort_indices_sorts(self):
+        m = SparseMatrix(3, 1, [0, 3], [2, 0, 1], [3.0, 1.0, 2.0],
+                         sorted_within_columns=False)
+        s = m.sort_indices()
+        assert s.rowidx.tolist() == [0, 1, 2]
+        assert s.values.tolist() == [1.0, 2.0, 3.0]
+        assert s.sorted_within_columns
+
+    def test_canonical_drops_zeros(self):
+        m = SparseMatrix(2, 2, [0, 1, 2], [0, 1], [0.0, 1.0])
+        c = m.canonical()
+        assert c.nnz == 1
+        assert c.to_dense()[1, 1] == 1.0
+
+    def test_canonical_empty_columns(self):
+        m = SparseMatrix(3, 4, [0, 0, 1, 1, 1], [1], [0.0])
+        assert m.canonical().nnz == 0
+
+
+class TestComparison:
+    def test_allclose_ignores_order(self):
+        a = SparseMatrix(3, 1, [0, 2], [2, 0], [1.0, 2.0],
+                         sorted_within_columns=False)
+        b = SparseMatrix(3, 1, [0, 2], [0, 2], [2.0, 1.0])
+        assert a.allclose(b)
+
+    def test_allclose_shape_mismatch(self):
+        assert not SparseMatrix.empty(2, 2).allclose(SparseMatrix.empty(2, 3))
+
+    def test_allclose_value_mismatch(self):
+        a = eye(3)
+        b = eye(3, value=2.0)
+        assert not a.allclose(b)
+
+
+class TestOperators:
+    def test_matmul(self, small_pair):
+        a, b = small_pair
+        c = a @ b
+        assert np.allclose(c.to_dense(), a.to_dense() @ b.to_dense())
+
+    def test_matmul_shape_error(self):
+        with pytest.raises(ShapeError):
+            eye(3) @ eye(4)
+
+    def test_transpose_property(self, small_pair):
+        a, _ = small_pair
+        assert np.allclose(a.T.to_dense(), a.to_dense().T)

@@ -1,0 +1,122 @@
+"""Unit tests for the k-way merge kernels (Merge-Layer / Merge-Fiber)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.sparse import (
+    SparseMatrix,
+    merge_hash,
+    merge_heap,
+    merge_partials,
+    random_sparse,
+    spgemm_hash,
+)
+from repro.sparse.merge import merge_grouped
+
+MERGES = {"hash": merge_hash, "heap": merge_heap, "grouped": merge_grouped}
+
+
+@pytest.fixture(params=sorted(MERGES))
+def merge(request):
+    return MERGES[request.param]
+
+
+def _parts(k=4, seed0=0, shape=(25, 18), nnz=80):
+    return [
+        random_sparse(*shape, nnz=nnz, seed=seed0 + s) for s in range(k)
+    ]
+
+
+class TestCorrectness:
+    def test_matches_dense_sum(self, merge):
+        parts = _parts()
+        expected = sum(p.to_dense() for p in parts)
+        assert np.allclose(merge(parts).to_dense(), expected)
+
+    def test_single_part(self, merge):
+        (p,) = _parts(1)
+        assert merge([p]).allclose(p)
+
+    def test_disjoint_parts(self, merge):
+        a = SparseMatrix.from_coo(4, 4, [0], [0], [1.0])
+        b = SparseMatrix.from_coo(4, 4, [3], [3], [2.0])
+        out = merge([a, b])
+        assert out.nnz == 2
+
+    def test_fully_overlapping(self, merge):
+        p = _parts(1)[0]
+        out = merge([p, p, p])
+        assert np.allclose(out.to_dense(), 3 * p.to_dense())
+
+    def test_empty_parts(self, merge):
+        parts = [SparseMatrix.empty(5, 5) for _ in range(3)]
+        assert merge(parts).nnz == 0
+
+    def test_many_parts(self, merge):
+        parts = _parts(9, shape=(12, 12), nnz=30)
+        expected = sum(p.to_dense() for p in parts)
+        assert np.allclose(merge(parts).to_dense(), expected)
+
+
+class TestValidation:
+    def test_zero_parts(self, merge):
+        with pytest.raises(ShapeError):
+            merge([])
+
+    def test_shape_mismatch(self, merge):
+        with pytest.raises(ShapeError):
+            merge([SparseMatrix.empty(2, 2), SparseMatrix.empty(2, 3)])
+
+
+class TestSortedness:
+    def test_hash_emits_unsorted_flag(self):
+        out = merge_hash(_parts(3))
+        assert not out.sorted_within_columns
+
+    def test_heap_emits_sorted(self):
+        out = merge_heap(_parts(3))
+        assert out.sorted_within_columns
+        out._validate()
+
+    def test_heap_rejects_unsorted_input(self):
+        a = random_sparse(10, 10, nnz=40, seed=1)
+        unsorted = spgemm_hash(a, a)  # genuinely unsorted product
+        with pytest.raises(FormatError):
+            merge_heap([unsorted, unsorted])
+
+    def test_hash_accepts_unsorted_input(self):
+        a = random_sparse(10, 10, nnz=40, seed=2)
+        unsorted = spgemm_hash(a, a)
+        merged = merge_hash([unsorted, unsorted])
+        assert np.allclose(merged.to_dense(), 2 * (a.to_dense() @ a.to_dense()))
+
+    def test_grouped_accepts_unsorted_emits_sorted(self):
+        a = random_sparse(10, 10, nnz=40, seed=3)
+        unsorted = spgemm_hash(a, a)
+        merged = merge_grouped([unsorted, unsorted])
+        assert merged.sorted_within_columns
+        merged._validate()
+
+
+class TestDispatcher:
+    def test_named_methods(self):
+        parts = _parts(2)
+        expected = sum(p.to_dense() for p in parts)
+        for name in ("hash", "heap", "grouped"):
+            assert np.allclose(
+                merge_partials(parts, method=name).to_dense(), expected
+            )
+
+    def test_single_part_passthrough(self):
+        p = _parts(1)[0]
+        assert merge_partials([p], method="heap") is p
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown merge method"):
+            merge_partials(_parts(2), method="zig")
+
+    def test_callable_method(self):
+        parts = _parts(2)
+        out = merge_partials(parts, method=merge_grouped)
+        assert np.allclose(out.to_dense(), sum(p.to_dense() for p in parts))

@@ -1,0 +1,58 @@
+"""Tests for the outer-product (propagation-blocking) SpGEMM kernel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import SparseMatrix, eye, multiply, random_sparse
+from repro.sparse.semiring import MIN_PLUS
+from repro.sparse.spgemm.outer import spgemm_outer
+
+
+class TestOuterProduct:
+    @pytest.mark.parametrize("block_size", [1, 4, 64, 10**6])
+    def test_matches_dense(self, small_pair, block_size):
+        a, b = small_pair
+        got = spgemm_outer(a, b, block_size=block_size)
+        assert np.allclose(got.to_dense(), a.to_dense() @ b.to_dense())
+
+    def test_agrees_with_gustavson(self, small_pair):
+        a, b = small_pair
+        assert spgemm_outer(a, b).allclose(multiply(a, b))
+
+    def test_semiring(self, small_pair):
+        a, b = small_pair
+        assert spgemm_outer(a, b, MIN_PLUS).allclose(
+            multiply(a, b, semiring=MIN_PLUS)
+        )
+
+    def test_identity(self, square_matrix):
+        assert spgemm_outer(square_matrix, eye(64)).allclose(square_matrix)
+
+    def test_empty_operands(self):
+        out = spgemm_outer(SparseMatrix.empty(5, 6), SparseMatrix.empty(6, 7))
+        assert out.shape == (5, 7) and out.nnz == 0
+
+    def test_rank_one_blowup(self):
+        # dense column x dense row through one inner index
+        col = SparseMatrix.from_coo(10, 1, list(range(10)), [0] * 10,
+                                    [1.0] * 10)
+        row = SparseMatrix.from_coo(1, 10, [0] * 10, list(range(10)),
+                                    [2.0] * 10)
+        out = spgemm_outer(col, row)
+        assert out.nnz == 100
+        assert np.allclose(out.values, 2.0)
+
+    def test_shape_error(self):
+        with pytest.raises(ShapeError):
+            spgemm_outer(eye(3), eye(4))
+
+    def test_bad_block_size(self, small_pair):
+        a, b = small_pair
+        with pytest.raises(ValueError):
+            spgemm_outer(a, b, block_size=0)
+
+    def test_blocked_and_unblocked_identical(self, square_matrix):
+        fine = spgemm_outer(square_matrix, square_matrix, block_size=2)
+        coarse = spgemm_outer(square_matrix, square_matrix, block_size=512)
+        assert fine.allclose(coarse)

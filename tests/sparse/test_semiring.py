@@ -1,0 +1,107 @@
+"""Semiring SpGEMM tests: min-plus shortest paths, boolean reachability."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import from_dense, multiply, random_sparse
+from repro.sparse.semiring import (
+    MAX_MIN,
+    MIN_PLUS,
+    OR_AND,
+    PLUS_TIMES,
+    Semiring,
+    get_semiring,
+)
+from repro.sparse.spgemm import spgemm_esc, spgemm_hash, spgemm_heap, spgemm_reference
+
+SEMIRING_KERNELS = [spgemm_esc, spgemm_hash, spgemm_heap, spgemm_reference]
+
+
+def _dense_semiring_matmul(a, b, add, mul, identity):
+    n, k = a.shape
+    _, m = b.shape
+    out = np.full((n, m), np.nan)
+    for i in range(n):
+        for j in range(m):
+            acc = None
+            for t in range(k):
+                if a[i, t] != 0 and b[t, j] != 0:
+                    v = mul(a[i, t], b[t, j])
+                    acc = v if acc is None else add(acc, v)
+            if acc is not None:
+                out[i, j] = acc
+    return out
+
+
+class TestGetSemiring:
+    def test_by_name(self):
+        assert get_semiring("min_plus") is MIN_PLUS
+
+    def test_passthrough(self):
+        assert get_semiring(PLUS_TIMES) is PLUS_TIMES
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown semiring"):
+            get_semiring("quux")
+
+    def test_repr(self):
+        assert "min_plus" in repr(MIN_PLUS)
+
+
+class TestMinPlus:
+    @pytest.mark.parametrize("kernel", SEMIRING_KERNELS)
+    def test_against_dense(self, kernel):
+        a = random_sparse(15, 15, nnz=60, seed=1)
+        b = random_sparse(15, 15, nnz=60, seed=2)
+        got = kernel(a, b, MIN_PLUS)
+        expected = _dense_semiring_matmul(
+            a.to_dense(), b.to_dense(), min, lambda x, y: x + y, None
+        )
+        dense = got.to_dense()
+        mask = ~np.isnan(expected)
+        # structural zeros of `got` are 0.0 in to_dense; compare on support
+        assert np.allclose(dense[mask], expected[mask])
+        assert got.nnz == mask.sum()
+
+    def test_shortest_path_step(self):
+        # path graph 0 -> 1 -> 2 with weights 3 and 4: d(0, 2) = 7
+        w = from_dense(np.array([
+            [0.0, 3.0, 0.0],
+            [0.0, 0.0, 4.0],
+            [0.0, 0.0, 0.0],
+        ]))
+        d2 = multiply(w, w, semiring=MIN_PLUS)
+        assert d2.to_dense()[0, 2] == 7.0
+
+
+class TestMaxMin:
+    @pytest.mark.parametrize("kernel", SEMIRING_KERNELS)
+    def test_against_dense(self, kernel):
+        a = random_sparse(12, 12, nnz=50, seed=3)
+        b = random_sparse(12, 12, nnz=50, seed=4)
+        got = kernel(a, b, MAX_MIN).to_dense()
+        expected = _dense_semiring_matmul(
+            a.to_dense(), b.to_dense(), max, min, None
+        )
+        mask = ~np.isnan(expected)
+        assert np.allclose(got[mask], expected[mask])
+
+
+class TestOrAnd:
+    def test_reachability(self):
+        a = random_sparse(20, 20, nnz=60, seed=5, values="ones")
+        got = spgemm_esc(a, a, OR_AND).to_dense()
+        expected = ((a.to_dense() @ a.to_dense()) > 0).astype(float)
+        assert np.array_equal(got, expected)
+
+
+class TestCustomSemiring:
+    def test_plus_max(self):
+        plus_max = Semiring("plus_max", np.add, np.maximum, 0.0)
+        a = random_sparse(10, 10, nnz=30, seed=6)
+        got = spgemm_esc(a, a, plus_max).to_dense()
+        expected = _dense_semiring_matmul(
+            a.to_dense(), a.to_dense(), lambda x, y: x + y, max, None
+        )
+        mask = ~np.isnan(expected)
+        assert np.allclose(got[mask], expected[mask])

@@ -1,0 +1,182 @@
+"""Oracle tests: every SpGEMM kernel against scipy and the reference."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.sparse import (
+    SparseMatrix,
+    eye,
+    multiply,
+    random_sparse,
+    spgemm_esc,
+    spgemm_hash,
+    spgemm_heap,
+    spgemm_hybrid,
+    spgemm_reference,
+)
+from repro.sparse.spgemm import spgemm_spa
+from repro.sparse.spgemm.suite import available_suites, get_suite
+from tests.conftest import to_scipy
+
+KERNELS = {
+    "esc": spgemm_esc,
+    "hash": spgemm_hash,
+    "heap": spgemm_heap,
+    "hybrid": spgemm_hybrid,
+    "spa": spgemm_spa,
+    "reference": spgemm_reference,
+}
+
+
+@pytest.fixture(params=sorted(KERNELS))
+def kernel(request):
+    return KERNELS[request.param]
+
+
+class TestAgainstScipy:
+    def test_random_square(self, kernel):
+        a = random_sparse(50, 50, nnz=400, seed=1)
+        b = random_sparse(50, 50, nnz=350, seed=2)
+        expected = (to_scipy(a) @ to_scipy(b)).toarray()
+        assert np.allclose(kernel(a, b).to_dense(), expected)
+
+    def test_rectangular(self, kernel):
+        a = random_sparse(30, 45, nnz=200, seed=3)
+        b = random_sparse(45, 25, nnz=180, seed=4)
+        expected = (to_scipy(a) @ to_scipy(b)).toarray()
+        assert np.allclose(kernel(a, b).to_dense(), expected)
+
+    def test_very_sparse(self, kernel):
+        a = random_sparse(80, 80, nnz=40, seed=5)
+        b = random_sparse(80, 80, nnz=40, seed=6)
+        expected = (to_scipy(a) @ to_scipy(b)).toarray()
+        assert np.allclose(kernel(a, b).to_dense(), expected)
+
+    def test_dense_ish(self, kernel):
+        a = random_sparse(20, 20, density=0.5, seed=7)
+        b = random_sparse(20, 20, density=0.5, seed=8)
+        expected = (to_scipy(a) @ to_scipy(b)).toarray()
+        assert np.allclose(kernel(a, b).to_dense(), expected)
+
+
+class TestEdgeCases:
+    def test_identity(self, kernel, square_matrix):
+        out = kernel(eye(64), square_matrix)
+        assert out.allclose(square_matrix)
+        out = kernel(square_matrix, eye(64))
+        assert out.allclose(square_matrix)
+
+    def test_empty_a(self, kernel):
+        out = kernel(SparseMatrix.empty(5, 6), random_sparse(6, 7, nnz=10, seed=1))
+        assert out.shape == (5, 7) and out.nnz == 0
+
+    def test_empty_b(self, kernel):
+        out = kernel(random_sparse(5, 6, nnz=10, seed=1), SparseMatrix.empty(6, 7))
+        assert out.shape == (5, 7) and out.nnz == 0
+
+    def test_structurally_disjoint(self, kernel):
+        # A only touches inner indices 0-2, B only 3-5: empty product
+        a = SparseMatrix.from_coo(4, 6, [0, 1], [0, 2], [1.0, 1.0])
+        b = SparseMatrix.from_coo(6, 4, [3, 5], [0, 1], [1.0, 1.0])
+        assert kernel(a, b).nnz == 0
+
+    def test_shape_error(self, kernel):
+        with pytest.raises(ShapeError):
+            kernel(eye(3), eye(4))
+
+    def test_single_entry(self, kernel):
+        a = SparseMatrix.from_coo(3, 3, [1], [2], [2.0])
+        b = SparseMatrix.from_coo(3, 3, [2], [0], [3.0])
+        out = kernel(a, b)
+        assert out.nnz == 1 and out.to_dense()[1, 0] == 6.0
+
+
+class TestSortedness:
+    def test_hash_is_sortfree(self):
+        a = random_sparse(30, 30, nnz=150, seed=9)
+        out = spgemm_hash(a, a)
+        assert not out.sorted_within_columns
+
+    def test_heap_requires_sorted_input(self):
+        unsorted_a = SparseMatrix(3, 3, [0, 2, 2, 2], [2, 0], [1.0, 1.0],
+                                  sorted_within_columns=False)
+        with pytest.raises(FormatError):
+            spgemm_heap(unsorted_a, eye(3))
+
+    def test_heap_output_sorted(self, square_matrix):
+        out = spgemm_heap(square_matrix, square_matrix)
+        assert out.sorted_within_columns
+        out._validate()  # really is sorted
+
+    def test_hybrid_output_sorted(self, square_matrix):
+        out = spgemm_hybrid(square_matrix, square_matrix)
+        assert out.sorted_within_columns
+        out._validate()
+
+    def test_hash_accepts_unsorted_input(self):
+        a = random_sparse(20, 20, nnz=100, seed=10)
+        # reverse each column's entries to get an unsorted equivalent
+        rowidx = a.rowidx.copy()
+        values = a.values.copy()
+        for j in range(a.ncols):
+            lo, hi = a.indptr[j], a.indptr[j + 1]
+            rowidx[lo:hi] = rowidx[lo:hi][::-1]
+            values[lo:hi] = values[lo:hi][::-1]
+        unsorted = SparseMatrix(
+            a.nrows, a.ncols, a.indptr, rowidx, values,
+            sorted_within_columns=False,
+        )
+        assert spgemm_hash(unsorted, a).allclose(spgemm_esc(a, a))
+
+
+class TestHybridPolicy:
+    def test_threshold_extremes_agree(self, square_matrix):
+        all_heap = spgemm_hybrid(square_matrix, square_matrix,
+                                 flops_threshold=10**9)
+        all_hash = spgemm_hybrid(square_matrix, square_matrix,
+                                 flops_threshold=0)
+        assert all_heap.allclose(all_hash)
+
+
+class TestDispatcher:
+    def test_all_suites_agree(self, small_pair):
+        a, b = small_pair
+        reference = spgemm_reference(a, b)
+        for name in available_suites():
+            assert multiply(a, b, suite=name).allclose(reference), name
+
+    def test_unknown_suite(self, small_pair):
+        a, b = small_pair
+        with pytest.raises(ValueError, match="unknown kernel suite"):
+            multiply(a, b, suite="nope")
+
+    def test_suite_passthrough(self, small_pair):
+        a, b = small_pair
+        suite = get_suite("esc")
+        assert get_suite(suite) is suite
+        assert multiply(a, b, suite=suite).allclose(spgemm_esc(a, b))
+
+    def test_dispatcher_sorts_for_heap(self):
+        a = random_sparse(20, 20, nnz=80, seed=11)
+        rowidx = a.rowidx.copy()
+        values = a.values.copy()
+        for j in range(a.ncols):
+            lo, hi = a.indptr[j], a.indptr[j + 1]
+            rowidx[lo:hi] = rowidx[lo:hi][::-1]
+            values[lo:hi] = values[lo:hi][::-1]
+        unsorted = SparseMatrix(20, 20, a.indptr, rowidx, values,
+                                sorted_within_columns=False)
+        out = multiply(unsorted, a, suite="sorted-heap")
+        assert out.allclose(spgemm_esc(a, a))
+
+
+class TestNumericalCancellation:
+    def test_cancelling_products_keep_explicit_zero(self):
+        # (1)(1) + (1)(-1) = 0: structural nonzero with value 0 is stored
+        a = SparseMatrix.from_coo(1, 2, [0, 0], [0, 1], [1.0, 1.0])
+        b = SparseMatrix.from_coo(2, 1, [0, 1], [0, 0], [1.0, -1.0])
+        for kernel in KERNELS.values():
+            out = kernel(a, b)
+            assert out.nnz == 1
+            assert out.values[0] == 0.0

@@ -1,0 +1,77 @@
+"""Tests for the joint (layers, batches) auto-tuner."""
+
+import pytest
+
+from repro.data import load_dataset
+from repro.errors import PlannerError
+from repro.sparse import random_sparse
+from repro.sparse.matrix import BYTES_PER_NONZERO
+from repro.summa import auto_config, batched_summa3d
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    a, _ = load_dataset("eukarya").operands(seed=0)
+    return a
+
+
+class TestAutoConfig:
+    def test_without_budget_single_batch(self, matrix):
+        plan = auto_config(matrix, matrix, nprocs=16)
+        assert plan.batches == 1
+        assert plan.layers in (1, 4, 16)
+        assert plan.predicted_seconds > 0
+
+    def test_candidates_are_valid_grids(self, matrix):
+        plan = auto_config(matrix, matrix, nprocs=16)
+        import math
+
+        for layers, batches, _t in plan.candidates:
+            assert 16 % layers == 0
+            assert math.isqrt(16 // layers) ** 2 == 16 // layers
+            assert batches >= 1
+
+    def test_chosen_is_argmin(self, matrix):
+        plan = auto_config(matrix, matrix, nprocs=16)
+        assert plan.predicted_seconds == min(t for _l, _b, t in plan.candidates)
+
+    def test_budget_excludes_infeasible_layouts(self, matrix):
+        """The block-diagonal protein matrix has heavy diagonal tiles at
+        l=1; a tight budget makes l=1 infeasible while layered grids (with
+        thinner tiles) survive — the tuner must skip, not crash."""
+        budget = 8 * matrix.nnz * BYTES_PER_NONZERO
+        plan = auto_config(matrix, matrix, nprocs=16, memory_budget=budget)
+        layer_options = {l for l, _b, _t in plan.candidates}
+        assert 1 not in layer_options
+        assert plan.layers in layer_options
+
+    def test_symbolic_vs_estimate_agree_roughly(self, matrix):
+        budget = 30 * matrix.nnz * BYTES_PER_NONZERO
+        exact = auto_config(matrix, matrix, nprocs=16, memory_budget=budget,
+                            use_symbolic=True)
+        approx = auto_config(matrix, matrix, nprocs=16, memory_budget=budget,
+                             use_symbolic=False)
+        assert {l for l, _b, _t in exact.candidates} == \
+            {l for l, _b, _t in approx.candidates}
+
+    def test_all_infeasible_raises(self, matrix):
+        with pytest.raises(PlannerError):
+            auto_config(matrix, matrix, nprocs=16, memory_budget=1000)
+
+    def test_plan_executes(self, matrix):
+        from repro.sparse import multiply
+
+        budget = 10 * matrix.nnz * BYTES_PER_NONZERO
+        plan = auto_config(matrix, matrix, nprocs=16, memory_budget=budget)
+        r = batched_summa3d(
+            matrix, matrix, nprocs=16, layers=plan.layers,
+            batches=plan.batches,
+        )
+        assert r.matrix.allclose(multiply(matrix, matrix))
+
+    def test_small_uniform_matrix_prefers_few_layers(self):
+        """At tiny scale with no memory pressure the fiber overhead makes
+        low layer counts win."""
+        a = random_sparse(32, 32, nnz=128, seed=201)
+        plan = auto_config(a, a, nprocs=4)
+        assert plan.layers in (1, 4)

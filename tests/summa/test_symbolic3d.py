@@ -1,0 +1,115 @@
+"""Tests for the distributed symbolic step (Alg. 3) and batch planning."""
+
+import pytest
+
+from repro.errors import MemoryBudgetError, PlannerError, SpmdError
+from repro.sparse import random_sparse, symbolic_flops, symbolic_nnz
+from repro.sparse.matrix import BYTES_PER_NONZERO
+from repro.summa import (
+    batched_summa3d,
+    batches_lower_bound,
+    batches_upper_bound,
+    symbolic3d,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    # dense-ish square so squaring genuinely expands
+    return random_sparse(60, 60, nnz=900, seed=51)
+
+
+class TestSymbolic3D:
+    def test_generous_budget_one_batch(self, matrix):
+        r = symbolic3d(matrix, matrix, nprocs=4, memory_budget=10**9)
+        assert r.batches == 1
+
+    def test_tight_budget_many_batches(self, matrix):
+        generous = symbolic3d(matrix, matrix, nprocs=4, memory_budget=10**9)
+        inputs_bytes = 2 * matrix.nnz * BYTES_PER_NONZERO
+        tight = symbolic3d(
+            matrix, matrix, nprocs=4,
+            memory_budget=inputs_bytes * 3,
+        )
+        assert tight.batches > generous.batches
+
+    def test_budget_monotonicity(self, matrix):
+        budgets = [3 * 10**5, 10**6, 10**7, 10**9]
+        batch_counts = [
+            symbolic3d(matrix, matrix, nprocs=4, memory_budget=m).batches
+            for m in budgets
+        ]
+        assert batch_counts == sorted(batch_counts, reverse=True)
+
+    def test_inputs_do_not_fit_raises(self, matrix):
+        with pytest.raises((SpmdError, MemoryBudgetError)) as exc:
+            symbolic3d(matrix, matrix, nprocs=4, memory_budget=1000)
+        if isinstance(exc.value, SpmdError):
+            assert any(
+                isinstance(e, MemoryBudgetError)
+                for e in exc.value.failures.values()
+            )
+
+    def test_max_nnz_fields(self, matrix):
+        r = symbolic3d(matrix, matrix, nprocs=4, memory_budget=10**8)
+        assert r.max_nnz_a > 0
+        assert r.max_nnz_c > 0
+        # max per-process unmerged nnz is at least mean
+        total_unmerged_lower = symbolic_nnz(matrix, matrix)
+        assert r.max_nnz_c * 4 >= total_unmerged_lower / 4
+
+    def test_symbolic_consistent_across_layers(self, matrix):
+        """b may differ between grids (layout changes per-process maxima)
+        but must stay within a small factor."""
+        b1 = symbolic3d(matrix, matrix, nprocs=16, layers=1,
+                        memory_budget=2 * 10**6).batches
+        b4 = symbolic3d(matrix, matrix, nprocs=16, layers=4,
+                        memory_budget=2 * 10**6).batches
+        assert max(b1, b4) <= 4 * min(b1, b4)
+
+    def test_batched_run_respects_symbolic_budget(self, matrix):
+        budget = 10**6
+        r = batched_summa3d(matrix, matrix, nprocs=4, memory_budget=budget)
+        assert r.batches >= 1
+        assert "symbolic" in r.info
+        # the run's per-process high water stays within the per-process share
+        assert r.max_local_bytes <= budget / 4 * 1.10  # 10% slack for metadata
+
+    def test_step_times_include_symbolic(self, matrix):
+        r = batched_summa3d(matrix, matrix, nprocs=4, memory_budget=10**7)
+        assert "Symbolic" in r.step_times.seconds
+
+
+class TestPlannerBounds:
+    def test_exact_between_bounds(self, matrix):
+        nnz_a = matrix.nnz
+        nnz_c = symbolic_nnz(matrix, matrix)
+        flops = symbolic_flops(matrix, matrix)
+        budget = 2 * 10**6
+        nprocs = 4
+        lower = batches_lower_bound(nnz_c, nnz_a, nnz_a, budget)
+        upper = batches_upper_bound(flops, nnz_a, nnz_a, budget)
+        assert lower <= upper
+        exact = symbolic3d(matrix, matrix, nprocs=nprocs,
+                           memory_budget=budget).batches
+        # Alg. 3 uses per-process maxima, so the exact count can exceed the
+        # perfectly-balanced lower bound but respects the upper bound with
+        # an imbalance allowance
+        imbalance = 2.0
+        assert exact >= lower / imbalance
+        assert exact <= upper * imbalance
+
+    def test_lower_le_upper_always(self, matrix):
+        nnz_a = matrix.nnz
+        nnz_c = symbolic_nnz(matrix, matrix)
+        flops = symbolic_flops(matrix, matrix)
+        for budget in (10**6, 10**7, 10**8):
+            assert batches_lower_bound(nnz_c, nnz_a, nnz_a, budget) <= \
+                batches_upper_bound(flops, nnz_a, nnz_a, budget)
+
+    def test_infeasible_budget(self):
+        with pytest.raises(PlannerError):
+            batches_lower_bound(100, 1000, 1000, memory_budget=10)
+
+    def test_generous_budget_single_batch(self):
+        assert batches_lower_bound(10**3, 10, 10, 10**9) == 1
