@@ -1,0 +1,104 @@
+"""Communication backends head-to-head — dense collectives vs. SpComm3D-
+style sparse point-to-point (see :mod:`repro.comm`).
+
+Sweeps operand sparsity at fixed grid size and meters both backends on
+the simulator.  The qualitative claim: on hypersparse operands the
+sparse backend ships measurably fewer broadcast bytes (it only moves
+tile segments the receiver's symbolic plan requests), at the price of
+more, smaller messages plus the bit-packed Comm-Plan handshake — the
+tradeoff the extended α–β model (``choose_backend``) prices.
+"""
+
+import json
+
+from _helpers import print_series
+from repro.simmpi import CommTracker
+from repro.sparse import random_sparse
+from repro.summa import batched_summa3d, choose_backend
+
+BCAST_STEPS = ("A-Broadcast", "B-Broadcast")
+
+
+def _metered(a, b, *, backend, nprocs=16, layers=1, batches=2):
+    tracker = CommTracker()
+    result = batched_summa3d(
+        a, b, nprocs=nprocs, layers=layers, batches=batches,
+        comm_backend=backend, tracker=tracker,
+    )
+    bcast_bytes = sum(tracker.total_bytes(s) for s in BCAST_STEPS)
+    bcast_msgs = sum(tracker.message_count(s) for s in BCAST_STEPS)
+    plan_bytes = tracker.total_bytes("Comm-Plan")
+    return result, bcast_bytes, bcast_msgs, plan_bytes
+
+
+def test_sparse_backend_saves_bytes_on_hypersparse(benchmark):
+    n, nprocs = 256, 16
+    rows = []
+    series = []
+    for nnz in (200, 800, 3200, 12800):
+        a = random_sparse(n, n, nnz=nnz, seed=nnz)
+        b = random_sparse(n, n, nnz=nnz, seed=nnz + 1)
+        rd, d_bytes, d_msgs, _ = _metered(a, b, backend="dense")
+        rs, s_bytes, s_msgs, plan = _metered(a, b, backend="sparse")
+        assert rd.matrix.allclose(rs.matrix)
+        density = nnz / (n * n)
+        rows.append([
+            nnz, f"{density:.2%}", d_bytes, s_bytes,
+            round(s_bytes / d_bytes, 3), d_msgs, s_msgs, plan,
+        ])
+        series.append(dict(
+            nnz=nnz, density=density,
+            dense_bcast_bytes=d_bytes, sparse_bcast_bytes=s_bytes,
+            dense_bcast_messages=d_msgs, sparse_bcast_messages=s_msgs,
+            plan_bytes=plan,
+            model_choice=choose_backend(a, b, nprocs=nprocs, layers=1,
+                                        batches=2),
+        ))
+    print_series(
+        f"Backend broadcast volume vs sparsity (n={n}, p={nprocs}, l=1, b=2)",
+        ["nnz", "density", "dense B", "sparse B", "ratio",
+         "dense msgs", "sparse msgs", "plan B"],
+        rows,
+    )
+    print(json.dumps({"bench": "sparse_comm_sweep", "n": n,
+                      "nprocs": nprocs, "series": series}, indent=2))
+    # hypersparse end: sparse must ship measurably fewer broadcast bytes
+    hyper = series[0]
+    assert hyper["sparse_bcast_bytes"] < 0.8 * hyper["dense_bcast_bytes"]
+    # savings shrink monotonically as the operands densify
+    ratios = [s["sparse_bcast_bytes"] / s["dense_bcast_bytes"] for s in series]
+    assert ratios == sorted(ratios)
+    # p2p always sends more, smaller messages than the tree broadcasts
+    assert all(
+        s["sparse_bcast_messages"] > s["dense_bcast_messages"] for s in series
+    )
+    a = random_sparse(n, n, nnz=200, seed=0)
+    benchmark(lambda: choose_backend(a, a, nprocs=nprocs, layers=1, batches=2))
+
+
+def test_backend_tags_in_tracker_table(benchmark):
+    a = random_sparse(128, 128, nnz=500, seed=3)
+    tracker = CommTracker()
+    batched_summa3d(a, a, nprocs=16, layers=1, comm_backend="sparse",
+                    tracker=tracker)
+    table = tracker.format_table()
+    print(table)
+    assert "sparse" in table
+    by_backend = tracker.by_backend()
+    assert by_backend["sparse"]["nbytes"] > 0
+    benchmark(lambda: tracker.by_backend())
+
+
+def test_plan_overhead_is_small(benchmark):
+    # the symbolic prologue is bit-packed: its volume must stay a small
+    # fraction of what it saves on hypersparse operands
+    a = random_sparse(256, 256, nnz=300, seed=5)
+    b = random_sparse(256, 256, nnz=300, seed=6)
+    _, d_bytes, _, _ = _metered(a, b, backend="dense")
+    _, s_bytes, _, plan = _metered(a, b, backend="sparse")
+    saved = d_bytes - s_bytes
+    print(f"\nsaved {saved} broadcast bytes for {plan} plan bytes "
+          f"(ratio {plan / saved:.3f})")
+    assert saved > 0
+    assert plan < saved
+    benchmark(lambda: random_sparse(256, 256, nnz=300, seed=5))

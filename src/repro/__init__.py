@@ -138,4 +138,4 @@ from .summa import (  # noqa: E402
 )
 
 # subpackages exposed for attribute access (repro.apps.markov_cluster, ...)
-from . import apps, data, model, simmpi, sparse, summa, grid, utils  # noqa: E402,F401
+from . import apps, comm, data, model, simmpi, sparse, summa, grid, utils  # noqa: E402,F401

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..simmpi.tracker import CommTracker
-from ..sparse.matrix import INDEX_DTYPE, SparseMatrix, VALUE_DTYPE
+from ..sparse.matrix import SparseMatrix, VALUE_DTYPE
 from ..sparse.ops import transpose
 from ..summa.batched import batched_summa3d
 

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..simmpi.tracker import CommTracker
-from ..sparse.matrix import INDEX_DTYPE, SparseMatrix, VALUE_DTYPE
+from ..sparse.matrix import INDEX_DTYPE, SparseMatrix
 from ..sparse.ops import prune_threshold, transpose
 from ..summa.batched import batched_summa3d
 

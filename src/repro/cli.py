@@ -82,10 +82,12 @@ def cmd_multiply(args) -> int:
         batches=args.batches,
         memory_budget=args.memory_budget,
         suite=args.suite,
+        comm_backend=args.comm_backend,
         keep_output=args.output is not None or not args.discard,
         tracker=tracker,
     )
-    print(f"grid {result.grid!r}, batches = {result.batches}")
+    print(f"grid {result.grid!r}, batches = {result.batches}, "
+          f"comm backend = {result.info.get('comm_backend', args.comm_backend)}")
     if result.matrix is not None:
         print(f"nnz(C) = {result.matrix.nnz}")
     print(f"peak per-process memory: {result.max_local_bytes / 1e6:.3f} MB")
@@ -315,6 +317,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="aggregate budget in bytes (runs the symbolic step)")
     p.add_argument("--suite", default="esc",
                    choices=["esc", "unsorted-hash", "sorted-heap", "hybrid", "spa"])
+    p.add_argument("--comm-backend", default="dense",
+                   choices=["dense", "sparse", "auto"],
+                   help="operand exchange: dense collectives, SpComm3D-style "
+                   "sparse point-to-point, or let the α–β model pick")
     p.add_argument("--output", default=None, help="save product here")
     p.add_argument("--discard", action="store_true",
                    help="discard batches (memory-constrained mode)")

@@ -1,0 +1,117 @@
+"""The pluggable communication-backend interface of the SUMMA core.
+
+The SPMD body (:mod:`repro.summa.core`) never calls collectives directly
+for its data-movement steps; it asks a :class:`CommBackend` to move the
+A tile along the row communicator, the B batch along the column
+communicator, and the fiber pieces along the fiber communicator.  Two
+implementations ship:
+
+* :class:`DenseCollective` — the paper's Table II behaviour: whole tiles
+  travel by ``bcast`` and fiber pieces by ``alltoallv``;
+* :class:`~repro.comm.sparse_p2p.SparseP2P` — SpComm3D-style
+  sparsity-aware exchange: a symbolic prologue computes a
+  :class:`~repro.comm.plan.CommPlan` and only the tile segments each
+  receiver will touch travel, via metered point-to-point messages.
+
+Both are *bit-identical* in their effect on the computed product; they
+differ only in bytes on the wire and message counts.  Backend instances
+hold per-rank plan state, so each SPMD rank must build its own instance —
+pass backend *names* (or classes) across the driver boundary, never a
+shared instance.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..errors import CommError
+from ..sparse.matrix import SparseMatrix
+
+
+class CommBackend(ABC):
+    """How SUMMA moves operand tiles and fiber pieces between ranks.
+
+    ``prepare_batch`` runs once per batch before the stage loop (the hook
+    the sparse backend uses for its symbolic prologue); the three movement
+    methods run inside the corresponding metered step contexts.
+    """
+
+    #: registry key and the tag attached to every CommEvent this backend
+    #: records.
+    name: str = ""
+
+    def prepare_batch(self, comms, a_tile: SparseMatrix, b_batch: SparseMatrix) -> None:
+        """Per-batch prologue; default no-op."""
+
+    @abstractmethod
+    def bcast_a(self, comms, a_tile: SparseMatrix, stage: int) -> SparseMatrix:
+        """Deliver the stage's A operand along the row communicator."""
+
+    @abstractmethod
+    def bcast_b(self, comms, b_batch: SparseMatrix, stage: int) -> SparseMatrix:
+        """Deliver the stage's B operand along the column communicator."""
+
+    @abstractmethod
+    def fiber_exchange(self, comms, sendlist: list) -> list:
+        """Personalised exchange of fiber pieces along the fiber
+        communicator; returns the received pieces indexed by source."""
+
+
+class DenseCollective(CommBackend):
+    """Today's behaviour behind the interface: dense collectives.
+
+    Every stage broadcasts the whole tile to every row/column member and
+    the fiber exchange ships whole pieces — the cost model of the paper's
+    Table II, now tagged ``backend="dense"`` in the tracker.
+    """
+
+    name = "dense"
+
+    def bcast_a(self, comms, a_tile: SparseMatrix, stage: int) -> SparseMatrix:
+        with comms.row.backend_scope(self.name):
+            return comms.row.bcast(a_tile, root=stage)
+
+    def bcast_b(self, comms, b_batch: SparseMatrix, stage: int) -> SparseMatrix:
+        with comms.col.backend_scope(self.name):
+            return comms.col.bcast(b_batch, root=stage)
+
+    def fiber_exchange(self, comms, sendlist: list) -> list:
+        with comms.fiber.backend_scope(self.name):
+            return comms.fiber.alltoallv(sendlist)
+
+
+def get_backend(backend) -> CommBackend:
+    """Resolve a backend name, class or instance to a fresh-enough instance.
+
+    Accepts ``"dense"`` / ``"sparse"``, a :class:`CommBackend` subclass
+    (instantiated), or an existing instance (returned as-is — caller is
+    responsible for per-rank isolation).  ``"auto"`` must be resolved by
+    the driver (:func:`repro.summa.batched_summa3d`) before reaching the
+    SPMD core, because the choice needs global matrix statistics.
+    """
+    from .sparse_p2p import SparseP2P
+
+    registry = {DenseCollective.name: DenseCollective, SparseP2P.name: SparseP2P}
+    if isinstance(backend, CommBackend):
+        return backend
+    if isinstance(backend, type) and issubclass(backend, CommBackend):
+        return backend()
+    if isinstance(backend, str):
+        if backend == "auto":
+            raise CommError(
+                "backend 'auto' must be resolved by the driver; "
+                "the SPMD core accepts only concrete backends"
+            )
+        if backend in registry:
+            return registry[backend]()
+    raise CommError(
+        f"unknown communication backend {backend!r}; "
+        f"expected one of {sorted(registry)} or a CommBackend"
+    )
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`get_backend` (besides ``"auto"``)."""
+    from .sparse_p2p import SparseP2P
+
+    return (DenseCollective.name, SparseP2P.name)

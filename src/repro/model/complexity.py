@@ -19,6 +19,22 @@ def _lg(x: float) -> float:
     return math.log2(x) if x > 1 else 0.0
 
 
+def needed_fraction(nnz_piece: float, segment_count: float) -> float:
+    """Expected fraction of tile segments a sparsity-aware receiver needs.
+
+    A peer tile piece with ``nnz_piece`` nonzeros scattered over
+    ``segment_count`` rows (or columns) leaves a given segment nonempty —
+    hence wanted by the receiver — with probability
+    ``1 - (1 - 1/m)^nnz``.  This is the occupancy model behind the
+    SpComm3D-style sparse backend's bandwidth savings: near 1 for dense
+    tiles, tiny for hypersparse ones.
+    """
+    m = max(1.0, segment_count)
+    if nnz_piece <= 0:
+        return 0.0
+    return min(1.0, 1.0 - (1.0 - 1.0 / m) ** nnz_piece)
+
+
 def comm_complexity(
     *,
     nprocs: int,
@@ -29,6 +45,8 @@ def comm_complexity(
     flops: int,
     dk_nnz_total: int | None = None,
     bytes_per_nonzero: int = BYTES_PER_NONZERO,
+    backend: str = "dense",
+    inner_dim: int | None = None,
 ) -> dict[str, dict[str, float]]:
     """Table II: per-step total latency hops and bandwidth bytes.
 
@@ -39,6 +57,13 @@ def comm_complexity(
 
     ``dk_nnz_total`` tightens the AllToAll-Fiber bound with the true
     ``sum_k nnz(D^(k))`` when known (the paper notes ``flops`` is loose).
+
+    ``backend="sparse"`` models the SpComm3D-style point-to-point
+    exchange instead (requires ``inner_dim``, the shared dimension of the
+    multiplication): broadcast bandwidth shrinks by the expected needed
+    fraction of each tile, latency grows from tree depth to
+    ``sqrt(p/l) - 1`` individual messages per stage, and a ``Comm-Plan``
+    step pays for the bit-packed occupancy masks.
     """
     p, l, b = nprocs, layers, batches
     r = bytes_per_nonzero
@@ -46,7 +71,7 @@ def comm_complexity(
     stages = round(sqrt_pl)
     intermediate = flops if dk_nnz_total is None else dk_nnz_total
 
-    return {
+    out = {
         "A-Broadcast": {
             "latency_hops": b * sqrt_pl * _lg(p / l),
             "bytes": r * b * nnz_a / math.sqrt(p * l),
@@ -73,6 +98,43 @@ def comm_complexity(
             "comm_size": sqrt_pl,
         },
     }
+    if backend == "dense":
+        return out
+    if backend != "sparse":
+        raise ValueError(f"unknown communication backend {backend!r}")
+    if inner_dim is None:
+        raise ValueError("backend='sparse' needs inner_dim (= a.ncols)")
+
+    # occupancy: tiles of the shared dimension hold inner_dim/(sqrt(p/l)*l)
+    # segments; a B batch piece carries nnz_b/(p*b) nonzeros, an A tile
+    # nnz_a/p.  The needed fractions scale the dense bandwidth terms.
+    m = inner_dim / max(stages * l, 1)
+    f_a = needed_fraction(nnz_b / (p * b), m)
+    f_b = needed_fraction(nnz_a / p, m)
+    p2p_hops = b * stages * max(stages - 1, 0)
+    out["A-Broadcast"].update(
+        latency_hops=p2p_hops,
+        bytes=out["A-Broadcast"]["bytes"] * f_a,
+        messages=b * stages * max(stages - 1, 0),
+        comm_size=2,
+    )
+    out["B-Broadcast"].update(
+        latency_hops=p2p_hops,
+        bytes=out["B-Broadcast"]["bytes"] * f_b,
+        messages=b * stages * max(stages - 1, 0),
+        comm_size=2,
+    )
+    # per batch: one mask allgather + one request alltoall on each of the
+    # row and column communicators, bit-packed (1 bit per segment); the
+    # A-side half is static and paid once (the "+1").
+    mask_bytes = math.ceil(m / 8)
+    out["Comm-Plan"] = {
+        "latency_hops": 2 * (b + 1) * (_lg(stages) + max(stages - 1, 0)),
+        "bytes": 2.0 * (b + 1) * stages * mask_bytes,
+        "messages": 4 * (b + 1),
+        "comm_size": stages,
+    }
+    return out
 
 
 def comp_complexity(
@@ -123,11 +185,15 @@ def step_times_closed_form(
     dk_nnz_total: int | None = None,
     bytes_per_nonzero: int = BYTES_PER_NONZERO,
     merge_kernel: str = "hash",
+    comm_backend: str = "dense",
+    inner_dim: int | None = None,
 ) -> dict[str, float]:
     """Seconds per step under the α–β model (Tables II + III combined).
 
     ``merge_kernel`` defaults to ``"hash"`` — the paper's implementation —
     while ``"heap"`` models the prior-work kernels (the Fig. 15 ablation).
+    ``comm_backend="sparse"`` prices the SpComm3D-style point-to-point
+    exchange instead (adds a ``Comm-Plan`` entry; needs ``inner_dim``).
     """
     comm = comm_complexity(
         nprocs=nprocs,
@@ -138,6 +204,8 @@ def step_times_closed_form(
         flops=flops,
         dk_nnz_total=dk_nnz_total,
         bytes_per_nonzero=bytes_per_nonzero,
+        backend=comm_backend,
+        inner_dim=inner_dim,
     )
     comp = comp_complexity(
         nprocs=nprocs, layers=layers, batches=batches, flops=flops,
@@ -156,6 +224,11 @@ def step_times_closed_form(
         + machine.beta * comm["Symbolic"]["bytes"]
         + flops / nprocs / machine.symbolic_rate
     )
+    if "Comm-Plan" in comm:
+        c = comm["Comm-Plan"]
+        times["Comm-Plan"] = (
+            machine.alpha * c["latency_hops"] + machine.beta * c["bytes"]
+        )
     for step, ops in comp.items():
         times[step] = ops / machine.sparse_rate
     return times
@@ -171,8 +244,15 @@ def total_comm_time(
     nnz_b: int,
     flops: int,
     bytes_per_nonzero: int = BYTES_PER_NONZERO,
+    backend: str = "dense",
+    inner_dim: int | None = None,
 ) -> float:
-    """Summed α–β time of the three communication steps (planner objective)."""
+    """Summed α–β time of the communication steps (planner objective).
+
+    With ``backend="sparse"`` the ``Comm-Plan`` handshake is included, so
+    comparing backends at equal ``(p, l, b)`` is an apples-to-apples
+    total.
+    """
     comm = comm_complexity(
         nprocs=nprocs,
         layers=layers,
@@ -181,8 +261,13 @@ def total_comm_time(
         nnz_b=nnz_b,
         flops=flops,
         bytes_per_nonzero=bytes_per_nonzero,
+        backend=backend,
+        inner_dim=inner_dim,
     )
+    steps = ["A-Broadcast", "B-Broadcast", "AllToAll-Fiber"]
+    if "Comm-Plan" in comm:
+        steps.append("Comm-Plan")
     return sum(
         machine.alpha * comm[s]["latency_hops"] + machine.beta * comm[s]["bytes"]
-        for s in ("A-Broadcast", "B-Broadcast", "AllToAll-Fiber")
+        for s in steps
     )

@@ -83,13 +83,17 @@ def predict_steps(
     include_symbolic: bool = True,
     bytes_per_nonzero: int = BYTES_PER_NONZERO,
     merge_kernel: str = "hash",
+    comm_backend: str = "dense",
+    inner_dim: int | None = None,
 ) -> StepTimes:
     """Per-step modelled seconds for one BatchedSUMMA3D execution.
 
     ``merge_kernel="hash"`` models this paper's sort-free merge (linear in
     merged entries); ``"heap"`` models the prior-work kernels with
     Table III's logarithmic k-way factors — swapping it is the modelled
-    form of the Fig. 15 comparison.
+    form of the Fig. 15 comparison.  ``comm_backend="sparse"`` prices the
+    sparsity-aware point-to-point backend of :mod:`repro.comm` (requires
+    ``inner_dim``); the breakdown then includes a ``Comm-Plan`` step.
     """
     dk = estimate_dk_nnz(nnz_c, flops, layers)
     times = step_times_closed_form(
@@ -103,6 +107,8 @@ def predict_steps(
         dk_nnz_total=dk,
         bytes_per_nonzero=bytes_per_nonzero,
         merge_kernel=merge_kernel,
+        comm_backend=comm_backend,
+        inner_dim=inner_dim,
     )
     if not include_symbolic:
         times.pop("Symbolic", None)

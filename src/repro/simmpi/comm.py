@@ -3,7 +3,7 @@
 A :class:`SimComm` is one rank's handle on a communicator, mirroring the
 mpi4py API surface the SUMMA algorithms need: ``barrier``, ``bcast``,
 ``allreduce``, ``allgather``, ``gather``, ``scatter``, ``alltoall``,
-``send``/``recv`` and ``split``.  Ranks run as threads (see
+``alltoallv``, ``send``/``recv``/``isend``/``irecv`` and ``split``.  Ranks run as threads (see
 :mod:`repro.simmpi.engine`); collectives rendezvous through
 generation-counted slots, so the same program order on every member lines
 up automatically — exactly the SPMD contract of MPI.
@@ -31,14 +31,19 @@ DEFAULT_TIMEOUT = 120.0
 
 
 class _Slot:
-    """Rendezvous state for one collective instance on one communicator."""
+    """Rendezvous state for one collective instance on one communicator.
 
-    __slots__ = ("contrib", "complete", "taken")
+    Point-to-point messages reuse the same structure with ``tag`` set:
+    one slot per in-flight message, queued in send (``seq``) order.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("contrib", "complete", "taken", "tag")
+
+    def __init__(self, tag: int | None = None) -> None:
         self.contrib: dict[int, Any] = {}
         self.complete = False
         self.taken = 0
+        self.tag = tag
 
 
 class _CommContext:
@@ -88,6 +93,16 @@ class World:
     @step_label.setter
     def step_label(self, value: str) -> None:
         self._tls.step = value
+
+    @property
+    def backend_label(self) -> str:
+        """Communication-backend tag ("" / "dense" / "sparse") attached to
+        every event this thread records — set by :mod:`repro.comm`."""
+        return getattr(self._tls, "backend", "")
+
+    @backend_label.setter
+    def backend_label(self, value: str) -> None:
+        self._tls.backend = value
 
 
 class SimComm:
@@ -143,6 +158,18 @@ class SimComm:
         finally:
             self.world.step_label = prev
 
+    @contextmanager
+    def backend_scope(self, label: str):
+        """Tag all communication inside the block with a backend name
+        (``"dense"`` / ``"sparse"``) so :meth:`CommTracker.by_backend`
+        can compare how much each backend moved."""
+        prev = self.world.backend_label
+        self.world.backend_label = label
+        try:
+            yield
+        finally:
+            self.world.backend_label = prev
+
     # ------------------------------------------------------------------ #
     # the rendezvous primitive
     # ------------------------------------------------------------------ #
@@ -189,9 +216,20 @@ class SimComm:
                 del ctx.slots[op_id]
         return result, completed_here
 
-    def _record(self, op: str, nbytes: int, total_bytes: int | None = None) -> None:
+    def _record(
+        self,
+        op: str,
+        nbytes: int,
+        total_bytes: int | None = None,
+        comm_size: int | None = None,
+    ) -> None:
         self.world.tracker.record(
-            self.world.step_label, op, self.size, nbytes, total_bytes
+            self.world.step_label,
+            op,
+            self.size if comm_size is None else comm_size,
+            nbytes,
+            total_bytes,
+            backend=self.world.backend_label,
         )
 
     # ------------------------------------------------------------------ #
@@ -291,6 +329,54 @@ class SimComm:
             self._record("alltoall", max(per_rank, default=0), sum(per_rank))
         return [contrib[src][self.rank] for src in range(self.size)]
 
+    def alltoallv(self, sendlist, counts=None) -> list:
+        """Variable-size personalised all-to-all (MPI_Alltoallv semantics).
+
+        Two calling conventions:
+
+        * ``alltoallv(sendlist)`` — like :meth:`alltoall`, ``sendlist[j]``
+          is the (arbitrarily sized) payload for member ``j``; member
+          ``i`` receives a list indexed by source rank.
+        * ``alltoallv(flat, counts)`` — MPI-style: ``flat`` is a flat
+          sequence of items and ``counts[j]`` says how many consecutive
+          items go to member ``j`` (``sum(counts) == len(flat)``); member
+          ``i`` receives a list of per-source item *lists*.
+
+        Metering differs from :meth:`alltoall`: the per-process ``nbytes``
+        is the *actual* maximum any member sends (not assumed uniform),
+        and the event op is ``"alltoallv"`` so the α–β model can apply
+        variable-size costs.
+        """
+        if counts is not None:
+            counts = [int(c) for c in counts]
+            if len(counts) != self.size:
+                raise CommError(
+                    f"alltoallv needs {self.size} counts, got {len(counts)}"
+                )
+            flat = list(sendlist)
+            if sum(counts) != len(flat):
+                raise CommError(
+                    f"alltoallv counts sum to {sum(counts)} but "
+                    f"{len(flat)} items were supplied"
+                )
+            bounds = np.concatenate(([0], np.cumsum(counts)))
+            sendlist = [
+                flat[int(bounds[j]) : int(bounds[j + 1])] for j in range(self.size)
+            ]
+        else:
+            sendlist = list(sendlist)
+            if len(sendlist) != self.size:
+                raise CommError(
+                    f"alltoallv needs {self.size} payloads, got {len(sendlist)}"
+                )
+        contrib, last = self._exchange(sendlist)
+        if last:
+            per_rank = [
+                sum(payload_nbytes(x) for x in contrib[r]) for r in range(self.size)
+            ]
+            self._record("alltoallv", max(per_rank, default=0), sum(per_rank))
+        return [contrib[src][self.rank] for src in range(self.size)]
+
     # ------------------------------------------------------------------ #
     # communicator management
     # ------------------------------------------------------------------ #
@@ -332,50 +418,82 @@ class SimComm:
         :meth:`~Request.wait` yields the message and whose
         :meth:`~Request.test` probes without blocking.  The caller
         computes in between — the overlap pattern of pipelined
-        algorithms."""
+        algorithms.
+
+        Matching follows MPI: messages between one (source, dest) pair
+        are queued in send order, a receive takes the *earliest* message
+        whose tag matches, and :meth:`~Request.test` claims the message
+        atomically — two outstanding requests can never complete against
+        the same message, and a ``test()`` never blocks.
+        """
         return Request(
-            recv_fn=lambda: self.recv(source, tag),
-            probe_fn=lambda: self._probe(source, tag),
+            wait_fn=lambda: self.recv(source, tag),
+            try_fn=lambda: self._try_recv(source, tag),
         )
 
-    def _probe(self, source: int, tag: int) -> bool:
-        """True if a message from ``source`` with ``tag`` is deliverable."""
-        ctx = self.world.context((*self.comm_id, "p2p", source, self.rank, tag))
+    def _p2p_context(self, src: int, dst: int) -> _CommContext:
+        """The shared message queue for one directed (src, dst) pair.
+
+        One queue per pair — not per (pair, tag) — so that tag matching
+        happens at *receive* time against the send-ordered queue, exactly
+        MPI's non-overtaking rule: a receive takes the earliest matching
+        message, and messages with other tags stay queued untouched.
+        """
+        return self.world.context((*self.comm_id, "p2p", src, dst))
+
+    def _match(self, ctx: _CommContext, tag: int):
+        """Earliest deliverable slot key matching ``tag``, else None.
+        Caller must hold ``ctx.cv``."""
+        ready = [
+            k for k, s in ctx.slots.items()
+            if s.complete and s.taken == 0 and s.tag == tag
+        ]
+        return min(ready) if ready else None
+
+    def _try_recv(self, source: int, tag: int) -> tuple[bool, Any]:
+        """Atomically claim the earliest matching message if one is
+        deliverable; returns ``(claimed, obj_or_None)`` without blocking."""
+        self._check_root(source, "source")
+        ctx = self._p2p_context(self.members[source], self.global_rank)
         with ctx.cv:
-            return any(
-                s.complete and s.taken == 0 for s in ctx.slots.values()
-            )
+            key = self._match(ctx, tag)
+            if key is None:
+                return False, None
+            slot = ctx.slots.pop(key)
+            slot.taken = 1
+            return True, slot.contrib[0]
 
     def send(self, obj, dest: int, tag: int = 0) -> None:
         """Blocking-buffered send to local rank ``dest``."""
         self._check_root(dest, "dest")
-        ctx = self.world.context((*self.comm_id, "p2p", self.rank, dest, tag))
+        ctx = self._p2p_context(self.global_rank, self.members[dest])
         with ctx.cv:
             seq = ctx.seq
             ctx.seq += 1
-            slot = ctx.slots[seq] = _Slot()
+            slot = ctx.slots[seq] = _Slot(tag=int(tag))
             slot.contrib[0] = obj
             slot.complete = True
             ctx.cv.notify_all()
-        self.world.tracker.record(
-            self.world.step_label, "send", 2, payload_nbytes(obj)
-        )
+        self._record("send", payload_nbytes(obj), comm_size=2)
 
     def recv(self, source: int, tag: int = 0):
-        """Blocking receive from local rank ``source`` (FIFO per (src, tag))."""
+        """Blocking receive from local rank ``source``.
+
+        Delivery is FIFO per (source, tag): among in-flight messages from
+        ``source``, the earliest one bearing ``tag`` is taken; messages
+        with other tags are left for their own receives (MPI tag
+        matching).
+        """
         self._check_root(source, "source")
-        ctx = self.world.context((*self.comm_id, "p2p", source, self.rank, tag))
+        ctx = self._p2p_context(self.members[source], self.global_rank)
         deadline = time.monotonic() + self.world.timeout
         with ctx.cv:
             while True:
-                ready = [k for k, s in ctx.slots.items() if s.complete and s.taken == 0]
-                if ready:
-                    key = min(ready)
-                    slot = ctx.slots[key]
+                key = self._match(ctx, tag)
+                if key is not None:
+                    slot = ctx.slots.pop(key)
                     slot.taken = 1
-                    obj = slot.contrib[0]
-                    del ctx.slots[key]
-                    return obj
+                    return slot.contrib[0]
                 if self.world.failed.is_set():
                     raise CommError("recv aborted: a peer rank failed")
                 remaining = deadline - time.monotonic()
@@ -398,21 +516,23 @@ class Request:
 
     ``wait()`` blocks until completion and returns the received object
     (``None`` for sends); ``test()`` returns ``(done, value_or_None)``
-    without blocking once complete.
+    and never blocks: it atomically claims the matching message via the
+    communicator's ``_try_recv`` (a probe-then-receive pair would race
+    with other requests on the same source and block inside ``test``).
     """
 
-    __slots__ = ("_recv_fn", "_probe_fn", "_done", "_value")
+    __slots__ = ("_wait_fn", "_try_fn", "_done", "_value")
 
-    def __init__(self, *, ready: bool = False, recv_fn=None, probe_fn=None) -> None:
-        self._recv_fn = recv_fn
-        self._probe_fn = probe_fn
+    def __init__(self, *, ready: bool = False, wait_fn=None, try_fn=None) -> None:
+        self._wait_fn = wait_fn
+        self._try_fn = try_fn
         self._done = ready
         self._value = None
 
     def wait(self):
         if not self._done:
-            if self._recv_fn is not None:
-                self._value = self._recv_fn()
+            if self._wait_fn is not None:
+                self._value = self._wait_fn()
             self._done = True
         return self._value
 
@@ -421,9 +541,14 @@ class Request:
         matching message has arrived."""
         if self._done:
             return True, self._value
-        if self._probe_fn is not None and self._probe_fn():
-            return True, self.wait()
-        return False, None
+        if self._try_fn is not None:
+            claimed, value = self._try_fn()
+            if claimed:
+                self._done = True
+                self._value = value
+                return True, value
+            return False, None
+        return True, self.wait()
 
 
 def _reduce(values: list, op: str):

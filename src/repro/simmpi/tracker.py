@@ -27,7 +27,8 @@ class CommEvent:
         Algorithm step label active when the collective ran ("" if none).
     op:
         Collective name: ``bcast`` / ``allreduce`` / ``allgather`` /
-        ``gather`` / ``scatter`` / ``alltoall`` / ``barrier``.
+        ``gather`` / ``scatter`` / ``alltoall`` / ``alltoallv`` /
+        ``send`` / ``barrier``.
     comm_size:
         Number of participating processes.
     nbytes:
@@ -40,6 +41,9 @@ class CommEvent:
     count:
         Number of identical collectives this event represents (always 1 at
         record time; aggregation sums it).
+    backend:
+        Communication-backend tag (``""`` when untagged, ``"dense"`` /
+        ``"sparse"`` when a :mod:`repro.comm` backend drove the transfer).
     """
 
     step: str
@@ -48,6 +52,7 @@ class CommEvent:
     nbytes: int
     total_bytes: int
     count: int = 1
+    backend: str = ""
 
     def latency_hops(self) -> int:
         """Message-startup count the α term multiplies, per the paper's
@@ -57,7 +62,7 @@ class CommEvent:
             return 0
         if self.op in ("bcast", "allreduce", "allgather", "gather", "scatter", "barrier"):
             return math.ceil(math.log2(self.comm_size))
-        if self.op == "alltoall":
+        if self.op in ("alltoall", "alltoallv"):
             return self.comm_size - 1
         return 1
 
@@ -81,12 +86,16 @@ class CommTracker:
         comm_size: int,
         nbytes: int,
         total_bytes: int | None = None,
+        backend: str = "",
     ) -> None:
         if total_bytes is None:
             total_bytes = nbytes * max(comm_size - 1, 1)
         with self._lock:
             self._events.append(
-                CommEvent(step, op, int(comm_size), int(nbytes), int(total_bytes))
+                CommEvent(
+                    step, op, int(comm_size), int(nbytes), int(total_bytes),
+                    backend=backend,
+                )
             )
 
     @property
@@ -120,14 +129,40 @@ class CommTracker:
             slot["latency_hops"] += ev.latency_hops() * ev.count
         return dict(agg)
 
-    def total_bytes(self, step: str | None = None) -> int:
-        """Total volume moved, optionally restricted to one step."""
+    def by_backend(self) -> dict[str, dict[str, float]]:
+        """Aggregate per communication-backend tag.
+
+        Returns ``{backend: {"messages": n, "nbytes": ..., "total_bytes":
+        ...}}`` — the dense-vs-sparse volume comparison the ``repro.comm``
+        benchmarks report.  Untagged events aggregate under ``""``.
+        """
+        agg: dict[str, dict[str, float]] = defaultdict(
+            lambda: {"messages": 0, "nbytes": 0, "total_bytes": 0}
+        )
+        for ev in self.events:
+            slot = agg[ev.backend]
+            slot["messages"] += ev.count
+            slot["nbytes"] += ev.nbytes * ev.count
+            slot["total_bytes"] += ev.total_bytes * ev.count
+        return dict(agg)
+
+    def total_bytes(self, step: str | None = None, backend: str | None = None) -> int:
+        """Total volume moved, optionally restricted to one step and/or
+        one backend tag."""
         return int(
-            sum(ev.total_bytes for ev in self.events if step is None or ev.step == step)
+            sum(
+                ev.total_bytes for ev in self.events
+                if (step is None or ev.step == step)
+                and (backend is None or ev.backend == backend)
+            )
         )
 
-    def message_count(self, step: str | None = None) -> int:
-        return sum(ev.count for ev in self.events if step is None or ev.step == step)
+    def message_count(self, step: str | None = None, backend: str | None = None) -> int:
+        return sum(
+            ev.count for ev in self.events
+            if (step is None or ev.step == step)
+            and (backend is None or ev.backend == backend)
+        )
 
     def format_table(self, title: str = "communication by step") -> str:
         agg = self.by_step()
@@ -145,4 +180,21 @@ class CommTracker:
                 f"  {step or '(none)':<{width}}  {a['messages']:>8d}  "
                 f"{a['nbytes']:>15,.0f}  {a['total_bytes']:>13,.0f}"
             )
+        backends = self.by_backend()
+        if any(tag for tag in backends):
+            lines.append("  volume by backend:")
+            for tag in sorted(backends):
+                a = backends[tag]
+                lines.append(
+                    f"    {tag or '(untagged)':<{max(width - 2, 6)}}  "
+                    f"{a['messages']:>8d}  {a['nbytes']:>15,.0f}  "
+                    f"{a['total_bytes']:>13,.0f}"
+                )
+            dense = backends.get("dense")
+            sparse = backends.get("sparse")
+            if dense and sparse and dense["total_bytes"]:
+                ratio = sparse["total_bytes"] / dense["total_bytes"]
+                lines.append(
+                    f"    sparse/dense volume ratio: {ratio:.3f}"
+                )
         return "\n".join(lines)

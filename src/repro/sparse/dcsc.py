@@ -25,7 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import FormatError
-from .matrix import INDEX_DTYPE, VALUE_DTYPE, SparseMatrix
+from .matrix import INDEX_DTYPE, SparseMatrix
 
 
 @dataclass(frozen=True)

@@ -121,6 +121,62 @@ def col_select(a: SparseMatrix, cols) -> SparseMatrix:
     )
 
 
+def nonempty_columns(a: SparseMatrix) -> np.ndarray:
+    """Boolean mask (length ``ncols``) of columns holding any nonzero."""
+    return np.diff(a.indptr) > 0
+
+
+def nonempty_rows(a: SparseMatrix) -> np.ndarray:
+    """Boolean mask (length ``nrows``) of rows holding any nonzero."""
+    mask = np.zeros(a.nrows, dtype=bool)
+    if a.nnz:
+        mask[a.rowidx] = True
+    return mask
+
+
+def mask_columns(a: SparseMatrix, keep) -> SparseMatrix:
+    """Drop every entry outside the ``keep`` columns; shape is preserved.
+
+    ``keep`` is a boolean mask of length ``ncols``.  Unlike
+    :func:`col_select` the result keeps the original width with the
+    dropped columns empty — the sparsity-aware communication layer ships
+    these filtered tiles so receivers can multiply them in place.
+    """
+    keep = np.asarray(keep, dtype=bool)
+    if keep.shape[0] != a.ncols:
+        raise ShapeError(
+            f"column mask length {keep.shape[0]} != ncols {a.ncols}"
+        )
+    counts = np.diff(a.indptr) * keep
+    indptr = np.concatenate(
+        (np.zeros(1, dtype=INDEX_DTYPE), np.cumsum(counts, dtype=INDEX_DTYPE))
+    )
+    entry_keep = np.repeat(keep, np.diff(a.indptr))
+    return SparseMatrix(
+        a.nrows, a.ncols, indptr, a.rowidx[entry_keep], a.values[entry_keep],
+        sorted_within_columns=a.sorted_within_columns, validate=False,
+    )
+
+
+def mask_rows(a: SparseMatrix, keep) -> SparseMatrix:
+    """Drop every entry outside the ``keep`` rows; shape is preserved.
+
+    ``keep`` is a boolean mask of length ``nrows``.
+    """
+    keep = np.asarray(keep, dtype=bool)
+    if keep.shape[0] != a.nrows:
+        raise ShapeError(f"row mask length {keep.shape[0]} != nrows {a.nrows}")
+    entry_keep = keep[a.rowidx] if a.nnz else np.zeros(0, dtype=bool)
+    csum = np.concatenate(
+        (np.zeros(1, dtype=INDEX_DTYPE), np.cumsum(entry_keep, dtype=INDEX_DTYPE))
+    )
+    indptr = csum[a.indptr]
+    return SparseMatrix(
+        a.nrows, a.ncols, indptr, a.rowidx[entry_keep], a.values[entry_keep],
+        sorted_within_columns=a.sorted_within_columns, validate=False,
+    )
+
+
 def col_split(a: SparseMatrix, nparts: int) -> list[SparseMatrix]:
     """Split into ``nparts`` contiguous column blocks (widths differ by <=1).
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...errors import ShapeError
-from ..matrix import INDEX_DTYPE, VALUE_DTYPE, SparseMatrix
+from ..matrix import VALUE_DTYPE, SparseMatrix
 from ..semiring import PLUS_TIMES, get_semiring
 from .esc import compress_products
 

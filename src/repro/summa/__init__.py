@@ -17,6 +17,7 @@ from .planner import (
     auto_config,
     batches_lower_bound,
     batches_upper_bound,
+    choose_backend,
     recommend_layers,
 )
 from .result import SummaResult, SymbolicResult
@@ -36,5 +37,6 @@ __all__ = [
     "PlanChoice",
     "batches_lower_bound",
     "batches_upper_bound",
+    "choose_backend",
     "recommend_layers",
 ]

@@ -39,6 +39,7 @@ def batched_summa3d(
     mask_complement: bool = False,
     batch_scheme: str = "block-cyclic",
     merge_policy: str = "deferred",
+    comm_backend="dense",
     spill_dir=None,
     tracker: CommTracker | None = None,
     timeout: float = 120.0,
@@ -92,6 +93,12 @@ def batched_summa3d(
         ``"deferred"`` (Alg. 1 line 8, the paper's choice) or
         ``"incremental"`` (merge each stage immediately: lower transient
         memory, potentially more merge work — Sec. III-A).
+    comm_backend:
+        How operand tiles move between ranks: ``"dense"`` (whole-tile
+        collectives, Table II), ``"sparse"`` (SpComm3D-style
+        sparsity-aware point-to-point, see :mod:`repro.comm`) or
+        ``"auto"`` (the extended α–β model picks per multiplication).
+        Both concrete backends produce bit-identical products.
     spill_dir:
         Directory to save each gathered batch to (``batch_<i>.npz``, the
         paper's "saved to disk by the application" mode).  Implies the
@@ -113,6 +120,13 @@ def batched_summa3d(
     grid = ProcGrid3D(nprocs, layers)
     if tracker is None:
         tracker = CommTracker()
+
+    if comm_backend == "auto":
+        from .planner import choose_backend
+
+        comm_backend = choose_backend(
+            a, b, nprocs=nprocs, layers=layers, batches=batches or 1
+        )
 
     if mask is not None:
         if mask.shape != (a.nrows, b.ncols):
@@ -136,6 +150,7 @@ def batched_summa3d(
         postprocess=postprocess,
         batch_scheme=batch_scheme,
         merge_policy=merge_policy,
+        comm_backend=comm_backend,
         tracker=tracker,
         timeout=timeout,
     )

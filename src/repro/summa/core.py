@@ -24,6 +24,7 @@ import time
 
 import numpy as np
 
+from ..comm import get_backend
 from ..errors import MemoryBudgetError
 from ..grid.distribution import (
     batch_layer_blocks,
@@ -43,6 +44,7 @@ from ..sparse.spgemm.symbolic import symbolic_nnz
 from ..utils.timing import StepTimes
 
 STEP_SYMBOLIC = "Symbolic"
+STEP_COMM_PLAN = "Comm-Plan"
 STEP_A_BCAST = "A-Broadcast"
 STEP_B_BCAST = "B-Broadcast"
 STEP_LOCAL_MULTIPLY = "Local-Multiply"
@@ -171,6 +173,7 @@ def spmd_batched_summa3d(
     postprocess=None,
     batch_scheme: str = "block-cyclic",
     merge_policy: str = "deferred",
+    comm_backend="dense",
 ) -> dict:
     """Alg. 4 (BatchedSUMMA3D) as executed by one rank.
 
@@ -197,6 +200,12 @@ def spmd_batched_summa3d(
         paper's choice, Alg. 1 line 8); ``"incremental"`` folds each stage
         into the running result immediately — lower transient memory, more
         merge work in the worst case (Sec. III-A discussion).
+    comm_backend:
+        ``"dense"`` (whole-tile collectives, the paper's Table II) or
+        ``"sparse"`` (SpComm3D-style sparsity-aware point-to-point; see
+        :mod:`repro.comm`), or a :class:`~repro.comm.CommBackend`
+        class/instance.  Both produce bit-identical results.  ``"auto"``
+        must be resolved by the driver before this point.
 
     Returns (per rank)
     ------------------
@@ -210,6 +219,7 @@ def spmd_batched_summa3d(
         )
     suite = get_suite(suite)
     semiring = get_semiring(semiring)
+    backend = get_backend(comm_backend)
     comms = GridComms.build(comm, grid)
     i, j, k = comms.i, comms.j, comms.k
     times = StepTimes()
@@ -247,17 +257,24 @@ def spmd_batched_summa3d(
         )
         b_batch = col_select(b_tile, local_cols)
 
+        # backend prologue: the sparse backend exchanges occupancy masks
+        # and derives its CommPlan here; the dense backend is a no-op.
+        t0 = time.perf_counter()
+        with comms.world.step(STEP_COMM_PLAN):
+            backend.prepare_batch(comms, a_tile, b_batch)
+        times.add(STEP_COMM_PLAN, time.perf_counter() - t0)
+
         # ---- SUMMA2D within the layer (Alg. 1) ----
         partials: list[SparseMatrix] = []
         for s in range(grid.stages):
             t0 = time.perf_counter()
             with comms.row.step(STEP_A_BCAST):
-                a_recv = comms.row.bcast(a_tile, root=s)
+                a_recv = backend.bcast_a(comms, a_tile, s)
             times.add(STEP_A_BCAST, time.perf_counter() - t0)
 
             t0 = time.perf_counter()
             with comms.col.step(STEP_B_BCAST):
-                b_recv = comms.col.bcast(b_batch, root=s)
+                b_recv = backend.bcast_b(comms, b_batch, s)
             times.add(STEP_B_BCAST, time.perf_counter() - t0)
 
             t0 = time.perf_counter()
@@ -297,7 +314,7 @@ def spmd_batched_summa3d(
             ]
             t0 = time.perf_counter()
             with comms.fiber.step(STEP_ALLTOALL_FIBER):
-                received = comms.fiber.alltoall(sendlist)
+                received = backend.fiber_exchange(comms, sendlist)
             times.add(STEP_ALLTOALL_FIBER, time.perf_counter() - t0)
             fiber_piece_nnz.append(sum(p.nnz for p in received))
             meter.transient = d_local.nbytes + sum(p.nbytes for p in received)
@@ -340,6 +357,7 @@ def spmd_batched_summa3d(
         meter.transient = 0
         meter.snapshot()
 
+    info["comm_backend"] = backend.name
     return {
         "pieces": pieces,
         "times": times,

@@ -73,6 +73,47 @@ class PlanChoice:
     batches: int
     predicted_seconds: float
     candidates: tuple  # (layers, batches, predicted_seconds) per option
+    backend: str = "dense"  # communication backend of the winning candidate
+
+
+def choose_backend(
+    a,
+    b,
+    *,
+    nprocs: int,
+    layers: int = 1,
+    batches: int = 1,
+    machine=None,
+) -> str:
+    """Pick ``"dense"`` or ``"sparse"`` for one multiplication via the
+    extended α–β model.
+
+    Prices both backends' communication steps at the given ``(p, l, b)``
+    — the sparse side including its ``Comm-Plan`` handshake — and returns
+    the cheaper one.  Dense wins ties: on near-dense tiles the sparse
+    backend moves the same bytes with strictly more messages.
+    """
+    from ..model.complexity import total_comm_time
+    from ..model.machine import CORI_KNL
+    from ..sparse.spgemm.symbolic import symbolic_flops
+
+    if nprocs // max(layers, 1) <= 1:
+        # single-stage grids broadcast nothing: no bytes to save
+        return "dense"
+    machine = machine if machine is not None else CORI_KNL
+    common = dict(
+        nprocs=nprocs,
+        layers=layers,
+        batches=batches,
+        nnz_a=a.nnz,
+        nnz_b=b.nnz,
+        flops=symbolic_flops(a, b),
+    )
+    dense = total_comm_time(machine, backend="dense", **common)
+    sparse = total_comm_time(
+        machine, backend="sparse", inner_dim=a.ncols, **common
+    )
+    return "sparse" if sparse < dense else "dense"
 
 
 def auto_config(
@@ -84,6 +125,7 @@ def auto_config(
     machine=None,
     use_symbolic: bool = True,
     bytes_per_nonzero: int = BYTES_PER_NONZERO,
+    backend: str = "dense",
 ) -> PlanChoice:
     """Choose layers and batches jointly for one multiplication.
 
@@ -97,6 +139,12 @@ def auto_config(
     usually gives the best result", Sec. V-D) and resolves its observed
     tension: more layers cut broadcasts but can *increase* the batch count
     (Fig. 10), so the two must be chosen together.
+
+    ``backend`` prices the candidates under one communication backend
+    (``"dense"`` or ``"sparse"``); ``"auto"`` scores each candidate under
+    both and keeps the cheaper, recording the winner in
+    ``PlanChoice.backend``.  Candidate tuples stay ``(layers, batches,
+    predicted_seconds)`` with the per-candidate best time.
     """
     import math as _math
 
@@ -105,6 +153,9 @@ def auto_config(
     from ..sparse.spgemm.symbolic import symbolic_flops, symbolic_nnz
 
     machine = machine if machine is not None else CORI_KNL
+    if backend not in ("dense", "sparse", "auto"):
+        raise PlannerError(f"unknown communication backend {backend!r}")
+    backends = ("dense", "sparse") if backend == "auto" else (backend,)
     stats = dict(
         nnz_a=a.nnz,
         nnz_b=b.nnz,
@@ -112,6 +163,7 @@ def auto_config(
         flops=symbolic_flops(a, b),
     )
     candidates = []
+    candidate_backends = []
     for layers in range(1, nprocs + 1):
         if nprocs % layers:
             continue
@@ -151,21 +203,31 @@ def auto_config(
                 )
             except ValueError:
                 continue
-        predicted = predict_steps(
-            machine, nprocs=nprocs, layers=layers, batches=batches, **stats
-        ).total()
+        predicted, cand_backend = min(
+            (
+                predict_steps(
+                    machine, nprocs=nprocs, layers=layers, batches=batches,
+                    comm_backend=be, inner_dim=a.ncols, **stats,
+                ).total(),
+                be,
+            )
+            for be in backends
+        )
         candidates.append((layers, batches, predicted))
+        candidate_backends.append(cand_backend)
     if not candidates:
         raise PlannerError(
             f"no feasible (layers, batches) configuration for nprocs={nprocs} "
             f"under budget {memory_budget}"
         )
-    best = min(candidates, key=lambda c: c[2])
+    best_idx = min(range(len(candidates)), key=lambda i: candidates[i][2])
+    best = candidates[best_idx]
     return PlanChoice(
         layers=best[0],
         batches=best[1],
         predicted_seconds=best[2],
         candidates=tuple(candidates),
+        backend=candidate_backends[best_idx],
     )
 
 

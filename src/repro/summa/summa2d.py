@@ -20,6 +20,7 @@ def summa2d(
     *,
     suite="esc",
     semiring="plus_times",
+    comm_backend="dense",
     tracker: CommTracker | None = None,
     timeout: float = 120.0,
 ) -> SummaResult:
@@ -36,6 +37,7 @@ def summa2d(
         batches=1,
         suite=suite,
         semiring=semiring,
+        comm_backend=comm_backend,
         tracker=tracker,
         timeout=timeout,
     )

@@ -21,6 +21,7 @@ def summa3d(
     *,
     suite="esc",
     semiring="plus_times",
+    comm_backend="dense",
     tracker: CommTracker | None = None,
     timeout: float = 120.0,
 ) -> SummaResult:
@@ -37,6 +38,7 @@ def summa3d(
         batches=1,
         suite=suite,
         semiring=semiring,
+        comm_backend=comm_backend,
         tracker=tracker,
         timeout=timeout,
     )

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.data import (
-    DATASETS,
     dataset_names,
     erdos_renyi,
     kmer_matrix,

@@ -17,7 +17,6 @@ from repro.grid.distribution import (
     nested_slice,
 )
 from repro.sparse import SparseMatrix, random_sparse
-from repro.sparse.ops import split_bounds
 
 
 class TestNestedSlice:

@@ -3,7 +3,6 @@ grids larger than the matrix — everything must stay correct when tiles
 are empty or one entry wide."""
 
 import numpy as np
-import pytest
 
 from repro.sparse import SparseMatrix, eye, multiply, random_sparse
 from repro.summa import batched_summa3d, summa2d, summa3d

@@ -8,7 +8,6 @@ Table II closed forms.
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.data import load_dataset, planted_partition

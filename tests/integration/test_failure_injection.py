@@ -9,14 +9,13 @@ spawns.
 import pytest
 
 from repro.errors import (
-    CommError,
     GridError,
     MemoryBudgetError,
     ShapeError,
     SpmdError,
 )
 from repro.simmpi import run_spmd
-from repro.sparse import SparseMatrix, random_sparse
+from repro.sparse import random_sparse
 from repro.summa import batched_summa3d, symbolic3d
 
 

@@ -18,7 +18,6 @@ from repro.model import (
     strong_scaling_series,
     total_comm_time,
 )
-from repro.model.complexity import step_times_closed_form
 
 STATS = dict(nnz_a=10**9, nnz_b=10**9, nnz_c=10**10, flops=10**12)
 #: comm/complexity functions take no nnz_c (Table II does not use it)

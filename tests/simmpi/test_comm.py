@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import CommError, SpmdError
+from repro.errors import SpmdError
 from repro.simmpi import CommTracker, run_spmd
 
 

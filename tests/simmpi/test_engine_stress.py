@@ -1,7 +1,6 @@
 """Stress and determinism tests for the SPMD engine at larger rank counts."""
 
 import numpy as np
-import pytest
 
 from repro.simmpi import CommTracker, run_spmd
 from repro.summa.verify import verify_installation

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ShapeError
-from repro.sparse import SparseMatrix, eye, multiply, random_sparse
+from repro.sparse import SparseMatrix, eye, multiply
 from repro.sparse.semiring import MIN_PLUS
 from repro.sparse.spgemm.outer import spgemm_outer
 

@@ -1,7 +1,6 @@
 """Tests for the kernel-suite registry and semiring registry surfaces."""
 
 import numpy as np
-import pytest
 
 from repro.sparse import random_sparse
 from repro.sparse.semiring import PLUS_PAIR, get_semiring

@@ -7,7 +7,6 @@ from repro.errors import ShapeError
 from repro.sparse import (
     SparseMatrix,
     eye,
-    random_sparse,
     spgemm_esc,
     symbolic_flops,
     symbolic_nnz,

@@ -6,7 +6,7 @@ import os
 import numpy as np
 import pytest
 
-from repro.sparse import load_matrix, multiply, random_sparse, transpose
+from repro.sparse import load_matrix, random_sparse
 from repro.summa import batched_summa3d, batched_summa3d_rows
 from tests.conftest import to_scipy
 

@@ -1,6 +1,5 @@
 """Unit tests for the SPMD core's internal building blocks."""
 
-import numpy as np
 import pytest
 
 from repro.grid import ProcGrid3D

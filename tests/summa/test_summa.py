@@ -106,7 +106,7 @@ class TestBatched:
         def on_batch(batch, spans, mat):
             seen[batch] = mat
 
-        r = batched_summa3d(
+        batched_summa3d(
             a, b, nprocs=4, batches=3, keep_output=False, on_batch=on_batch
         )
         assert sorted(seen) == [0, 1, 2]

@@ -1,6 +1,5 @@
 """Tests for the persistent distributed-matrix context."""
 
-import numpy as np
 import pytest
 
 from repro.dist import DistContext
