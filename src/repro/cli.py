@@ -83,16 +83,22 @@ def cmd_multiply(args) -> int:
         memory_budget=args.memory_budget,
         suite=args.suite,
         comm_backend=args.comm_backend,
+        overlap=args.overlap,
         keep_output=args.output is not None or not args.discard,
         tracker=tracker,
     )
     print(f"grid {result.grid!r}, batches = {result.batches}, "
-          f"comm backend = {result.info.get('comm_backend', args.comm_backend)}")
+          f"comm backend = {result.info.get('comm_backend', args.comm_backend)}, "
+          f"overlap = {result.info.get('overlap', args.overlap)}")
     if result.matrix is not None:
         print(f"nnz(C) = {result.matrix.nnz}")
     print(f"peak per-process memory: {result.max_local_bytes / 1e6:.3f} MB")
     print(result.step_times.format_table("step times (critical path)"))
     print(tracker.format_table())
+    if args.trace_out is not None:
+        result.export_trace(args.trace_out)
+        print(f"trace timeline saved to {args.trace_out} "
+              "(open in chrome://tracing or ui.perfetto.dev)")
     if args.output is not None and result.matrix is not None:
         _save(args.output, result.matrix)
         print(f"saved product to {args.output}")
@@ -145,6 +151,17 @@ def cmd_predict(args) -> int:
     print(f"{spec.name} @ {args.cores} cores of {machine.name}: "
           f"p = {nprocs}, l = {args.layers}, b = {batches}")
     print(times.format_table("modelled step times"))
+    if args.overlap != "off":
+        import math
+
+        from .model import overlapped_makespan
+
+        stages = max(1, round(math.sqrt(nprocs / max(args.layers, 1))))
+        makespan = overlapped_makespan(
+            times, stages=stages, overlap=args.overlap
+        )
+        print(f"  overlapped makespan ({args.overlap}): {makespan:12.6f} s "
+              f"({makespan / times.total():.1%} of sequential)")
     return 0
 
 
@@ -321,6 +338,12 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["dense", "sparse", "auto"],
                    help="operand exchange: dense collectives, SpComm3D-style "
                    "sparse point-to-point, or let the α–β model pick")
+    p.add_argument("--overlap", default="off", choices=["off", "depth1"],
+                   help="stage pipelining: depth1 prefetches the next "
+                   "stage's broadcasts behind the local multiply")
+    p.add_argument("--trace-out", default=None,
+                   help="export the per-op trace timeline here as "
+                   "chrome://tracing JSON")
     p.add_argument("--output", default=None, help="save product here")
     p.add_argument("--discard", action="store_true",
                    help="discard batches (memory-constrained mode)")
@@ -342,6 +365,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--layers", type=int, default=16)
     p.add_argument("--batches", type=int, default=None)
     p.add_argument("--machine", default="cori-knl", choices=sorted(MACHINES))
+    p.add_argument("--overlap", default="off", choices=["off", "depth1"],
+                   help="also report the pipelined makespan "
+                   "(max(comm, comp) per stage)")
     p.set_defaults(func=cmd_predict)
 
     p = sub.add_parser("doctor", help="verify the installation end to end")

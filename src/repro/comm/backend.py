@@ -25,7 +25,40 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from ..errors import CommError
+from ..simmpi.comm import Request
 from ..sparse.matrix import SparseMatrix
+
+
+class StagePrefetch:
+    """In-flight operand delivery for one pipelined SUMMA stage.
+
+    Returned by :meth:`CommBackend.prefetch_stage`; holds the two
+    nonblocking requests (A along the row communicator, B along the
+    column communicator) so the executor can run the *previous* stage's
+    local multiply before calling :meth:`wait_a` / :meth:`wait_b`.
+    """
+
+    __slots__ = ("_a", "_b")
+
+    def __init__(self, a_req: Request, b_req: Request) -> None:
+        self._a = a_req
+        self._b = b_req
+
+    def wait_a(self) -> SparseMatrix:
+        """Block until the stage's A operand has arrived; return it."""
+        return self._a.wait()
+
+    def wait_b(self) -> SparseMatrix:
+        """Block until the stage's B operand has arrived; return it."""
+        return self._b.wait()
+
+    @classmethod
+    def ready(cls, a_tile: SparseMatrix, b_tile: SparseMatrix) -> "StagePrefetch":
+        """A prefetch that already completed (both operands in hand)."""
+        return cls(
+            Request(ready=True, value=a_tile),
+            Request(ready=True, value=b_tile),
+        )
 
 
 class CommBackend(ABC):
@@ -56,6 +89,32 @@ class CommBackend(ABC):
         """Personalised exchange of fiber pieces along the fiber
         communicator; returns the received pieces indexed by source."""
 
+    def prefetch_stage(
+        self, comms, a_tile: SparseMatrix, b_batch: SparseMatrix, stage: int
+    ) -> StagePrefetch:
+        """Start delivering stage ``stage``'s operands without waiting.
+
+        Called by the :class:`~repro.summa.exec.PipelinedExecutor` while
+        the *previous* stage's local multiply has yet to run; the
+        executor waits on the returned :class:`StagePrefetch` inside the
+        stage's own broadcast spans.  All ranks issue prefetches at the
+        same program point, so any collective used here still lines up.
+
+        The base implementation is a correct-but-unoverlapped fallback
+        for backends that only define the blocking paths: it completes
+        both movements immediately (metered under the usual broadcast
+        step labels) and returns a finished prefetch.
+        """
+        # lazy import: repro.summa.core imports repro.comm, so the step
+        # vocabulary must not be pulled in at module import time.
+        from ..summa.trace import STEP_A_BCAST, STEP_B_BCAST
+
+        with comms.row.step(STEP_A_BCAST):
+            a = self.bcast_a(comms, a_tile, stage)
+        with comms.col.step(STEP_B_BCAST):
+            b = self.bcast_b(comms, b_batch, stage)
+        return StagePrefetch.ready(a, b)
+
 
 class DenseCollective(CommBackend):
     """Today's behaviour behind the interface: dense collectives.
@@ -78,6 +137,19 @@ class DenseCollective(CommBackend):
     def fiber_exchange(self, comms, sendlist: list) -> list:
         with comms.fiber.backend_scope(self.name):
             return comms.fiber.alltoallv(sendlist)
+
+    def prefetch_stage(
+        self, comms, a_tile: SparseMatrix, b_batch: SparseMatrix, stage: int
+    ) -> StagePrefetch:
+        """Issue both broadcasts as nonblocking :meth:`SimComm.ibcast`
+        fan-outs, tagged by stage so in-flight stages never cross-match."""
+        from ..summa.trace import STEP_A_BCAST, STEP_B_BCAST
+
+        with comms.row.step(STEP_A_BCAST), comms.row.backend_scope(self.name):
+            a_req = comms.row.ibcast(a_tile, root=stage, tag=stage)
+        with comms.col.step(STEP_B_BCAST), comms.col.backend_scope(self.name):
+            b_req = comms.col.ibcast(b_batch, root=stage, tag=stage)
+        return StagePrefetch(a_req, b_req)
 
 
 def get_backend(backend) -> CommBackend:

@@ -22,9 +22,10 @@ exactly this trade-off, which is how ``backend="auto"`` chooses.
 
 from __future__ import annotations
 
+from ..simmpi.comm import Request
 from ..sparse.matrix import SparseMatrix
 from ..sparse.ops import mask_columns, mask_rows, nonempty_columns, nonempty_rows
-from .backend import CommBackend
+from .backend import CommBackend, StagePrefetch
 from .plan import CommPlan, pack_mask, unpack_mask
 
 
@@ -115,3 +116,38 @@ class SparseP2P(CommBackend):
         # volumes under the sparse tag.
         with comms.fiber.backend_scope(self.name):
             return comms.fiber.alltoallv(sendlist)
+
+    def prefetch_stage(
+        self, comms, a_tile: SparseMatrix, b_batch: SparseMatrix, stage: int
+    ) -> StagePrefetch:
+        """Issue the masked stage sends without waiting: the root's
+        ``isend`` fan-out buffers immediately and non-roots hold an
+        ``irecv`` request, so the previous stage's multiply overlaps the
+        segment transfers.  The within-batch plan is already in place
+        (stage 0 of every batch runs blocking, after ``prepare_batch``)."""
+        from ..summa.trace import STEP_A_BCAST, STEP_B_BCAST
+
+        row, col = comms.row, comms.col
+        with row.step(STEP_A_BCAST), row.backend_scope(self.name):
+            if row.rank == stage:
+                for t in range(row.size):
+                    if t != stage:
+                        row.isend(
+                            mask_columns(a_tile, self.plan.a_requests[t]),
+                            dest=t, tag=stage,
+                        )
+                a_req = Request(ready=True, value=a_tile)
+            else:
+                a_req = row.irecv(stage, tag=stage)
+        with col.step(STEP_B_BCAST), col.backend_scope(self.name):
+            if col.rank == stage:
+                for t in range(col.size):
+                    if t != stage:
+                        col.isend(
+                            mask_rows(b_batch, self.plan.b_requests[t]),
+                            dest=t, tag=stage,
+                        )
+                b_req = Request(ready=True, value=b_batch)
+            else:
+                b_req = col.irecv(stage, tag=stage)
+        return StagePrefetch(a_req, b_req)

@@ -59,3 +59,8 @@ class SpmdError(ReproError, RuntimeError):
 
 class PlannerError(ReproError, ValueError):
     """The layer/batch planner was given an infeasible configuration."""
+
+
+class ExecPlanError(ReproError, ValueError):
+    """A compiled execution plan is malformed (opids out of order, a
+    dependency pointing at a later op, an unknown overlap mode)."""

@@ -27,7 +27,9 @@ from .predictor import (
     ScalePoint,
     estimate_batches,
     estimate_dk_nnz,
+    overlapped_makespan,
     parallel_efficiency,
+    predict_makespan,
     predict_steps,
     strong_scaling_series,
 )
@@ -41,6 +43,8 @@ __all__ = [
     "comp_complexity",
     "total_comm_time",
     "predict_steps",
+    "predict_makespan",
+    "overlapped_makespan",
     "estimate_batches",
     "estimate_dk_nnz",
     "parallel_efficiency",

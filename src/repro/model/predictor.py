@@ -125,6 +125,62 @@ def predict_steps(
     return StepTimes(dict(times))
 
 
+def overlapped_makespan(
+    times: StepTimes,
+    *,
+    stages: int,
+    overlap: str = "depth1",
+) -> float:
+    """Modelled makespan when per-stage broadcasts overlap the multiply.
+
+    The sequential cost model sums every step; a depth-1 pipelined
+    executor instead hides each stage's A/B broadcast behind the previous
+    stage's Local-Multiply.  With per-stage communication ``c`` and
+    computation ``m`` (the step totals split evenly over ``stages``), the
+    classic software-pipelining makespan is
+
+        ``c + (stages - 1) * max(c, m) + m``
+
+    — a fill stage, ``stages - 1`` overlapped steady-state stages, and a
+    drain multiply.  All non-overlappable steps (Symbolic, Comm-Plan,
+    merges, fiber exchange, postprocess) are charged at full cost.  With
+    ``overlap="off"`` (or a single stage) this reduces exactly to
+    ``times.total()``, so planners can score both modes uniformly.
+    """
+    if overlap not in ("off", "depth1"):
+        raise ValueError(
+            f"unknown overlap mode {overlap!r}; expected 'off' or 'depth1'"
+        )
+    total = times.total()
+    if overlap == "off" or stages <= 1:
+        return total
+    comm = times.get("A-Broadcast") + times.get("B-Broadcast")
+    comp = times.get("Local-Multiply")
+    c = comm / stages
+    m = comp / stages
+    pipelined = c + (stages - 1) * max(c, m) + m
+    return total - comm - comp + pipelined
+
+
+def predict_makespan(
+    machine: MachineSpec,
+    *,
+    nprocs: int,
+    layers: int,
+    overlap: str = "off",
+    **kwargs,
+) -> float:
+    """Total modelled seconds for one execution under an ``overlap`` mode.
+
+    Convenience over :func:`predict_steps` + :func:`overlapped_makespan`
+    with the grid's stage count ``sqrt(p / l)`` filled in; the quantity
+    ``auto_config`` / ``choose_backend`` minimise.
+    """
+    times = predict_steps(machine, nprocs=nprocs, layers=layers, **kwargs)
+    stages = max(1, round(math.sqrt(nprocs / max(layers, 1))))
+    return overlapped_makespan(times, stages=stages, overlap=overlap)
+
+
 @dataclass
 class ScalePoint:
     """One concurrency point of a strong-scaling series."""

@@ -3,7 +3,7 @@
 A :class:`SimComm` is one rank's handle on a communicator, mirroring the
 mpi4py API surface the SUMMA algorithms need: ``barrier``, ``bcast``,
 ``allreduce``, ``allgather``, ``gather``, ``scatter``, ``alltoall``,
-``alltoallv``, ``send``/``recv``/``isend``/``irecv`` and ``split``.  Ranks run as threads (see
+``alltoallv``, ``send``/``recv``/``isend``/``irecv``/``ibcast`` and ``split``.  Ranks run as threads (see
 :mod:`repro.simmpi.engine`); collectives rendezvous through
 generation-counted slots, so the same program order on every member lines
 up automatically — exactly the SPMD contract of MPI.
@@ -413,6 +413,32 @@ class SimComm:
         self.send(obj, dest, tag)
         return Request(ready=True)
 
+    def ibcast(self, obj, root: int = 0, tag: int = 0) -> "Request":
+        """Nonblocking broadcast built on the tag-matched point-to-point
+        layer: the root fans ``obj`` out with :meth:`isend` (buffered, so
+        its request is born complete and carries ``obj`` as its value);
+        every other member gets an :meth:`irecv` request it can wait on
+        after overlapped computation.
+
+        Unlike :meth:`bcast` there is no rendezvous — the root returns
+        immediately — so a stage's broadcast can be *issued* while the
+        previous stage's multiply runs (software double-buffering).  The
+        ``tag`` keeps concurrent in-flight broadcasts (e.g. stage ``s``
+        and the prefetched stage ``s+1``) from matching each other's
+        messages.
+
+        Metering: the root's fan-out records ``size - 1`` individual
+        ``send`` events of ``nbytes`` each — the same total bytes as one
+        ``bcast`` event of ``nbytes * (size - 1)``.
+        """
+        self._check_root(root)
+        if self.rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self.isend(obj, dest, tag)
+            return Request(ready=True, value=obj)
+        return self.irecv(root, tag)
+
     def irecv(self, source: int, tag: int = 0) -> "Request":
         """Nonblocking receive: returns a :class:`Request` whose
         :meth:`~Request.wait` yields the message and whose
@@ -523,11 +549,13 @@ class Request:
 
     __slots__ = ("_wait_fn", "_try_fn", "_done", "_value")
 
-    def __init__(self, *, ready: bool = False, wait_fn=None, try_fn=None) -> None:
+    def __init__(
+        self, *, ready: bool = False, wait_fn=None, try_fn=None, value=None
+    ) -> None:
         self._wait_fn = wait_fn
         self._try_fn = try_fn
         self._done = ready
-        self._value = None
+        self._value = value
 
     def wait(self):
         if not self._done:

@@ -9,9 +9,24 @@
 
 All run on the simulated-MPI runtime; pass a
 :class:`~repro.simmpi.CommTracker` to meter every collective.
+
+The drivers no longer hard-code their stage order: they compile to the
+execution-plan IR of :mod:`repro.summa.exec` and run under either the
+:class:`~repro.summa.exec.SequentialExecutor` (``overlap="off"``) or the
+:class:`~repro.summa.exec.PipelinedExecutor` (``overlap="depth1"``),
+with structured per-op tracing from :mod:`repro.summa.trace`.
 """
 
 from .batched import batched_summa3d, batched_summa3d_rows
+from .exec import (
+    OVERLAP_MODES,
+    ExecutionPlan,
+    PipelinedExecutor,
+    SequentialExecutor,
+    StageOp,
+    compile_batched_summa3d,
+    get_executor,
+)
 from .planner import (
     PlanChoice,
     auto_config,
@@ -24,6 +39,15 @@ from .result import SummaResult, SymbolicResult
 from .summa2d import summa2d
 from .summa3d import summa3d
 from .symbolic3d import symbolic3d
+from .trace import (
+    TraceSpan,
+    Tracer,
+    export_chrome_trace,
+    merge_traces,
+    to_chrome_trace,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+)
 
 __all__ = [
     "summa2d",
@@ -39,4 +63,20 @@ __all__ = [
     "batches_upper_bound",
     "choose_backend",
     "recommend_layers",
+    # execution-plan IR and executors
+    "StageOp",
+    "ExecutionPlan",
+    "SequentialExecutor",
+    "PipelinedExecutor",
+    "compile_batched_summa3d",
+    "get_executor",
+    "OVERLAP_MODES",
+    # structured tracing
+    "Tracer",
+    "TraceSpan",
+    "merge_traces",
+    "to_chrome_trace",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
 ]

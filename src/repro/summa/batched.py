@@ -8,6 +8,9 @@ distributed symbolic step (Alg. 3) chooses ``b`` exactly as the paper does.
 
 from __future__ import annotations
 
+import os
+import threading
+
 import numpy as np
 
 from ..errors import ShapeError
@@ -15,10 +18,45 @@ from ..grid.distribution import gather_tiles
 from ..grid.grid3d import ProcGrid3D
 from ..simmpi.engine import run_spmd
 from ..simmpi.tracker import CommTracker
+from ..sparse.io import save_matrix
 from ..sparse.matrix import BYTES_PER_NONZERO, SparseMatrix
 from ..utils.timing import StepTimes
 from .core import spmd_batched_summa3d
+from .exec import OVERLAP_MODES
 from .result import SummaResult
+
+
+class _BatchPieceCollector:
+    """Driver-side sink for the memory-constrained streaming path.
+
+    When the caller discards the output (``keep_output=False``) but still
+    consumes batches (``spill_dir`` / ``on_batch``), ranks used to hold
+    every piece anyway so the driver could gather them afterwards —
+    defeating the point of batching.  Instead each rank now hands its
+    finished piece to :meth:`sink` (called from the rank threads, hence
+    the lock) and frees it; once all ``nprocs`` pieces of a batch are in,
+    the batch is gathered immediately and the pieces dropped.  The driver
+    flushes completed batches in batch order after the run.
+    """
+
+    def __init__(self, nprocs: int, nrows: int, ncols: int) -> None:
+        self._lock = threading.Lock()
+        self._nprocs = nprocs
+        self._nrows = nrows
+        self._ncols = ncols
+        self._pending: dict[int, list] = {}
+        self.completed: dict[int, tuple[list, SparseMatrix]] = {}
+
+    def sink(self, batch: int, r0: int, c0: int, tile: SparseMatrix) -> None:
+        with self._lock:
+            pieces = self._pending.setdefault(batch, [])
+            pieces.append((r0, c0, tile))
+            if len(pieces) == self._nprocs:
+                del self._pending[batch]
+                spans = sorted({(c, c + t.ncols) for _r, c, t in pieces})
+                self.completed[batch] = (
+                    spans, gather_tiles(self._nrows, self._ncols, pieces),
+                )
 
 
 def batched_summa3d(
@@ -40,6 +78,7 @@ def batched_summa3d(
     batch_scheme: str = "block-cyclic",
     merge_policy: str = "deferred",
     comm_backend="dense",
+    overlap: str = "off",
     spill_dir=None,
     tracker: CommTracker | None = None,
     timeout: float = 120.0,
@@ -99,6 +138,12 @@ def batched_summa3d(
         sparsity-aware point-to-point, see :mod:`repro.comm`) or
         ``"auto"`` (the extended α–β model picks per multiplication).
         Both concrete backends produce bit-identical products.
+    overlap:
+        ``"off"`` (default) executes stages strictly in order;
+        ``"depth1"`` pipelines — stage ``s+1``'s broadcasts are issued
+        (nonblocking) before stage ``s``'s local multiply so transfer
+        hides behind compute.  Products are bit-identical and the same
+        bytes move per step; see :mod:`repro.summa.exec`.
     spill_dir:
         Directory to save each gathered batch to (``batch_<i>.npz``, the
         paper's "saved to disk by the application" mode).  Implies the
@@ -117,6 +162,10 @@ def batched_summa3d(
         )
     if batches is not None and batches < 1:
         raise ShapeError(f"batches must be >= 1, got {batches}")
+    if overlap not in OVERLAP_MODES:
+        raise ValueError(
+            f"unknown overlap mode {overlap!r}; expected one of {OVERLAP_MODES}"
+        )
     grid = ProcGrid3D(nprocs, layers)
     if tracker is None:
         tracker = CommTracker()
@@ -125,7 +174,8 @@ def batched_summa3d(
         from .planner import choose_backend
 
         comm_backend = choose_backend(
-            a, b, nprocs=nprocs, layers=layers, batches=batches or 1
+            a, b, nprocs=nprocs, layers=layers, batches=batches or 1,
+            overlap=overlap,
         )
 
     if mask is not None:
@@ -134,6 +184,13 @@ def batched_summa3d(
                 f"mask shape {mask.shape} != product shape {(a.nrows, b.ncols)}"
             )
         postprocess = _compose_mask(mask, mask_complement, postprocess)
+
+    # Memory-constrained streaming: when the output is discarded but
+    # batches are still consumed, ranks stream each finished piece to the
+    # driver instead of holding it, so per-rank memory stays flat.
+    collector = None
+    if not keep_output and (on_batch is not None or spill_dir is not None):
+        collector = _BatchPieceCollector(nprocs, a.nrows, b.ncols)
 
     per_rank = run_spmd(
         nprocs,
@@ -146,11 +203,13 @@ def batched_summa3d(
         bytes_per_nonzero=bytes_per_nonzero,
         suite=suite,
         semiring=semiring,
-        keep_pieces=keep_output or on_batch is not None or spill_dir is not None,
+        keep_pieces=keep_output,
         postprocess=postprocess,
         batch_scheme=batch_scheme,
         merge_policy=merge_policy,
         comm_backend=comm_backend,
+        overlap=overlap,
+        piece_sink=collector.sink if collector is not None else None,
         tracker=tracker,
         timeout=timeout,
     )
@@ -171,13 +230,23 @@ def batched_summa3d(
     info["batch_scheme"] = batch_scheme
     info["merge_policy"] = merge_policy
 
+    if spill_dir is not None:
+        os.makedirs(spill_dir, exist_ok=True)
+
+    def consume(batch: int, spans: list, batch_matrix: SparseMatrix) -> None:
+        if spill_dir is not None:
+            save_matrix(
+                os.path.join(spill_dir, f"batch_{batch}.npz"), batch_matrix
+            )
+        if on_batch is not None:
+            on_batch(batch, spans, batch_matrix)
+
     matrix = None
-    if keep_output or on_batch is not None or spill_dir is not None:
-        all_pieces = [
-            (r0, c0, tile)
-            for r in per_rank
-            for (_batch, r0, c0, tile) in r["pieces"]
-        ]
+    if collector is not None:
+        for batch in range(ran_batches):
+            spans, batch_matrix = collector.completed.pop(batch)
+            consume(batch, spans, batch_matrix)
+    elif keep_output:
         if on_batch is not None or spill_dir is not None:
             for batch in range(ran_batches):
                 batch_pieces = [
@@ -188,20 +257,13 @@ def batched_summa3d(
                 ]
                 batch_matrix = gather_tiles(a.nrows, b.ncols, batch_pieces)
                 spans = sorted({(c0, c0 + t.ncols) for _r0, c0, t in batch_pieces})
-                if spill_dir is not None:
-                    import os
-
-                    from ..sparse.io import save_matrix
-
-                    os.makedirs(spill_dir, exist_ok=True)
-                    save_matrix(
-                        os.path.join(spill_dir, f"batch_{batch}.npz"),
-                        batch_matrix,
-                    )
-                if on_batch is not None:
-                    on_batch(batch, spans, batch_matrix)
-        if keep_output:
-            matrix = gather_tiles(a.nrows, b.ncols, all_pieces)
+                consume(batch, spans, batch_matrix)
+        all_pieces = [
+            (r0, c0, tile)
+            for r in per_rank
+            for (_batch, r0, c0, tile) in r["pieces"]
+        ]
+        matrix = gather_tiles(a.nrows, b.ncols, all_pieces)
 
     return SummaResult(
         matrix=matrix,
@@ -212,6 +274,7 @@ def batched_summa3d(
         tracker=tracker,
         max_local_bytes=max_local_bytes,
         info=info,
+        trace=[r["trace"] for r in per_rank],
     )
 
 
@@ -269,10 +332,16 @@ def batched_summa3d_rows(
     *,
     batches: int | None = None,
     memory_budget: int | None = None,
+    bytes_per_nonzero: int = BYTES_PER_NONZERO,
     suite="esc",
     semiring="plus_times",
     keep_output: bool = True,
     on_batch=None,
+    batch_scheme: str = "block-cyclic",
+    merge_policy: str = "deferred",
+    comm_backend="dense",
+    overlap: str = "off",
+    spill_dir=None,
     tracker: CommTracker | None = None,
     timeout: float = 120.0,
 ) -> SummaResult:
@@ -290,11 +359,24 @@ def batched_summa3d_rows(
 
     Only ordinary arithmetic and other commutative-multiply semirings
     preserve the identity; the multiply order is swapped by the transpose.
+
+    All batching/communication knobs of :func:`batched_summa3d`
+    (``batch_scheme``, ``merge_policy``, ``comm_backend``, ``overlap``,
+    ``bytes_per_nonzero``, ``spill_dir``) apply unchanged — they act on
+    the transposed run.  Spilled batch files hold *row* blocks of ``C``
+    (already transposed back), consistent with ``on_batch``.
     """
     from ..sparse.ops import transpose
 
+    # spilling is handled here, not forwarded: the inner run computes
+    # Cᵀ, and files must hold row blocks of C, transposed back.
     def transposed_hook(batch, spans, batch_matrix):
-        on_batch(batch, spans, transpose(batch_matrix))
+        mat = transpose(batch_matrix)
+        if spill_dir is not None:
+            os.makedirs(spill_dir, exist_ok=True)
+            save_matrix(os.path.join(spill_dir, f"batch_{batch}.npz"), mat)
+        if on_batch is not None:
+            on_batch(batch, spans, mat)
 
     result = batched_summa3d(
         transpose(b),
@@ -303,10 +385,19 @@ def batched_summa3d_rows(
         layers=layers,
         batches=batches,
         memory_budget=memory_budget,
+        bytes_per_nonzero=bytes_per_nonzero,
         suite=suite,
         semiring=semiring,
         keep_output=keep_output,
-        on_batch=transposed_hook if on_batch is not None else None,
+        on_batch=(
+            transposed_hook
+            if (on_batch is not None or spill_dir is not None)
+            else None
+        ),
+        batch_scheme=batch_scheme,
+        merge_policy=merge_policy,
+        comm_backend=comm_backend,
+        overlap=overlap,
         tracker=tracker,
         timeout=timeout,
     )

@@ -12,6 +12,17 @@ SUMMA3D (Alg. 2)        l         1
 BatchedSUMMA3D (Alg.4)  l         b (symbolic or given)
 =====================  ========  =========
 
+The body itself is *compiled*, not hand-written: this module assembles
+per-rank state, hands the algorithm's shape to
+:func:`repro.summa.exec.compile_batched_summa3d`, and runs the resulting
+:class:`~repro.summa.exec.ExecutionPlan` under the executor selected by
+the ``overlap=`` knob (``"off"`` — sequential, today's exact behaviour;
+``"depth1"`` — broadcasts of stage ``s+1`` prefetched behind stage
+``s``'s multiply).  All timing flows through
+:class:`~repro.summa.trace.Tracer` spans — there is no inline clock
+bookkeeping here — and still reduces to the classic
+:class:`~repro.utils.timing.StepTimes` breakdown.
+
 Step labels match the paper's breakdowns exactly: ``Symbolic``,
 ``A-Broadcast``, ``B-Broadcast``, ``Local-Multiply``, ``Merge-Layer``,
 ``AllToAll-Fiber``, ``Merge-Fiber`` — every figure in the evaluation
@@ -20,48 +31,40 @@ section is a stack of these.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from ..comm import get_backend
 from ..errors import MemoryBudgetError
-from ..grid.distribution import (
-    batch_layer_blocks,
-    batch_local_columns,
-    c_tile_columns,
-    extract_a_tile,
-    extract_b_tile,
-    gather_tiles,
-)
+from ..grid.distribution import extract_a_tile, extract_b_tile
 from ..grid.grid3d import GridComms, ProcGrid3D
 from ..simmpi.comm import SimComm
 from ..sparse.matrix import BYTES_PER_NONZERO, SparseMatrix
-from ..sparse.ops import col_select, col_slice, split_bounds, submatrix
+from ..sparse.ops import split_bounds
 from ..sparse.semiring import get_semiring
 from ..sparse.spgemm.suite import get_suite
 from ..sparse.spgemm.symbolic import symbolic_nnz
-from ..utils.timing import StepTimes
-
-STEP_SYMBOLIC = "Symbolic"
-STEP_COMM_PLAN = "Comm-Plan"
-STEP_A_BCAST = "A-Broadcast"
-STEP_B_BCAST = "B-Broadcast"
-STEP_LOCAL_MULTIPLY = "Local-Multiply"
-STEP_MERGE_LAYER = "Merge-Layer"
-STEP_ALLTOALL_FIBER = "AllToAll-Fiber"
-STEP_MERGE_FIBER = "Merge-Fiber"
-STEP_POSTPROCESS = "Batch-Postprocess"
-
-ALL_STEPS = (
-    STEP_SYMBOLIC,
+from .exec import ExecState, compile_batched_summa3d, get_executor
+from .trace import (
+    ALL_STEPS,
     STEP_A_BCAST,
-    STEP_B_BCAST,
-    STEP_LOCAL_MULTIPLY,
-    STEP_MERGE_LAYER,
     STEP_ALLTOALL_FIBER,
+    STEP_B_BCAST,
+    STEP_COMM_PLAN,
+    STEP_LOCAL_MULTIPLY,
     STEP_MERGE_FIBER,
+    STEP_MERGE_LAYER,
+    STEP_POSTPROCESS,
+    STEP_SYMBOLIC,
+    Tracer,
 )
+
+__all__ = [
+    "ALL_STEPS",
+    "STEP_SYMBOLIC", "STEP_COMM_PLAN", "STEP_A_BCAST", "STEP_B_BCAST",
+    "STEP_LOCAL_MULTIPLY", "STEP_MERGE_LAYER", "STEP_ALLTOALL_FIBER",
+    "STEP_MERGE_FIBER", "STEP_POSTPROCESS",
+    "TileSource", "spmd_symbolic3d", "spmd_batched_summa3d",
+]
 
 
 class TileSource:
@@ -116,7 +119,7 @@ def spmd_symbolic3d(
     b: SparseMatrix,
     memory_budget: int,
     bytes_per_nonzero: int,
-    times: StepTimes,
+    tracer: Tracer,
 ) -> dict:
     """Alg. 3 as seen by one rank: returns the batch count and statistics.
 
@@ -126,9 +129,8 @@ def spmd_symbolic3d(
     grid = comms.grid
     a_tile = _operand_tile(a, grid, comms.world.rank, "A")
     b_tile = _operand_tile(b, grid, comms.world.rank, "B")
-    t0 = time.perf_counter()
     local_unmerged_nnz = 0
-    with comms.world.step(STEP_SYMBOLIC):
+    with tracer.span(STEP_SYMBOLIC), comms.world.step(STEP_SYMBOLIC):
         for s in range(grid.stages):
             a_recv = comms.row.bcast(a_tile, root=s)
             b_recv = comms.col.bcast(b_tile, root=s)
@@ -138,7 +140,6 @@ def spmd_symbolic3d(
         max_nnz_c = comms.world.allreduce(local_unmerged_nnz, op="max")
         max_nnz_a = comms.world.allreduce(a_tile.nnz, op="max")
         max_nnz_b = comms.world.allreduce(b_tile.nnz, op="max")
-    times.add(STEP_SYMBOLIC, time.perf_counter() - t0)
 
     r = bytes_per_nonzero
     per_proc = memory_budget / grid.nprocs
@@ -174,6 +175,8 @@ def spmd_batched_summa3d(
     batch_scheme: str = "block-cyclic",
     merge_policy: str = "deferred",
     comm_backend="dense",
+    overlap: str = "off",
+    piece_sink=None,
 ) -> dict:
     """Alg. 4 (BatchedSUMMA3D) as executed by one rank.
 
@@ -206,23 +209,36 @@ def spmd_batched_summa3d(
         :mod:`repro.comm`), or a :class:`~repro.comm.CommBackend`
         class/instance.  Both produce bit-identical results.  ``"auto"``
         must be resolved by the driver before this point.
+    overlap:
+        ``"off"`` runs the :class:`~repro.summa.exec.SequentialExecutor`
+        (the strict stage order); ``"depth1"`` runs the
+        :class:`~repro.summa.exec.PipelinedExecutor`, which prefetches
+        stage ``s+1``'s operands behind stage ``s``'s local multiply.
+        Bit-identical products either way.
+    piece_sink:
+        Optional ``fn(batch, r0, c0, tile)`` that receives each finished
+        output piece *instead of* it being held in ``pieces`` — the
+        memory-constrained streaming path (spilling / per-batch hooks
+        with ``keep_output=False``), where held bytes must not grow with
+        the batch count.
 
     Returns (per rank)
     ------------------
     dict with ``pieces`` (list of ``(batch, r0, c0, tile)``), ``times``,
-    ``batches``, ``max_local_bytes`` and symbolic statistics when run.
+    ``batches``, ``max_local_bytes``, the per-rank ``trace``
+    (:class:`~repro.summa.trace.Tracer`) and symbolic statistics when run.
     """
     if merge_policy not in ("deferred", "incremental"):
         raise ValueError(
             f"unknown merge policy {merge_policy!r}; "
             "expected 'deferred' or 'incremental'"
         )
+    executor = get_executor(overlap)
     suite = get_suite(suite)
     semiring = get_semiring(semiring)
     backend = get_backend(comm_backend)
     comms = GridComms.build(comm, grid)
-    i, j, k = comms.i, comms.j, comms.k
-    times = StepTimes()
+    tracer = Tracer(rank=comm.rank)
     info: dict = {}
 
     if batches is None:
@@ -230,7 +246,7 @@ def spmd_batched_summa3d(
             batches = 1
         else:
             sym = spmd_symbolic3d(
-                comms, a, b, memory_budget, bytes_per_nonzero, times
+                comms, a, b, memory_budget, bytes_per_nonzero, tracer
             )
             batches = sym["batches"]
             info["symbolic"] = sym
@@ -240,129 +256,45 @@ def spmd_batched_summa3d(
     if suite.requires_sorted_inputs:
         a_tile = a_tile.sort_indices()
         b_tile = b_tile.sort_indices()
-    meter = _MemoryMeter(a_tile.nbytes + b_tile.nbytes)
 
-    # geometry shared by every batch
-    row_bounds = split_bounds(a.nrows, grid.pr)
-    r0 = int(row_bounds[i])
+    # assemble the per-rank execution state
+    state = ExecState()
+    state.comms = comms
+    state.grid = grid
+    state.backend = backend
+    state.suite = suite
+    state.semiring = semiring
+    state.a_tile = a_tile
+    state.b_tile = b_tile
+    state.meter = _MemoryMeter(a_tile.nbytes + b_tile.nbytes)
+    state.batches = batches
+    state.batch_scheme = batch_scheme
+    state.a_nrows = a.nrows
+    state.b_ncols = b.ncols
+    state.row_bounds = split_bounds(a.nrows, grid.pr)
+    state.r0 = int(state.row_bounds[comms.i])
     col_super = split_bounds(b.ncols, grid.pc)
-    super_w = int(col_super[j + 1]) - int(col_super[j])
+    state.super_w = int(col_super[comms.j + 1]) - int(col_super[comms.j])
+    state.postprocess = postprocess
+    state.keep_pieces = keep_pieces
+    state.piece_sink = piece_sink
 
-    # ColSplit of local B into b batches (Alg. 4 line 4)
-    pieces: list[tuple[int, int, int, SparseMatrix]] = []
-    fiber_piece_nnz: list[int] = []  # per-batch received fiber volume
-    for batch in range(batches):
-        local_cols = batch_local_columns(
-            super_w, batches, grid.layers, batch, batch_scheme
-        )
-        b_batch = col_select(b_tile, local_cols)
-
-        # backend prologue: the sparse backend exchanges occupancy masks
-        # and derives its CommPlan here; the dense backend is a no-op.
-        t0 = time.perf_counter()
-        with comms.world.step(STEP_COMM_PLAN):
-            backend.prepare_batch(comms, a_tile, b_batch)
-        times.add(STEP_COMM_PLAN, time.perf_counter() - t0)
-
-        # ---- SUMMA2D within the layer (Alg. 1) ----
-        partials: list[SparseMatrix] = []
-        for s in range(grid.stages):
-            t0 = time.perf_counter()
-            with comms.row.step(STEP_A_BCAST):
-                a_recv = backend.bcast_a(comms, a_tile, s)
-            times.add(STEP_A_BCAST, time.perf_counter() - t0)
-
-            t0 = time.perf_counter()
-            with comms.col.step(STEP_B_BCAST):
-                b_recv = backend.bcast_b(comms, b_batch, s)
-            times.add(STEP_B_BCAST, time.perf_counter() - t0)
-
-            t0 = time.perf_counter()
-            stage_out = suite.local_multiply(a_recv, b_recv, semiring)
-            times.add(STEP_LOCAL_MULTIPLY, time.perf_counter() - t0)
-
-            if merge_policy == "incremental" and partials:
-                t0 = time.perf_counter()
-                partials = [suite.merge([partials[0], stage_out], semiring)]
-                times.add(STEP_MERGE_LAYER, time.perf_counter() - t0)
-            else:
-                partials.append(stage_out)
-
-            meter.transient = (
-                sum(p.nbytes for p in partials) + a_recv.nbytes + b_recv.nbytes
-            )
-            meter.snapshot()
-
-        t0 = time.perf_counter()
-        d_local = suite.merge(partials, semiring) if len(partials) > 1 else partials[0]
-        times.add(STEP_MERGE_LAYER, time.perf_counter() - t0)
-        partials = []
-        meter.transient = d_local.nbytes
-        meter.snapshot()
-
-        # ---- fiber exchange and merge (Alg. 2 lines 4-6) ----
-        if grid.layers > 1:
-            widths = [
-                e - s_ for s_, e in batch_layer_blocks(
-                    super_w, batches, grid.layers, batch, batch_scheme
-                )
-            ]
-            offsets = np.concatenate(([0], np.cumsum(widths)))
-            sendlist = [
-                col_slice(d_local, int(offsets[t]), int(offsets[t + 1]))
-                for t in range(grid.layers)
-            ]
-            t0 = time.perf_counter()
-            with comms.fiber.step(STEP_ALLTOALL_FIBER):
-                received = backend.fiber_exchange(comms, sendlist)
-            times.add(STEP_ALLTOALL_FIBER, time.perf_counter() - t0)
-            fiber_piece_nnz.append(sum(p.nnz for p in received))
-            meter.transient = d_local.nbytes + sum(p.nbytes for p in received)
-            meter.snapshot()
-
-            t0 = time.perf_counter()
-            c_tile = suite.merge(received, semiring) if len(received) > 1 else received[0]
-            # the final output is kept sorted within columns (Sec. IV-D)
-            c_tile = c_tile.sort_indices()
-            times.add(STEP_MERGE_FIBER, time.perf_counter() - t0)
-        else:
-            c_tile = d_local.sort_indices()
-        meter.transient = c_tile.nbytes
-        meter.snapshot()
-
-        c0, c1 = c_tile_columns(
-            grid, b.ncols, batches, batch, j, k, batch_scheme
-        )
-        assert c1 - c0 == c_tile.ncols
-
-        if postprocess is not None:
-            t0 = time.perf_counter()
-            with comms.col.step(STEP_POSTPROCESS):
-                gathered = comms.col.allgather(c_tile)
-            block = gather_tiles(
-                a.nrows,
-                c1 - c0,
-                (
-                    (int(row_bounds[ii]), 0, tile)
-                    for ii, tile in enumerate(gathered)
-                ),
-            )
-            block = postprocess(batch, c0, c1, block)
-            c_tile = submatrix(block, r0, int(row_bounds[i + 1]), 0, c1 - c0)
-            times.add(STEP_POSTPROCESS, time.perf_counter() - t0)
-
-        if keep_pieces:
-            pieces.append((batch, r0, c0, c_tile))
-            meter.held += c_tile.nbytes
-        meter.transient = 0
-        meter.snapshot()
+    plan = compile_batched_summa3d(
+        grid,
+        batches=batches,
+        merge_policy=merge_policy,
+        has_postprocess=postprocess is not None,
+    )
+    executor.run(plan, state, tracer)
 
     info["comm_backend"] = backend.name
+    info["overlap"] = executor.overlap
     return {
-        "pieces": pieces,
-        "times": times,
+        "pieces": state.pieces,
+        "times": tracer.step_times(),
         "batches": batches,
-        "max_local_bytes": meter.high_water,
-        "fiber_piece_nnz": fiber_piece_nnz,
+        "max_local_bytes": state.meter.high_water,
+        "fiber_piece_nnz": state.fiber_piece_nnz,
         "info": info,
+        "trace": tracer,
     }

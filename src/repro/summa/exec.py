@@ -1,0 +1,485 @@
+"""Execution-plan IR and executors for the SUMMA family.
+
+The SPMD body no longer hard-codes its stage order: `repro.summa.core`
+*compiles* BatchedSUMMA3D (and through it SUMMA2D / SUMMA3D, which are
+the ``layers=1`` / ``batches=1`` specialisations) into a flat list of
+:class:`StageOp` records — one per Symbolic / Comm-Plan / A-Broadcast /
+B-Broadcast / Local-Multiply / Merge-Layer / AllToAll-Fiber /
+Merge-Fiber / Postprocess step instance, plus untimed bookkeeping ops —
+each carrying its *data* dependencies.  An executor then walks the plan:
+
+* :class:`SequentialExecutor` runs ops in program order, reproducing the
+  pre-IR monolith bit-for-bit (same collectives, same step attribution);
+* :class:`PipelinedExecutor` exploits the one relaxation the dependency
+  edges expose — a stage's broadcasts depend only on the batch's
+  Comm-Plan, *not* on the previous stage's multiply — to software
+  double-buffer: it issues stage ``s+1``'s operand delivery through
+  :meth:`CommBackend.prefetch_stage` (nonblocking ``ibcast`` / tagged
+  ``isend``/``irecv``) immediately before running stage ``s``'s local
+  multiply, then the broadcast ops of stage ``s+1`` merely wait.
+
+Both executors run the *same program order on every rank* — the SPMD
+contract that makes the simulated collectives line up — and move exactly
+the same bytes per step, so :class:`~repro.simmpi.tracker.CommTracker`
+totals are identical between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..errors import DistributionError, ExecPlanError
+from ..grid.distribution import (
+    batch_layer_blocks,
+    batch_local_columns,
+    c_tile_columns,
+    gather_tiles,
+)
+from ..sparse.ops import col_select, col_slice, submatrix
+from .trace import (
+    STEP_A_BCAST,
+    STEP_ALLTOALL_FIBER,
+    STEP_B_BCAST,
+    STEP_COMM_PLAN,
+    STEP_LOCAL_MULTIPLY,
+    STEP_MERGE_FIBER,
+    STEP_MERGE_LAYER,
+    STEP_POSTPROCESS,
+    Tracer,
+)
+
+#: supported settings of the ``overlap=`` knob.
+OVERLAP_MODES = ("off", "depth1")
+
+
+@dataclass(frozen=True)
+class StageOp:
+    """One node of the execution plan.
+
+    ``kind`` is the structural role (``"bcast-a"``, ``"multiply"``, …);
+    ``op`` is the trace/StepTimes label the span is recorded under;
+    ``timed=False`` marks bookkeeping that never fed the paper's step
+    breakdown (column splits, memory metering, piece accounting).
+    ``deps`` lists the opids whose *outputs* this op reads — the edges
+    that legitimise (or forbid) reordering by a smarter executor.
+    """
+
+    opid: int
+    kind: str
+    op: str
+    batch: int | None
+    stage: int | None
+    deps: tuple[int, ...]
+    run: Callable[["ExecState", Any], None]
+    timed: bool = True
+
+
+@dataclass
+class ExecutionPlan:
+    """A compiled SUMMA program: ops in program order plus the prefetch
+    issuers a pipelining executor may fire early.
+
+    ``prefetch_issuers`` maps ``(batch, stage)`` to a closure that starts
+    that stage's operand delivery via the backend's nonblocking path and
+    returns a :class:`~repro.comm.backend.StagePrefetch`.  Stage 0 of
+    every batch has no issuer — its broadcasts run blocking, right after
+    the batch's Comm-Plan (whose collectives must not be overtaken).
+    """
+
+    ops: list[StageOp] = field(default_factory=list)
+    prefetch_issuers: dict[tuple[int, int], Callable] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Check the plan is a DAG consistent with program order: every
+        dependency must point at an earlier op."""
+        for idx, op in enumerate(self.ops):
+            if op.opid != idx:
+                raise ExecPlanError(f"plan op {idx} carries opid {op.opid}")
+            for dep in op.deps:
+                if not 0 <= dep < idx:
+                    raise ExecPlanError(
+                        f"op {idx} ({op.kind}) depends on {dep}, which is "
+                        "not an earlier op"
+                    )
+
+    def ops_of_kind(self, kind: str) -> list[StageOp]:
+        return [op for op in self.ops if op.kind == kind]
+
+
+class ExecState:
+    """Mutable per-rank state the ops read and write.
+
+    The compiler only bakes *indices* (batch, stage) into op closures;
+    everything rank-specific — communicators, backend instance, tiles,
+    geometry, the memory meter — lives here, assembled by
+    :func:`repro.summa.core.spmd_batched_summa3d` before execution.
+    """
+
+    __slots__ = (
+        "comms", "grid", "backend", "suite", "semiring",
+        "a_tile", "b_tile", "b_batch", "a_recv", "b_recv",
+        "partials", "stage_out", "d_local", "sendlist", "received", "c_tile",
+        "pieces", "fiber_piece_nnz", "meter", "prefetched",
+        "batches", "batch_scheme", "super_w", "row_bounds", "r0",
+        "a_nrows", "b_ncols", "c0", "c1",
+        "postprocess", "keep_pieces", "piece_sink", "info",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, None)
+        self.partials = []
+        self.pieces = []
+        self.fiber_piece_nnz = []
+        self.prefetched = {}
+        self.info = {}
+
+
+def compile_batched_summa3d(
+    grid,
+    *,
+    batches: int,
+    merge_policy: str = "deferred",
+    has_postprocess: bool = False,
+) -> ExecutionPlan:
+    """Compile Alg. 4 for ``grid`` into an :class:`ExecutionPlan`.
+
+    The op sequence (and which instants are timed under which step
+    label) mirrors the pre-IR monolith exactly, so a
+    :class:`SequentialExecutor` run is indistinguishable from it.
+    """
+    plan = ExecutionPlan()
+    last = -1  # opid of the most recent op (default dependency)
+
+    def add(kind, label, run, *, batch=None, stage=None, timed=True, deps=None):
+        nonlocal last
+        opid = len(plan.ops)
+        if deps is None:
+            deps = (last,) if last >= 0 else ()
+        plan.ops.append(StageOp(
+            opid=opid, kind=kind, op=label, batch=batch, stage=stage,
+            deps=tuple(deps), run=run, timed=timed,
+        ))
+        last = opid
+        return opid
+
+    for batch in range(batches):
+        add("col-split", "ColSplit", _run_col_split(batch), batch=batch,
+            timed=False)
+        plan_id = add("comm-plan", STEP_COMM_PLAN, _run_comm_plan,
+                      batch=batch)
+
+        stage_tail = plan_id  # accumulation chain within the layer
+        for s in range(grid.stages):
+            # The broadcasts of stage s depend only on this batch's
+            # Comm-Plan — not on stage s-1's multiply.  That missing edge
+            # is exactly the freedom the PipelinedExecutor exploits.
+            a_id = add("bcast-a", STEP_A_BCAST, _run_bcast_a(batch, s),
+                       batch=batch, stage=s, deps=(plan_id,))
+            b_id = add("bcast-b", STEP_B_BCAST, _run_bcast_b(batch, s),
+                       batch=batch, stage=s, deps=(plan_id,))
+            mul_id = add("multiply", STEP_LOCAL_MULTIPLY, _run_multiply,
+                         batch=batch, stage=s, deps=(a_id, b_id))
+            if merge_policy == "incremental" and s > 0:
+                acc_id = add("merge-stage", STEP_MERGE_LAYER,
+                             _run_merge_stage, batch=batch, stage=s,
+                             deps=(mul_id, stage_tail))
+            else:
+                acc_id = add("accumulate", "Accumulate", _run_accumulate,
+                             batch=batch, stage=s, timed=False,
+                             deps=(mul_id, stage_tail))
+            stage_tail = add("meter", "Meter", _run_meter_stage,
+                             batch=batch, stage=s, timed=False,
+                             deps=(acc_id,))
+            if s + 1 < grid.stages:
+                plan.prefetch_issuers[(batch, s + 1)] = _issue_prefetch(s + 1)
+
+        add("merge-layer", STEP_MERGE_LAYER, _run_merge_layer, batch=batch,
+            deps=(stage_tail,))
+        add("meter", "Meter", _run_meter_layer, batch=batch, timed=False)
+
+        if grid.layers > 1:
+            add("fiber-split", "FiberSplit", _run_fiber_split(batch),
+                batch=batch, timed=False)
+            add("fiber-exchange", STEP_ALLTOALL_FIBER, _run_fiber_exchange,
+                batch=batch)
+            add("meter", "Meter", _run_meter_fiber, batch=batch, timed=False)
+            add("merge-fiber", STEP_MERGE_FIBER, _run_merge_fiber,
+                batch=batch)
+        else:
+            add("sort-output", "SortOutput", _run_sort_output, batch=batch,
+                timed=False)
+        add("meter", "Meter", _run_meter_output, batch=batch, timed=False)
+
+        add("c-range", "CRange", _run_c_range(batch), batch=batch,
+            timed=False)
+        if has_postprocess:
+            add("postprocess", STEP_POSTPROCESS, _run_postprocess(batch),
+                batch=batch)
+        add("finalize", "Finalize", _run_finalize(batch), batch=batch,
+            timed=False)
+
+    plan.validate()
+    return plan
+
+
+# --------------------------------------------------------------------- #
+# op bodies (closures over compile-time indices; all data via ExecState)
+# --------------------------------------------------------------------- #
+
+def _run_col_split(batch):
+    def run(state, span):
+        local_cols = batch_local_columns(
+            state.super_w, state.batches, state.grid.layers, batch,
+            state.batch_scheme,
+        )
+        state.b_batch = col_select(state.b_tile, local_cols)
+    return run
+
+
+def _run_comm_plan(state, span):
+    with state.comms.world.step(STEP_COMM_PLAN):
+        state.backend.prepare_batch(state.comms, state.a_tile, state.b_batch)
+
+
+def _issue_prefetch(stage):
+    def issue(state):
+        return state.backend.prefetch_stage(
+            state.comms, state.a_tile, state.b_batch, stage
+        )
+    return issue
+
+
+def _run_bcast_a(batch, stage):
+    def run(state, span):
+        pf = state.prefetched.get((batch, stage))
+        if pf is not None:
+            state.a_recv = pf.wait_a()
+        else:
+            with state.comms.row.step(STEP_A_BCAST):
+                state.a_recv = state.backend.bcast_a(
+                    state.comms, state.a_tile, stage
+                )
+        span.nbytes = state.a_recv.nbytes
+    return run
+
+
+def _run_bcast_b(batch, stage):
+    def run(state, span):
+        pf = state.prefetched.pop((batch, stage), None)
+        if pf is not None:
+            state.b_recv = pf.wait_b()
+        else:
+            with state.comms.col.step(STEP_B_BCAST):
+                state.b_recv = state.backend.bcast_b(
+                    state.comms, state.b_batch, stage
+                )
+        span.nbytes = state.b_recv.nbytes
+    return run
+
+
+def _run_multiply(state, span):
+    state.stage_out = state.suite.local_multiply(
+        state.a_recv, state.b_recv, state.semiring
+    )
+
+
+def _run_merge_stage(state, span):
+    state.partials = [
+        state.suite.merge([state.partials[0], state.stage_out], state.semiring)
+    ]
+    state.stage_out = None
+
+
+def _run_accumulate(state, span):
+    state.partials.append(state.stage_out)
+    state.stage_out = None
+
+
+def _run_meter_stage(state, span):
+    state.meter.transient = (
+        sum(p.nbytes for p in state.partials)
+        + state.a_recv.nbytes + state.b_recv.nbytes
+    )
+    state.meter.snapshot()
+
+
+def _run_merge_layer(state, span):
+    partials = state.partials
+    state.d_local = (
+        state.suite.merge(partials, state.semiring)
+        if len(partials) > 1 else partials[0]
+    )
+    state.partials = []
+
+
+def _run_meter_layer(state, span):
+    state.meter.transient = state.d_local.nbytes
+    state.meter.snapshot()
+
+
+def _run_fiber_split(batch):
+    def run(state, span):
+        widths = [
+            e - s_ for s_, e in batch_layer_blocks(
+                state.super_w, state.batches, state.grid.layers, batch,
+                state.batch_scheme,
+            )
+        ]
+        offsets = np.concatenate(([0], np.cumsum(widths)))
+        state.sendlist = [
+            col_slice(state.d_local, int(offsets[t]), int(offsets[t + 1]))
+            for t in range(state.grid.layers)
+        ]
+    return run
+
+
+def _run_fiber_exchange(state, span):
+    with state.comms.fiber.step(STEP_ALLTOALL_FIBER):
+        state.received = state.backend.fiber_exchange(
+            state.comms, state.sendlist
+        )
+    state.sendlist = None
+    span.nbytes = sum(p.nbytes for p in state.received)
+
+
+def _run_meter_fiber(state, span):
+    state.fiber_piece_nnz.append(sum(p.nnz for p in state.received))
+    state.meter.transient = (
+        state.d_local.nbytes + sum(p.nbytes for p in state.received)
+    )
+    state.meter.snapshot()
+
+
+def _run_merge_fiber(state, span):
+    received = state.received
+    c_tile = (
+        state.suite.merge(received, state.semiring)
+        if len(received) > 1 else received[0]
+    )
+    # the final output is kept sorted within columns (Sec. IV-D)
+    state.c_tile = c_tile.sort_indices()
+    state.received = None
+    state.d_local = None
+
+
+def _run_sort_output(state, span):
+    state.c_tile = state.d_local.sort_indices()
+    state.d_local = None
+
+
+def _run_meter_output(state, span):
+    state.meter.transient = state.c_tile.nbytes
+    state.meter.snapshot()
+
+
+def _run_c_range(batch):
+    def run(state, span):
+        state.c0, state.c1 = c_tile_columns(
+            state.grid, state.b_ncols, state.batches, batch,
+            state.comms.j, state.comms.k, state.batch_scheme,
+        )
+        if state.c1 - state.c0 != state.c_tile.ncols:
+            raise DistributionError(
+                f"batch {batch}: output tile spans {state.c_tile.ncols} "
+                f"columns but owns [{state.c0}, {state.c1})"
+            )
+    return run
+
+
+def _run_postprocess(batch):
+    def run(state, span):
+        comms, row_bounds = state.comms, state.row_bounds
+        with comms.col.step(STEP_POSTPROCESS):
+            gathered = comms.col.allgather(state.c_tile)
+        block = gather_tiles(
+            state.a_nrows,
+            state.c1 - state.c0,
+            (
+                (int(row_bounds[ii]), 0, tile)
+                for ii, tile in enumerate(gathered)
+            ),
+        )
+        block = state.postprocess(batch, state.c0, state.c1, block)
+        state.c_tile = submatrix(
+            block, state.r0, int(row_bounds[comms.i + 1]), 0,
+            state.c1 - state.c0,
+        )
+    return run
+
+
+def _run_finalize(batch):
+    def run(state, span):
+        if state.piece_sink is not None:
+            # streaming mode: the piece leaves the rank immediately, so
+            # held memory stays flat across batches.
+            state.piece_sink(batch, state.r0, state.c0, state.c_tile)
+        elif state.keep_pieces:
+            state.pieces.append((batch, state.r0, state.c0, state.c_tile))
+            state.meter.held += state.c_tile.nbytes
+        state.c_tile = None
+        state.meter.transient = 0
+        state.meter.snapshot()
+    return run
+
+
+# --------------------------------------------------------------------- #
+# executors
+# --------------------------------------------------------------------- #
+
+class SequentialExecutor:
+    """Run ops strictly in program order — the pre-IR behaviour."""
+
+    name = "sequential"
+    overlap = "off"
+
+    def run(self, plan: ExecutionPlan, state: ExecState, tracer: Tracer) -> None:
+        for op in plan.ops:
+            self._before(op, plan, state)
+            with tracer.span(
+                op.op, stage=op.stage, batch=op.batch, timed=op.timed
+            ) as span:
+                op.run(state, span)
+
+    def _before(self, op: StageOp, plan: ExecutionPlan, state: ExecState) -> None:
+        """Hook for subclasses; the sequential executor does nothing."""
+
+
+class PipelinedExecutor(SequentialExecutor):
+    """Depth-1 software double-buffering.
+
+    Identical program order, with one addition: immediately before each
+    Local-Multiply of stage ``s``, issue stage ``s+1``'s operand
+    delivery through the backend's nonblocking path.  The broadcasts of
+    stage ``s+1`` then find the prefetch in flight (or already buffered)
+    and merely wait, so on a broadcast-bound machine the transfer hides
+    behind the multiply.  Legal because the plan's dependency edges show
+    the broadcasts need only the batch's Comm-Plan, every rank issues
+    the prefetch at the same program point, and per-stage message tags
+    keep in-flight stages from matching each other.
+    """
+
+    name = "pipelined"
+    overlap = "depth1"
+
+    def _before(self, op: StageOp, plan: ExecutionPlan, state: ExecState) -> None:
+        if op.kind != "multiply":
+            return
+        nxt = (op.batch, op.stage + 1)
+        issuer = plan.prefetch_issuers.get(nxt)
+        if issuer is not None and nxt not in state.prefetched:
+            state.prefetched[nxt] = issuer(state)
+
+
+def get_executor(overlap: str) -> SequentialExecutor:
+    """Resolve the ``overlap=`` knob to an executor instance."""
+    if overlap == "off":
+        return SequentialExecutor()
+    if overlap == "depth1":
+        return PipelinedExecutor()
+    raise ValueError(
+        f"unknown overlap mode {overlap!r}; expected one of {OVERLAP_MODES}"
+    )

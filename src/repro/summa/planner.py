@@ -84,6 +84,7 @@ def choose_backend(
     layers: int = 1,
     batches: int = 1,
     machine=None,
+    overlap: str = "off",
 ) -> str:
     """Pick ``"dense"`` or ``"sparse"`` for one multiplication via the
     extended α–β model.
@@ -92,10 +93,17 @@ def choose_backend(
     — the sparse side including its ``Comm-Plan`` handshake — and returns
     the cheaper one.  Dense wins ties: on near-dense tiles the sparse
     backend moves the same bytes with strictly more messages.
+
+    With ``overlap="depth1"`` the comparison switches from raw
+    communication to the full pipelined makespan
+    (:func:`~repro.model.predictor.predict_makespan`): once broadcasts
+    hide behind the multiply, shaving bytes only matters while
+    communication is still the per-stage maximum, which can flip the
+    choice back to dense.
     """
     from ..model.complexity import total_comm_time
     from ..model.machine import CORI_KNL
-    from ..sparse.spgemm.symbolic import symbolic_flops
+    from ..sparse.spgemm.symbolic import symbolic_flops, symbolic_nnz
 
     if nprocs // max(layers, 1) <= 1:
         # single-stage grids broadcast nothing: no bytes to save
@@ -109,6 +117,18 @@ def choose_backend(
         nnz_b=b.nnz,
         flops=symbolic_flops(a, b),
     )
+    if overlap != "off":
+        from ..model.predictor import predict_makespan
+
+        common["nnz_c"] = symbolic_nnz(a, b)
+        dense = predict_makespan(
+            machine, comm_backend="dense", overlap=overlap, **common
+        )
+        sparse = predict_makespan(
+            machine, comm_backend="sparse", inner_dim=a.ncols,
+            overlap=overlap, **common,
+        )
+        return "sparse" if sparse < dense else "dense"
     dense = total_comm_time(machine, backend="dense", **common)
     sparse = total_comm_time(
         machine, backend="sparse", inner_dim=a.ncols, **common
@@ -126,6 +146,7 @@ def auto_config(
     use_symbolic: bool = True,
     bytes_per_nonzero: int = BYTES_PER_NONZERO,
     backend: str = "dense",
+    overlap: str = "off",
 ) -> PlanChoice:
     """Choose layers and batches jointly for one multiplication.
 
@@ -145,11 +166,21 @@ def auto_config(
     both and keeps the cheaper, recording the winner in
     ``PlanChoice.backend``.  Candidate tuples stay ``(layers, batches,
     predicted_seconds)`` with the per-candidate best time.
+
+    ``overlap="depth1"`` scores candidates with the pipelined makespan
+    (broadcasts hidden behind the multiply, per stage the maximum of the
+    two) instead of the plain step sum — overlap rewards stage-heavy
+    (low-layer) grids, so the chosen ``l`` can shift.  With ``"off"``
+    the score is exactly ``predict_steps(...).total()`` as before.
     """
     import math as _math
 
     from ..model.machine import CORI_KNL
-    from ..model.predictor import estimate_batches, predict_steps
+    from ..model.predictor import (
+        estimate_batches,
+        overlapped_makespan,
+        predict_steps,
+    )
     from ..sparse.spgemm.symbolic import symbolic_flops, symbolic_nnz
 
     machine = machine if machine is not None else CORI_KNL
@@ -203,12 +234,18 @@ def auto_config(
                 )
             except ValueError:
                 continue
+        stages = _math.isqrt(nprocs // layers)
         predicted, cand_backend = min(
             (
-                predict_steps(
-                    machine, nprocs=nprocs, layers=layers, batches=batches,
-                    comm_backend=be, inner_dim=a.ncols, **stats,
-                ).total(),
+                overlapped_makespan(
+                    predict_steps(
+                        machine, nprocs=nprocs, layers=layers,
+                        batches=batches, comm_backend=be,
+                        inner_dim=a.ncols, **stats,
+                    ),
+                    stages=stages,
+                    overlap=overlap,
+                ),
                 be,
             )
             for be in backends

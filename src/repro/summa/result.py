@@ -36,6 +36,10 @@ class SummaResult:
         keeps under ``M / p``.
     info:
         Run metadata (kernel suite, semiring, symbolic statistics, ...).
+    trace:
+        Per-rank :class:`~repro.summa.trace.Tracer` span streams (empty
+        for runs predating structured tracing); :meth:`export_trace`
+        merges them into a chrome://tracing timeline.
     """
 
     matrix: SparseMatrix | None
@@ -46,6 +50,14 @@ class SummaResult:
     tracker: CommTracker
     max_local_bytes: int
     info: dict = field(default_factory=dict)
+    trace: list = field(default_factory=list)
+
+    def export_trace(self, path: str) -> None:
+        """Write the run's merged span timeline as chrome://tracing JSON
+        (open via chrome://tracing "Load" or https://ui.perfetto.dev)."""
+        from .trace import export_chrome_trace, merge_traces
+
+        export_chrome_trace(merge_traces(self.trace), path)
 
     def __repr__(self) -> str:
         nnz = self.matrix.nnz if self.matrix is not None else "discarded"

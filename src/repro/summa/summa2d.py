@@ -21,13 +21,14 @@ def summa2d(
     suite="esc",
     semiring="plus_times",
     comm_backend="dense",
+    overlap: str = "off",
     tracker: CommTracker | None = None,
     timeout: float = 120.0,
 ) -> SummaResult:
     """Multiply ``C = A @ B`` on a square 2D process grid.
 
     ``nprocs`` must be a perfect square.  See :func:`batched_summa3d` for
-    parameter semantics.
+    parameter semantics (including the ``overlap`` pipelining knob).
     """
     return batched_summa3d(
         a,
@@ -38,6 +39,7 @@ def summa2d(
         suite=suite,
         semiring=semiring,
         comm_backend=comm_backend,
+        overlap=overlap,
         tracker=tracker,
         timeout=timeout,
     )

@@ -22,13 +22,15 @@ def summa3d(
     suite="esc",
     semiring="plus_times",
     comm_backend="dense",
+    overlap: str = "off",
     tracker: CommTracker | None = None,
     timeout: float = 120.0,
 ) -> SummaResult:
     """Multiply ``C = A @ B`` on a ``sqrt(p/l) x sqrt(p/l) x l`` grid.
 
     ``nprocs / layers`` must be a perfect square.  See
-    :func:`batched_summa3d` for parameter semantics.
+    :func:`batched_summa3d` for parameter semantics (including the
+    ``overlap`` pipelining knob).
     """
     return batched_summa3d(
         a,
@@ -39,6 +41,7 @@ def summa3d(
         suite=suite,
         semiring=semiring,
         comm_backend=comm_backend,
+        overlap=overlap,
         tracker=tracker,
         timeout=timeout,
     )

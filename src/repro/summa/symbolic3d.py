@@ -16,6 +16,7 @@ from ..sparse.matrix import BYTES_PER_NONZERO, SparseMatrix
 from ..utils.timing import StepTimes
 from .core import spmd_symbolic3d
 from .result import SymbolicResult
+from .trace import Tracer
 
 
 def _spmd_symbolic(
@@ -27,9 +28,9 @@ def _spmd_symbolic(
     bytes_per_nonzero: int,
 ) -> dict:
     comms = GridComms.build(comm, grid)
-    times = StepTimes()
-    out = spmd_symbolic3d(comms, a, b, memory_budget, bytes_per_nonzero, times)
-    out["times"] = times
+    tracer = Tracer(rank=comm.rank)
+    out = spmd_symbolic3d(comms, a, b, memory_budget, bytes_per_nonzero, tracer)
+    out["times"] = tracer.step_times()
     return out
 
 

@@ -1,0 +1,144 @@
+"""Overlap-aware α–β makespan model (`overlapped_makespan` /
+`predict_makespan`) and its integration with the planners."""
+
+import pytest
+
+from repro.model import (
+    CORI_KNL,
+    overlapped_makespan,
+    predict_makespan,
+    predict_steps,
+)
+from repro.utils.timing import StepTimes
+
+
+#: broadcast-bound: large operands, few flops relative to moved bytes
+COMM_HEAVY = dict(
+    nnz_a=500_000_000, nnz_b=500_000_000,
+    nnz_c=50_000_000, flops=60_000_000,
+)
+#: compute-bound: tiny operands churned hard
+COMP_HEAVY = dict(
+    nnz_a=1_000_000, nnz_b=1_000_000,
+    nnz_c=800_000_000, flops=4_000_000_000,
+)
+
+
+def _times(stats, nprocs=1024, layers=4, batches=1):
+    return predict_steps(
+        CORI_KNL, nprocs=nprocs, layers=layers, batches=batches, **stats
+    )
+
+
+class TestOverlappedMakespan:
+    def test_off_is_total(self):
+        times = _times(COMM_HEAVY)
+        assert overlapped_makespan(times, stages=16, overlap="off") == (
+            times.total()
+        )
+
+    def test_single_stage_is_total(self):
+        times = _times(COMM_HEAVY)
+        assert overlapped_makespan(times, stages=1) == times.total()
+
+    def test_never_exceeds_total(self):
+        for stats in (COMM_HEAVY, COMP_HEAVY):
+            times = _times(stats)
+            assert overlapped_makespan(times, stages=16) <= times.total()
+
+    def test_hand_computed_formula(self):
+        times = StepTimes({
+            "A-Broadcast": 6.0, "B-Broadcast": 2.0,
+            "Local-Multiply": 12.0, "Merge-Layer": 3.0,
+        })
+        # c = 8/4 = 2, m = 12/4 = 3: fill 2 + 3*max(2,3)=9 + drain 3 = 14
+        got = overlapped_makespan(times, stages=4)
+        assert got == pytest.approx(3.0 + 14.0)
+
+    def test_comm_bound_saves_compute_time(self):
+        """When broadcasts dominate, the multiply hides entirely: the
+        saving equals all but one stage's worth of the multiply."""
+        times = StepTimes({
+            "A-Broadcast": 40.0, "B-Broadcast": 40.0,
+            "Local-Multiply": 8.0,
+        })
+        got = overlapped_makespan(times, stages=8)
+        assert got == pytest.approx(times.total() - 8.0 + 1.0)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            overlapped_makespan(StepTimes(), stages=4, overlap="depth2")
+
+
+class TestPredictMakespan:
+    def test_off_equals_step_total(self):
+        off = predict_makespan(
+            CORI_KNL, nprocs=1024, layers=4, batches=1, overlap="off",
+            **COMM_HEAVY,
+        )
+        assert off == pytest.approx(_times(COMM_HEAVY).total())
+
+    def test_depth1_strictly_faster_when_comm_bound(self):
+        kw = dict(nprocs=1024, layers=4, batches=1, **COMM_HEAVY)
+        off = predict_makespan(CORI_KNL, overlap="off", **kw)
+        depth1 = predict_makespan(CORI_KNL, overlap="depth1", **kw)
+        assert depth1 < off
+
+    def test_depth1_never_slower(self):
+        for stats in (COMM_HEAVY, COMP_HEAVY):
+            kw = dict(nprocs=256, layers=1, batches=2, **stats)
+            off = predict_makespan(CORI_KNL, overlap="off", **kw)
+            depth1 = predict_makespan(CORI_KNL, overlap="depth1", **kw)
+            assert depth1 <= off
+
+
+class TestPlannerIntegration:
+    def test_auto_config_off_unchanged(self):
+        """overlap='off' must score candidates exactly as before —
+        predict_steps(...).total()."""
+        from repro.data.generators import erdos_renyi
+        from repro.summa import auto_config
+
+        a = erdos_renyi(64, avg_degree=6.0, seed=41)
+        b = erdos_renyi(64, avg_degree=6.0, seed=42)
+        choice = auto_config(a, b, 16, use_symbolic=False)
+        for layers, batches, predicted in choice.candidates:
+            times = predict_steps(
+                CORI_KNL, nprocs=16, layers=layers, batches=batches,
+                nnz_a=a.nnz, nnz_b=b.nnz,
+                nnz_c=_symbolic_nnz(a, b), flops=_symbolic_flops(a, b),
+            )
+            assert predicted == pytest.approx(times.total())
+
+    def test_auto_config_depth1_scores_lower(self):
+        from repro.data.generators import erdos_renyi
+        from repro.summa import auto_config
+
+        a = erdos_renyi(64, avg_degree=6.0, seed=41)
+        b = erdos_renyi(64, avg_degree=6.0, seed=42)
+        off = auto_config(a, b, 16, use_symbolic=False)
+        depth1 = auto_config(a, b, 16, use_symbolic=False, overlap="depth1")
+        assert depth1.predicted_seconds <= off.predicted_seconds
+
+    def test_choose_backend_accepts_overlap(self):
+        from repro.data.generators import erdos_renyi
+        from repro.summa import choose_backend
+
+        a = erdos_renyi(64, avg_degree=6.0, seed=43)
+        b = erdos_renyi(64, avg_degree=6.0, seed=44)
+        for overlap in ("off", "depth1"):
+            assert choose_backend(
+                a, b, nprocs=16, overlap=overlap
+            ) in ("dense", "sparse")
+
+
+def _symbolic_nnz(a, b):
+    from repro.sparse.spgemm.symbolic import symbolic_nnz
+
+    return symbolic_nnz(a, b)
+
+
+def _symbolic_flops(a, b):
+    from repro.sparse.spgemm.symbolic import symbolic_flops
+
+    return symbolic_flops(a, b)

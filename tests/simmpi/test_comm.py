@@ -293,3 +293,65 @@ class TestNonblocking:
             return True
 
         assert run_spmd(2, prog) == [None, True]
+
+
+class TestIbcast:
+    def test_root_born_complete_with_value(self):
+        def prog(comm):
+            if comm.rank == 1:
+                req = comm.ibcast("payload", root=1)
+                done, value = req.test()
+                assert done
+                return value
+            return comm.ibcast(None, root=1).wait()
+
+        assert run_spmd(4, prog) == ["payload"] * 4
+
+    def test_numpy_payload(self):
+        def prog(comm):
+            data = np.arange(6) if comm.rank == 0 else None
+            return comm.ibcast(data, root=0).wait().sum()
+
+        assert run_spmd(3, prog) == [15, 15, 15]
+
+    def test_invalid_root(self):
+        with pytest.raises(SpmdError):
+            run_spmd(2, lambda comm: comm.ibcast(1, root=5))
+
+    def test_tag_separation(self):
+        """Two in-flight broadcasts from different roots must not
+        cross-match — the property stage-tagged prefetching relies on."""
+        def prog(comm):
+            r0 = comm.ibcast("from0" if comm.rank == 0 else None,
+                             root=0, tag=0)
+            r1 = comm.ibcast("from1" if comm.rank == 1 else None,
+                             root=1, tag=1)
+            return (r0.wait(), r1.wait())
+
+        assert run_spmd(3, prog) == [("from0", "from1")] * 3
+
+    def test_byte_total_matches_bcast(self):
+        """ibcast meters (size-1) point-to-point sends whose bytes sum to
+        exactly what one blocking bcast records — the executors' byte
+        parity rests on this."""
+        payload = np.arange(100)
+
+        def blocking(comm):
+            comm.bcast(payload if comm.rank == 0 else None, root=0)
+
+        def nonblocking(comm):
+            comm.ibcast(payload if comm.rank == 0 else None, root=0).wait()
+
+        t_block, t_nonblock = CommTracker(), CommTracker()
+        run_spmd(4, blocking, tracker=t_block)
+        run_spmd(4, nonblocking, tracker=t_nonblock)
+        assert t_block.total_bytes() == t_nonblock.total_bytes()
+
+    def test_overlap_pattern(self):
+        """Compute between issue and wait — the prefetch shape."""
+        def prog(comm):
+            req = comm.ibcast([1, 2, 3] if comm.rank == 0 else None, root=0)
+            local = sum(range(50))
+            return local + sum(req.wait())
+
+        assert run_spmd(4, prog) == [1231] * 4

@@ -101,7 +101,7 @@ class TestSpmdDirectInvocation:
         for r in per_rank:
             assert set(r) == {
                 "pieces", "times", "batches", "max_local_bytes",
-                "fiber_piece_nnz", "info",
+                "fiber_piece_nnz", "info", "trace",
             }
             assert r["batches"] == 1
             assert r["max_local_bytes"] > 0

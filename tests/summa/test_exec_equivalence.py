@@ -1,0 +1,181 @@
+"""Executor equivalence matrix and execution-plan IR invariants.
+
+The contract of :mod:`repro.summa.exec`: the :class:`PipelinedExecutor`
+(``overlap="depth1"``) runs the *same* compiled program as the
+:class:`SequentialExecutor` with stage ``s+1``'s operand delivery issued
+early, so every cell of the (backend x merge policy x layers) matrix must
+be **bit-identical** between the two — same indptr/rowidx/values — and
+must move exactly the same number of bytes per :class:`CommTracker`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecPlanError
+from repro.grid import ProcGrid3D
+from repro.data.generators import erdos_renyi, rmat
+from repro.simmpi import CommTracker
+from repro.sparse import SparseMatrix
+from repro.summa import batched_summa3d
+from repro.summa.exec import (
+    OVERLAP_MODES,
+    ExecutionPlan,
+    PipelinedExecutor,
+    SequentialExecutor,
+    StageOp,
+    compile_batched_summa3d,
+    get_executor,
+)
+from tests.conftest import to_scipy
+
+
+def _ones(m: SparseMatrix) -> SparseMatrix:
+    """Integer-valued copy: bit-identity then holds regardless of the
+    floating-point accumulation order."""
+    c = m.canonical()
+    coo = to_scipy(c).tocoo()
+    return SparseMatrix.from_coo(
+        c.nrows, c.ncols, coo.row, coo.col, np.ones(coo.nnz)
+    )
+
+
+@pytest.fixture(scope="module")
+def er_pair():
+    a = _ones(erdos_renyi(40, avg_degree=4.0, seed=11))
+    b = _ones(erdos_renyi(40, avg_degree=4.0, seed=12))
+    return a, b, (to_scipy(a) @ to_scipy(b)).toarray()
+
+
+@pytest.fixture(scope="module")
+def rmat_pair():
+    a = rmat(5, edge_factor=4, seed=21)  # values="ones" by default
+    b = rmat(5, edge_factor=4, seed=22)
+    return a, b, (to_scipy(a) @ to_scipy(b)).toarray()
+
+
+def _identical(x: SparseMatrix, y: SparseMatrix) -> bool:
+    x, y = x.canonical(), y.canonical()
+    return (
+        x.shape == y.shape
+        and np.array_equal(x.indptr, y.indptr)
+        and np.array_equal(x.rowidx, y.rowidx)
+        and np.array_equal(x.values, y.values)
+    )
+
+
+def _run_cell(a, b, expected, *, layers, backend, policy):
+    nprocs = 16
+    results, trackers = {}, {}
+    for overlap in OVERLAP_MODES:
+        trackers[overlap] = CommTracker()
+        results[overlap] = batched_summa3d(
+            a, b, nprocs=nprocs, layers=layers, batches=2,
+            comm_backend=backend, merge_policy=policy,
+            overlap=overlap, tracker=trackers[overlap],
+        )
+        assert results[overlap].info["overlap"] == overlap
+    off, depth1 = results["off"], results["depth1"]
+    assert np.array_equal(off.matrix.to_dense(), expected)
+    assert _identical(off.matrix, depth1.matrix)
+    # same bytes on the wire: ibcast/isend prefetching re-routes the
+    # delivery but never changes what is delivered
+    assert (
+        trackers["off"].total_bytes() == trackers["depth1"].total_bytes()
+    )
+
+
+@pytest.mark.parametrize("layers", [1, 4])
+@pytest.mark.parametrize("policy", ["deferred", "incremental"])
+@pytest.mark.parametrize("backend", ["dense", "sparse"])
+class TestEquivalenceMatrix:
+    def test_er(self, er_pair, backend, policy, layers):
+        a, b, expected = er_pair
+        _run_cell(a, b, expected, layers=layers, backend=backend,
+                  policy=policy)
+
+    def test_rmat(self, rmat_pair, backend, policy, layers):
+        a, b, expected = rmat_pair
+        _run_cell(a, b, expected, layers=layers, backend=backend,
+                  policy=policy)
+
+
+class TestPlanIR:
+    def test_validate_passes(self):
+        grid = ProcGrid3D(16, layers=4)
+        plan = compile_batched_summa3d(grid, batches=3)
+        plan.validate()  # compile already validates; must stay clean
+        assert len(plan.ops_of_kind("multiply")) == 3 * grid.stages
+
+    def test_bcasts_depend_only_on_comm_plan(self):
+        """The load-bearing edge: broadcasts must NOT depend on the
+        previous stage's multiply, or pipelining would be illegal."""
+        grid = ProcGrid3D(16, layers=1)
+        plan = compile_batched_summa3d(grid, batches=2)
+        by_id = {op.opid: op for op in plan.ops}
+        for kind in ("bcast-a", "bcast-b"):
+            for op in plan.ops_of_kind(kind):
+                assert len(op.deps) == 1
+                assert by_id[op.deps[0]].kind == "comm-plan"
+                assert by_id[op.deps[0]].batch == op.batch
+
+    def test_multiply_depends_on_both_bcasts(self):
+        grid = ProcGrid3D(4, layers=1)
+        plan = compile_batched_summa3d(grid, batches=1)
+        by_id = {op.opid: op for op in plan.ops}
+        for op in plan.ops_of_kind("multiply"):
+            kinds = sorted(by_id[d].kind for d in op.deps)
+            assert kinds == ["bcast-a", "bcast-b"]
+
+    def test_prefetch_issuers_skip_stage_zero(self):
+        grid = ProcGrid3D(16, layers=1)  # 4 stages
+        plan = compile_batched_summa3d(grid, batches=2)
+        assert set(plan.prefetch_issuers) == {
+            (batch, s) for batch in range(2) for s in range(1, grid.stages)
+        }
+
+    def test_merge_policy_changes_op_kinds(self):
+        grid = ProcGrid3D(16, layers=1)
+        deferred = compile_batched_summa3d(grid, batches=1)
+        incremental = compile_batched_summa3d(
+            grid, batches=1, merge_policy="incremental"
+        )
+        assert not deferred.ops_of_kind("merge-stage")
+        # stage 0 has nothing to merge into; every later stage does
+        assert len(incremental.ops_of_kind("merge-stage")) == grid.stages - 1
+
+    def test_validate_rejects_forward_dep(self):
+        plan = ExecutionPlan(ops=[
+            StageOp(opid=0, kind="x", op="X", batch=None, stage=None,
+                    deps=(1,), run=lambda state, span: None),
+            StageOp(opid=1, kind="y", op="Y", batch=None, stage=None,
+                    deps=(), run=lambda state, span: None),
+        ])
+        with pytest.raises(ExecPlanError):
+            plan.validate()
+
+    def test_validate_rejects_bad_opid(self):
+        plan = ExecutionPlan(ops=[
+            StageOp(opid=5, kind="x", op="X", batch=None, stage=None,
+                    deps=(), run=lambda state, span: None),
+        ])
+        with pytest.raises(ExecPlanError):
+            plan.validate()
+
+
+class TestExecutorRegistry:
+    def test_resolution(self):
+        seq = get_executor("off")
+        pipe = get_executor("depth1")
+        assert isinstance(seq, SequentialExecutor)
+        assert not isinstance(seq, PipelinedExecutor)
+        assert isinstance(pipe, PipelinedExecutor)
+        assert (seq.overlap, pipe.overlap) == ("off", "depth1")
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            get_executor("depth2")
+
+    def test_driver_rejects_unknown_mode(self, er_pair):
+        a, b, _ = er_pair
+        with pytest.raises(ValueError):
+            batched_summa3d(a, b, nprocs=4, overlap="speculative")

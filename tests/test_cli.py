@@ -69,6 +69,51 @@ class TestMultiply:
         assert load_matrix_market(out_path).allclose(multiply(m, m))
 
 
+class TestOverlapAndTrace:
+    def test_multiply_depth1_matches_reference(self, matrix_file, tmp_path,
+                                               capsys):
+        path, m = matrix_file
+        out_path = tmp_path / "c.npz"
+        assert main([
+            "multiply", path, "--nprocs", "4", "--batches", "2",
+            "--overlap", "depth1", "--output", str(out_path),
+        ]) == 0
+        assert load_matrix(out_path).allclose(multiply(m, m))
+        assert "overlap = depth1" in capsys.readouterr().out
+
+    def test_multiply_exports_valid_trace(self, matrix_file, tmp_path,
+                                          capsys):
+        from repro.summa.trace import validate_chrome_trace_file
+
+        path, _ = matrix_file
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "multiply", path, "--nprocs", "4",
+            "--trace-out", str(trace_path),
+        ]) == 0
+        assert validate_chrome_trace_file(str(trace_path)) > 0
+        assert "trace timeline saved" in capsys.readouterr().out
+
+    def test_multiply_rejects_bad_overlap(self, matrix_file):
+        path, _ = matrix_file
+        with pytest.raises(SystemExit):
+            main(["multiply", path, "--overlap", "depth9"])
+
+    def test_predict_overlap_prints_makespan(self, capsys):
+        assert main([
+            "predict", "isolates", "--cores", "65536", "--layers", "16",
+            "--overlap", "depth1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "overlapped makespan (depth1)" in out
+
+    def test_predict_off_has_no_makespan_line(self, capsys):
+        assert main([
+            "predict", "isolates", "--cores", "65536", "--layers", "16",
+        ]) == 0
+        assert "overlapped makespan" not in capsys.readouterr().out
+
+
 class TestGeneratePredict:
     def test_generate(self, tmp_path, capsys):
         out = tmp_path / "euk.npz"
