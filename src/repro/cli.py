@@ -72,9 +72,51 @@ def _operands(args):
 
 
 def cmd_multiply(args) -> int:
+    from .errors import SpmdError
+
     a, b = _operands(args)
     tracker = CommTracker()
-    result = batched_summa3d(
+    try:
+        result = _run_multiply(args, a, b, tracker)
+    except SpmdError as err:
+        print(f"error: {err}", file=sys.stderr)
+        if args.checkpoint_dir and not args.resume:
+            print(f"rerun with --resume to continue from the last "
+                  f"completed batch in {args.checkpoint_dir}",
+                  file=sys.stderr)
+        return 1
+    print(f"grid {result.grid!r}, batches = {result.batches}, "
+          f"comm backend = {result.info.get('comm_backend', args.comm_backend)}, "
+          f"overlap = {result.info.get('overlap', args.overlap)}")
+    if result.matrix is not None:
+        print(f"nnz(C) = {result.matrix.nnz}")
+    print(f"peak per-process memory: {result.max_local_bytes / 1e6:.3f} MB")
+    if result.fault_stats is not None:
+        fs = result.fault_stats
+        injected = ", ".join(
+            f"{k}={v}" for k, v in sorted(fs["injected"].items())
+        ) or "none"
+        print(f"faults: {fs['fired']}/{fs['planned']} fired ({injected}); "
+              f"{fs['retries']} retries, "
+              f"{fs['simulated_backoff_s'] * 1e3:.3f} ms simulated backoff")
+    resilience = result.info.get("resilience")
+    if resilience is not None and resilience.get("checkpoint_dir"):
+        print(f"checkpoint: {resilience['checkpoint_dir']} "
+              f"(resumed from batch {resilience['resumed_from_batch']})")
+    print(result.step_times.format_table("step times (critical path)"))
+    print(tracker.format_table())
+    if args.trace_out is not None:
+        result.export_trace(args.trace_out)
+        print(f"trace timeline saved to {args.trace_out} "
+              "(open in chrome://tracing or ui.perfetto.dev)")
+    if args.output is not None and result.matrix is not None:
+        _save(args.output, result.matrix)
+        print(f"saved product to {args.output}")
+    return 0
+
+
+def _run_multiply(args, a, b, tracker):
+    return batched_summa3d(
         a,
         b,
         nprocs=args.nprocs,
@@ -86,23 +128,12 @@ def cmd_multiply(args) -> int:
         overlap=args.overlap,
         keep_output=args.output is not None or not args.discard,
         tracker=tracker,
+        faults=args.faults if args.faults else None,
+        checksums=True if args.checksums else None,
+        max_retries=args.max_retries,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
-    print(f"grid {result.grid!r}, batches = {result.batches}, "
-          f"comm backend = {result.info.get('comm_backend', args.comm_backend)}, "
-          f"overlap = {result.info.get('overlap', args.overlap)}")
-    if result.matrix is not None:
-        print(f"nnz(C) = {result.matrix.nnz}")
-    print(f"peak per-process memory: {result.max_local_bytes / 1e6:.3f} MB")
-    print(result.step_times.format_table("step times (critical path)"))
-    print(tracker.format_table())
-    if args.trace_out is not None:
-        result.export_trace(args.trace_out)
-        print(f"trace timeline saved to {args.trace_out} "
-              "(open in chrome://tracing or ui.perfetto.dev)")
-    if args.output is not None and result.matrix is not None:
-        _save(args.output, result.matrix)
-        print(f"saved product to {args.output}")
-    return 0
 
 
 def cmd_stats(args) -> int:
@@ -347,6 +378,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None, help="save product here")
     p.add_argument("--discard", action="store_true",
                    help="discard batches (memory-constrained mode)")
+    p.add_argument("--faults", action="append", default=[],
+                   metavar="SPEC",
+                   help="inject a deterministic fault, e.g. "
+                   "'transient:rank=1,op=bcast,nth=2', "
+                   "'corrupt:rank=3,op=recv,nth=1', 'crash:rank=2,batch=1', "
+                   "'mem-pressure:rank=0,batch=0' (repeatable)")
+    p.add_argument("--max-retries", type=int, default=3,
+                   help="retry budget per communication attempt for "
+                   "injected transient faults")
+    p.add_argument("--checksums", action="store_true",
+                   help="force per-message envelope checksums on even "
+                   "without fault injection")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="write a manifest-backed checkpoint of each "
+                   "completed batch here")
+    p.add_argument("--resume", action="store_true",
+                   help="continue from the last completed batch in "
+                   "--checkpoint-dir")
     p.set_defaults(func=cmd_multiply)
 
     p = sub.add_parser("stats", help="symbolic SpGEMM statistics")

@@ -73,6 +73,30 @@ class CommBackend(ABC):
     #: records.
     name: str = ""
 
+    #: optional :class:`~repro.resilience.RetryPolicy` applied around each
+    #: individual communication attempt.  Injected transient faults raise
+    #: at operation entry (before any rendezvous state advances), so
+    #: re-calling the primitive on the failing rank alone is always safe.
+    retry = None
+
+    def _call(self, comm, op: str, fn):
+        """Run one communication attempt under the retry policy (if any)."""
+        if self.retry is None:
+            return fn()
+        return self.retry.call(fn, comm=comm, op=op)
+
+    def _guard(self, comm, op: str, req: Request) -> Request:
+        """Wrap a nonblocking request so its completing ``wait`` (a
+        ``recv`` that may hit an injected transient fault at entry) is
+        retried under the policy.  A failed ``wait`` leaves the request
+        incomplete, so re-waiting re-runs the receive cleanly."""
+        if self.retry is None:
+            return req
+        return Request(
+            wait_fn=lambda: self.retry.call(req.wait, comm=comm, op=op),
+            try_fn=req.test,
+        )
+
     def prepare_batch(self, comms, a_tile: SparseMatrix, b_batch: SparseMatrix) -> None:
         """Per-batch prologue; default no-op."""
 
@@ -128,27 +152,48 @@ class DenseCollective(CommBackend):
 
     def bcast_a(self, comms, a_tile: SparseMatrix, stage: int) -> SparseMatrix:
         with comms.row.backend_scope(self.name):
-            return comms.row.bcast(a_tile, root=stage)
+            return self._call(
+                comms.row, "bcast", lambda: comms.row.bcast(a_tile, root=stage)
+            )
 
     def bcast_b(self, comms, b_batch: SparseMatrix, stage: int) -> SparseMatrix:
         with comms.col.backend_scope(self.name):
-            return comms.col.bcast(b_batch, root=stage)
+            return self._call(
+                comms.col, "bcast", lambda: comms.col.bcast(b_batch, root=stage)
+            )
 
     def fiber_exchange(self, comms, sendlist: list) -> list:
         with comms.fiber.backend_scope(self.name):
-            return comms.fiber.alltoallv(sendlist)
+            return self._call(
+                comms.fiber, "alltoallv",
+                lambda: comms.fiber.alltoallv(sendlist),
+            )
+
+    def _ibcast(self, comm, obj, stage: int) -> Request:
+        """The :meth:`SimComm.ibcast` fan-out with retry applied to each
+        individual ``isend`` — never to the fan-out as a whole, which
+        would re-send to peers that already got their copy and leave a
+        stale duplicate for a later stage's tag to match."""
+        if comm.rank == stage:
+            for t in range(comm.size):
+                if t != stage:
+                    self._call(
+                        comm, "send", lambda t=t: comm.isend(obj, t, tag=stage)
+                    )
+            return Request(ready=True, value=obj)
+        return self._guard(comm, "recv", comm.irecv(stage, tag=stage))
 
     def prefetch_stage(
         self, comms, a_tile: SparseMatrix, b_batch: SparseMatrix, stage: int
     ) -> StagePrefetch:
-        """Issue both broadcasts as nonblocking :meth:`SimComm.ibcast`
+        """Issue both broadcasts as nonblocking ``ibcast``-shaped
         fan-outs, tagged by stage so in-flight stages never cross-match."""
         from ..summa.trace import STEP_A_BCAST, STEP_B_BCAST
 
         with comms.row.step(STEP_A_BCAST), comms.row.backend_scope(self.name):
-            a_req = comms.row.ibcast(a_tile, root=stage, tag=stage)
+            a_req = self._ibcast(comms.row, a_tile, stage)
         with comms.col.step(STEP_B_BCAST), comms.col.backend_scope(self.name):
-            b_req = comms.col.ibcast(b_batch, root=stage, tag=stage)
+            b_req = self._ibcast(comms.col, b_batch, stage)
         return StagePrefetch(a_req, b_req)
 
 

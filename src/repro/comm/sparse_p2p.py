@@ -55,20 +55,32 @@ class SparseP2P(CommBackend):
                 # static half: A-tile occupancy along the row comm, then
                 # tell col-peer t which of its B rows this rank needs
                 # (the nonempty columns of row-peer t's A tile).
-                packed = row.allgather(pack_mask(nonempty_columns(a_tile)))
+                packed = self._call(
+                    row, "allgather",
+                    lambda: row.allgather(pack_mask(nonempty_columns(a_tile))),
+                )
                 self._a_col_masks = [unpack_mask(p) for p in packed]
-                received = col.alltoall(
-                    [pack_mask(self._a_col_masks[t]) for t in range(col.size)]
+                received = self._call(
+                    col, "alltoall",
+                    lambda: col.alltoall([
+                        pack_mask(self._a_col_masks[t]) for t in range(col.size)
+                    ]),
                 )
                 self._b_requests = [unpack_mask(p) for p in received]
 
             # per-batch half: B-batch occupancy along the col comm, then
             # tell row-peer t which of its A columns this rank needs
             # (the nonempty rows of col-peer t's B batch).
-            packed = col.allgather(pack_mask(nonempty_rows(b_batch)))
+            packed = self._call(
+                col, "allgather",
+                lambda: col.allgather(pack_mask(nonempty_rows(b_batch))),
+            )
             b_row_masks = [unpack_mask(p) for p in packed]
-            received = row.alltoall(
-                [pack_mask(b_row_masks[t]) for t in range(row.size)]
+            received = self._call(
+                row, "alltoall",
+                lambda: row.alltoall([
+                    pack_mask(b_row_masks[t]) for t in range(row.size)
+                ]),
             )
             a_requests = [unpack_mask(p) for p in received]
 
@@ -90,12 +102,16 @@ class SparseP2P(CommBackend):
             if row.rank == stage:
                 for t in range(row.size):
                     if t != stage:
-                        row.isend(
+                        # retry per individual send: a failed attempt never
+                        # enqueued anything, so re-sending is exact-once
+                        self._call(row, "send", lambda t=t: row.isend(
                             mask_columns(a_tile, self.plan.a_requests[t]),
                             dest=t, tag=stage,
-                        )
+                        ))
                 return a_tile
-            return row.recv(stage, tag=stage)
+            return self._call(
+                row, "recv", lambda: row.recv(stage, tag=stage)
+            )
 
     def bcast_b(self, comms, b_batch: SparseMatrix, stage: int) -> SparseMatrix:
         col = comms.col
@@ -103,19 +119,24 @@ class SparseP2P(CommBackend):
             if col.rank == stage:
                 for t in range(col.size):
                     if t != stage:
-                        col.isend(
+                        self._call(col, "send", lambda t=t: col.isend(
                             mask_rows(b_batch, self.plan.b_requests[t]),
                             dest=t, tag=stage,
-                        )
+                        ))
                 return b_batch
-            return col.recv(stage, tag=stage)
+            return self._call(
+                col, "recv", lambda: col.recv(stage, tag=stage)
+            )
 
     def fiber_exchange(self, comms, sendlist: list) -> list:
         # fiber pieces are exact output partials — nothing to filter —
         # but the variable-size exchange meters true per-destination
         # volumes under the sparse tag.
         with comms.fiber.backend_scope(self.name):
-            return comms.fiber.alltoallv(sendlist)
+            return self._call(
+                comms.fiber, "alltoallv",
+                lambda: comms.fiber.alltoallv(sendlist),
+            )
 
     def prefetch_stage(
         self, comms, a_tile: SparseMatrix, b_batch: SparseMatrix, stage: int
@@ -132,22 +153,22 @@ class SparseP2P(CommBackend):
             if row.rank == stage:
                 for t in range(row.size):
                     if t != stage:
-                        row.isend(
+                        self._call(row, "send", lambda t=t: row.isend(
                             mask_columns(a_tile, self.plan.a_requests[t]),
                             dest=t, tag=stage,
-                        )
+                        ))
                 a_req = Request(ready=True, value=a_tile)
             else:
-                a_req = row.irecv(stage, tag=stage)
+                a_req = self._guard(row, "recv", row.irecv(stage, tag=stage))
         with col.step(STEP_B_BCAST), col.backend_scope(self.name):
             if col.rank == stage:
                 for t in range(col.size):
                     if t != stage:
-                        col.isend(
+                        self._call(col, "send", lambda t=t: col.isend(
                             mask_rows(b_batch, self.plan.b_requests[t]),
                             dest=t, tag=stage,
-                        )
+                        ))
                 b_req = Request(ready=True, value=b_batch)
             else:
-                b_req = col.irecv(stage, tag=stage)
+                b_req = self._guard(col, "recv", col.irecv(stage, tag=stage))
         return StagePrefetch(a_req, b_req)

@@ -27,7 +27,7 @@ import itertools
 from ..errors import DistributionError, ShapeError
 from ..grid.distribution import a_tile_range, b_tile_range, gather_tiles
 from ..grid.grid3d import ProcGrid3D
-from ..simmpi.comm import SimComm
+from ..simmpi.comm import DEFAULT_TIMEOUT, SimComm
 from ..simmpi.engine import run_spmd
 from ..simmpi.tracker import CommTracker
 from ..sparse.matrix import SparseMatrix
@@ -99,7 +99,7 @@ class DistContext:
 
     def __init__(self, nprocs: int = 4, layers: int = 1,
                  tracker: CommTracker | None = None,
-                 timeout: float = 120.0) -> None:
+                 timeout: float = DEFAULT_TIMEOUT) -> None:
         self.grid = ProcGrid3D(nprocs, layers)
         self.tracker = tracker if tracker is not None else CommTracker()
         self.timeout = timeout

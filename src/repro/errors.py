@@ -45,16 +45,68 @@ class CommError(ReproError, RuntimeError):
     participation, invalid root, communicator misuse)."""
 
 
+class TransientCommError(ReproError, RuntimeError):
+    """An injected transient communication fault: the attempt failed but
+    retrying the same operation is expected to succeed.  Deliberately *not*
+    a :class:`CommError` subclass — the engine filters ``CommError`` as
+    abort cascade, while an unretried transient fault is a genuine failure
+    that must keep its rank attribution."""
+
+
+class CorruptPayloadError(ReproError, RuntimeError):
+    """A received payload failed its per-message checksum even after the
+    transport's bounded redelivery attempts — either persistent injected
+    corruption or a checksum/plan bug."""
+
+
+class MemoryPressureError(ReproError, RuntimeError):
+    """A rank hit memory pressure mid-batch (the symbolic estimate of
+    Alg. 3 is an estimate, not a guarantee).  Retryable at the driver
+    level: :func:`repro.summa.batched_summa3d` reacts by doubling the
+    batch count — the paper's own memory lever — and re-running."""
+
+    def __init__(self, message: str, *, batches: int | None = None):
+        super().__init__(message)
+        self.batches = batches
+
+
+class RankCrashError(ReproError, RuntimeError):
+    """An injected hard crash of one rank (fault-injection stand-in for a
+    node failure).  Not retryable; surfaces through :class:`SpmdError`
+    with rank attribution, pointing at the checkpoint when one exists."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint directory is unusable (corrupt manifest, missing batch
+    file, or a manifest that belongs to a different multiplication)."""
+
+
 class SpmdError(ReproError, RuntimeError):
     """One or more ranks of an SPMD region raised; carries the per-rank
-    exceptions so the caller can inspect every failure, not just the first."""
+    exceptions so the caller can inspect every failure, not just the first.
 
-    def __init__(self, failures: dict[int, BaseException]):
+    ``checkpoint_dir`` is set when the failed run was checkpointing: the
+    completed batches survive there and ``resume=True`` continues from
+    them instead of batch 0.
+    """
+
+    def __init__(
+        self,
+        failures: dict[int, BaseException],
+        checkpoint_dir: str | None = None,
+    ):
         self.failures = dict(failures)
+        self.checkpoint_dir = checkpoint_dir
         detail = "; ".join(
             f"rank {r}: {type(e).__name__}: {e}" for r, e in sorted(self.failures.items())
         )
-        super().__init__(f"{len(self.failures)} rank(s) failed: {detail}")
+        message = f"{len(self.failures)} rank(s) failed: {detail}"
+        if checkpoint_dir is not None:
+            message += (
+                f" [checkpoint with completed batches at {checkpoint_dir!r}; "
+                "rerun with resume=True to continue]"
+            )
+        super().__init__(message)
 
 
 class PlannerError(ReproError, ValueError):

@@ -1,0 +1,235 @@
+"""Manifest-backed batch-granular checkpointing for BatchedSUMMA3D.
+
+The batched algorithm's natural unit of durable progress is the batch:
+once every rank has finished batch ``i``'s Finalize, the batch's column
+block of ``C`` is complete and never revisited.  A
+:class:`CheckpointManager` owns a directory holding
+
+* ``manifest.json`` — ``{"version", "run_key", "batches", "completed":
+  {"<batch>": {"file", "spans", "nnz"}}}``;
+* one ``batch_<i>.npz`` per completed batch (written via the atomic
+  :func:`~repro.sparse.io.save_matrix`).
+
+Write ordering makes crashes safe at any instant: the batch file is
+replaced atomically *first*, then the manifest (also an atomic
+``os.replace``).  A manifest entry therefore always points at a fully
+written file, and a run killed mid-batch leaves the previous batches
+intact and trusted.
+
+``run_key`` fingerprints the multiplication (operand contents + the
+configuration that determines batch geometry), so a resume against
+different inputs or a different grid is rejected instead of silently
+mixing incompatible column blocks.  The batch count is deliberately
+*outside* the key: ``resume=True`` with ``batches=None`` adopts the
+manifest's count, and memory-pressure re-batching resets the directory
+(doubling ``b`` changes the block-cyclic column geometry, so old batch
+files are useless).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+from ..errors import CheckpointError
+from ..simmpi.serialization import payload_checksum
+from ..sparse.io import load_matrix, save_matrix
+from ..sparse.matrix import SparseMatrix
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+
+def run_key(a, b, **config) -> str:
+    """Deterministic fingerprint of one multiplication.
+
+    Covers the operand contents (CRC of the structural arrays) and every
+    keyword given (grid shape, batch scheme, merge policy, suite,
+    semiring, ...).  Operands that are not plain
+    :class:`~repro.sparse.matrix.SparseMatrix` (e.g. pre-distributed
+    :class:`~repro.summa.core.TileSource`) contribute their shape only.
+    """
+    def _ident(m):
+        if isinstance(m, SparseMatrix):
+            return m
+        return ["shape", int(m.nrows), int(m.ncols)]
+
+    items = [[k, str(v)] for k, v in sorted(config.items())]
+    return f"{payload_checksum([_ident(a), _ident(b), items]):08x}"
+
+
+class CheckpointManager:
+    """Atomic, manifest-backed checkpoint directory for one batched run.
+
+    Thread-safe: :meth:`write_batch` is called from whichever rank thread
+    happens to complete a batch's final piece.
+    """
+
+    def __init__(self, directory) -> None:
+        self.directory = os.fspath(directory)
+        self._lock = threading.Lock()
+        self._manifest: dict | None = None
+
+    # ------------------------------------------------------------------ #
+    # manifest lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    def _batch_path(self, batch: int) -> str:
+        return os.path.join(self.directory, f"batch_{int(batch)}.npz")
+
+    def load_manifest(self) -> dict | None:
+        """Read and adopt the on-disk manifest; ``None`` when absent."""
+        if not os.path.exists(self.manifest_path):
+            return None
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint manifest {self.manifest_path!r}: {exc}"
+            ) from exc
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("version") != MANIFEST_VERSION
+            or "run_key" not in manifest
+            or "batches" not in manifest
+            or not isinstance(manifest.get("completed"), dict)
+        ):
+            raise CheckpointError(
+                f"malformed checkpoint manifest {self.manifest_path!r}"
+            )
+        self._manifest = manifest
+        return manifest
+
+    def start_run(self, key: str, batches: int) -> None:
+        """Begin a fresh run: write an empty manifest for ``key``."""
+        os.makedirs(self.directory, exist_ok=True)
+        self._manifest = {
+            "version": MANIFEST_VERSION,
+            "run_key": str(key),
+            "batches": int(batches),
+            "completed": {},
+        }
+        self._write_manifest()
+
+    def resume_run(self, key: str, batches: int | None = None) -> tuple[int, int]:
+        """Adopt an existing manifest for ``key``.
+
+        Returns ``(batches, first_batch)`` — the run's batch count (the
+        manifest's when ``batches`` is ``None``) and the first batch that
+        still needs computing.  Raises :class:`~repro.errors.CheckpointError`
+        when the directory belongs to a different multiplication or a
+        conflicting batch count, and falls back to a fresh run when no
+        manifest exists yet.
+        """
+        manifest = self.load_manifest()
+        if manifest is None:
+            if batches is None:
+                raise CheckpointError(
+                    f"nothing to resume in {self.directory!r} and no batch "
+                    "count given (pass batches= or memory_budget=)"
+                )
+            self.start_run(key, batches)
+            return batches, 0
+        if manifest["run_key"] != str(key):
+            raise CheckpointError(
+                f"checkpoint {self.directory!r} belongs to run_key "
+                f"{manifest['run_key']!r}, not {key!r} — different operands "
+                "or configuration; refusing to mix column blocks"
+            )
+        if batches is not None and int(batches) != int(manifest["batches"]):
+            raise CheckpointError(
+                f"checkpoint {self.directory!r} was written with "
+                f"batches={manifest['batches']}, cannot resume with "
+                f"batches={batches} (batch geometry differs)"
+            )
+        return int(manifest["batches"]), self.completed_prefix()
+
+    def reset(self, key: str, batches: int) -> None:
+        """Invalidate everything (batch geometry changed — re-batching)
+        and start over with the new batch count."""
+        with self._lock:
+            manifest = self._manifest
+            if manifest is not None:
+                for entry in manifest["completed"].values():
+                    try:
+                        os.remove(os.path.join(self.directory, entry["file"]))
+                    except OSError:
+                        pass
+        self.start_run(key, batches)
+
+    def _write_manifest(self) -> None:
+        tmp = self.manifest_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self._manifest, fh, indent=1, sort_keys=True)
+        os.replace(tmp, self.manifest_path)
+
+    # ------------------------------------------------------------------ #
+    # batch data
+    # ------------------------------------------------------------------ #
+
+    def completed_prefix(self) -> int:
+        """Number of leading batches durably completed (``0..k-1``).
+
+        Only the contiguous prefix counts: the driver replays consumption
+        in batch order, and the engine guarantees batches complete in
+        order anyway (a rank cannot reach batch ``i``'s collectives before
+        every rank passed batch ``i-1``).
+        """
+        manifest = self._require_manifest()
+        k = 0
+        while str(k) in manifest["completed"]:
+            entry = manifest["completed"][str(k)]
+            if not os.path.exists(os.path.join(self.directory, entry["file"])):
+                raise CheckpointError(
+                    f"manifest lists batch {k} but {entry['file']!r} is "
+                    f"missing from {self.directory!r}"
+                )
+            k += 1
+        return k
+
+    def write_batch(self, batch: int, spans, matrix: SparseMatrix) -> None:
+        """Durably record one completed batch (file first, then manifest)."""
+        path = self._batch_path(batch)
+        with self._lock:
+            manifest = self._require_manifest()
+            save_matrix(path, matrix)
+            manifest["completed"][str(int(batch))] = {
+                "file": os.path.basename(path),
+                "spans": [[int(c0), int(c1)] for c0, c1 in spans],
+                "nnz": int(matrix.nnz),
+            }
+            self._write_manifest()
+
+    def load_batch(self, batch: int) -> tuple[list, SparseMatrix]:
+        """Load one completed batch back as ``(spans, matrix)``."""
+        manifest = self._require_manifest()
+        entry = manifest["completed"].get(str(int(batch)))
+        if entry is None:
+            raise CheckpointError(
+                f"batch {batch} is not recorded in {self.manifest_path!r}"
+            )
+        matrix = load_matrix(os.path.join(self.directory, entry["file"]))
+        if matrix.nnz != entry["nnz"]:
+            raise CheckpointError(
+                f"batch {batch} file holds {matrix.nnz} nonzeros but the "
+                f"manifest recorded {entry['nnz']} — truncated write?"
+            )
+        spans = [(int(c0), int(c1)) for c0, c1 in entry["spans"]]
+        return spans, matrix
+
+    def _require_manifest(self) -> dict:
+        if self._manifest is None:
+            raise CheckpointError(
+                "checkpoint manager has no active manifest — call "
+                "start_run()/resume_run() first"
+            )
+        return self._manifest
+
+    def __repr__(self) -> str:
+        return f"CheckpointManager({self.directory!r})"

@@ -1,0 +1,91 @@
+"""Bounded deterministic retry of transient communication faults.
+
+A :class:`RetryPolicy` wraps an individual communication attempt — one
+``bcast``, one ``isend``, one ``recv``, one ``alltoallv`` — and re-runs
+it when it raises :class:`~repro.errors.TransientCommError`.  Injection
+happens at operation *entry* (see
+:meth:`repro.simmpi.faults.FaultInjector.on_attempt`), before the
+operation touches any shared rendezvous state, so re-calling it on the
+failing rank alone is always alignment-safe: the peers are still parked
+in the collective, waiting.
+
+Backoff is **simulated**: the policy computes the exponential delay a
+real system would sleep, records it in the tracker and the injector's
+event log, and does *not* sleep and does *not* draw randomness — a
+faulty run is a pure function of the fault plan.
+"""
+
+from __future__ import annotations
+
+from ..errors import TransientCommError
+
+#: tracker op label for a retried communication attempt.
+RETRY_OP = "retry"
+
+
+class RetryPolicy:
+    """Retry transiently-failing communication attempts, boundedly.
+
+    Parameters
+    ----------
+    max_retries:
+        Extra attempts after the first failure; attempt ``max_retries + 1``
+        failing re-raises the :class:`~repro.errors.TransientCommError`.
+    backoff_base:
+        Simulated delay before the first retry, in seconds.
+    multiplier:
+        Exponential backoff factor between consecutive retries.
+    """
+
+    __slots__ = ("max_retries", "backoff_base", "multiplier")
+
+    def __init__(
+        self,
+        max_retries: int = 3,
+        *,
+        backoff_base: float = 0.001,
+        multiplier: float = 2.0,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self.multiplier = float(multiplier)
+
+    def backoff(self, attempt: int) -> float:
+        """Simulated delay before retry number ``attempt`` (1-based)."""
+        return self.backoff_base * self.multiplier ** (attempt - 1)
+
+    def call(self, fn, *, comm=None, op: str = ""):
+        """Run ``fn()``; on :class:`~repro.errors.TransientCommError`,
+        record a retry event and run it again, up to ``max_retries``
+        times.  ``comm`` (a :class:`~repro.simmpi.comm.SimComm`) routes
+        the bookkeeping: one zero-byte ``"retry"`` event in the shared
+        tracker plus one :class:`~repro.simmpi.faults.FaultEvent` with
+        the simulated backoff."""
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except TransientCommError:
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise
+                backoff_s = self.backoff(attempt)
+                if comm is not None:
+                    world = comm.world
+                    world.tracker.record(
+                        world.step_label, RETRY_OP, 2, 0, 0,
+                        backend=world.backend_label,
+                    )
+                    if world.injector is not None:
+                        world.injector.record_retry(
+                            comm.global_rank, op, world.step_label,
+                            attempt, backoff_s,
+                        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(max_retries={self.max_retries}, "
+            f"backoff_base={self.backoff_base}, multiplier={self.multiplier})"
+        )

@@ -18,11 +18,29 @@ with mpi4py-like semantics:
 All data movement is real (payloads actually flow between ranks), so
 algorithm correctness and communication *volumes* are exact; only
 wall-clock speed differs from real MPI.
+
+For resilience testing the runtime also carries a deterministic fault
+layer (:mod:`repro.simmpi.faults`): a seeded :class:`FaultPlan` drives a
+:class:`FaultInjector` hooked into every communicator operation, and
+per-message checksums (:mod:`repro.simmpi.serialization`) catch injected
+in-flight corruption.
 """
 
 from .comm import SimComm
 from .engine import run_spmd
-from .serialization import payload_nbytes
+from .faults import FaultEvent, FaultInjector, FaultPlan, FaultSpec
+from .serialization import payload_checksum, payload_nbytes
 from .tracker import CommEvent, CommTracker
 
-__all__ = ["SimComm", "run_spmd", "payload_nbytes", "CommTracker", "CommEvent"]
+__all__ = [
+    "SimComm",
+    "run_spmd",
+    "payload_nbytes",
+    "payload_checksum",
+    "CommTracker",
+    "CommEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "FaultEvent",
+]

@@ -22,12 +22,22 @@ from typing import Any
 
 import numpy as np
 
-from ..errors import CommError
-from .serialization import payload_nbytes
+from ..errors import CommError, CorruptPayloadError
+from .serialization import (
+    CHECKSUM_NBYTES,
+    Envelope,
+    payload_checksum,
+    payload_nbytes,
+    wrap_payload,
+)
 from .tracker import CommTracker
 
 #: seconds a rank waits inside a collective before declaring deadlock.
 DEFAULT_TIMEOUT = 120.0
+
+#: extra delivery attempts per message before a checksum mismatch becomes
+#: a hard :class:`~repro.errors.CorruptPayloadError`.
+MAX_REDELIVERIES = 3
 
 
 class _Slot:
@@ -58,13 +68,27 @@ class _CommContext:
 
 
 class World:
-    """Process-global state of one SPMD run: contexts, tracker, failure flag."""
+    """Process-global state of one SPMD run: contexts, tracker, failure flag.
+
+    ``injector`` is an optional
+    :class:`~repro.simmpi.faults.FaultInjector` consulted at the entry of
+    every communicator operation and at every enveloped delivery.
+    ``checksums`` enables per-message envelopes
+    (:class:`~repro.simmpi.serialization.Envelope`) on broadcast,
+    point-to-point and all-to-all payloads; it defaults to on exactly when
+    an injector is present, so fault-free runs keep the seed wire format.
+    """
 
     def __init__(self, nprocs: int, tracker: CommTracker | None = None,
-                 timeout: float = DEFAULT_TIMEOUT) -> None:
+                 timeout: float = DEFAULT_TIMEOUT, injector=None,
+                 checksums: bool | None = None) -> None:
         self.nprocs = nprocs
         self.tracker = tracker if tracker is not None else CommTracker()
         self.timeout = timeout
+        self.injector = injector
+        self.checksums = bool(
+            checksums if checksums is not None else injector is not None
+        )
         self.failed = threading.Event()
         self._contexts: dict[tuple, _CommContext] = {}
         self._ctx_lock = threading.Lock()
@@ -233,11 +257,69 @@ class SimComm:
         )
 
     # ------------------------------------------------------------------ #
+    # fault injection + per-message integrity
+    # ------------------------------------------------------------------ #
+
+    def _inject(self, op: str) -> None:
+        """Fault-injection hook at operation *entry* — before ``_opseq``
+        advances or any shared state is touched, so a raise here leaves
+        the operation perfectly retryable on this rank alone (peers just
+        keep waiting in the rendezvous)."""
+        injector = self.world.injector
+        if injector is not None:
+            injector.on_attempt(self.global_rank, op, self.world.step_label)
+
+    def _wrap(self, obj):
+        """Envelope ``obj`` with its checksum when integrity is on."""
+        return wrap_payload(obj) if self.world.checksums else obj
+
+    def _deliver(self, obj, op: str):
+        """Unwrap a possibly-enveloped received payload for this rank.
+
+        Each delivery passes through the injector (which may hand back a
+        corrupted copy) and is verified against the envelope checksum; a
+        mismatch meters a redelivery — the retransmission a real transport
+        would perform — and tries again, up to :data:`MAX_REDELIVERIES`
+        extra attempts.  The slot keeps the *original* payload, so
+        redelivery always heals injected corruption."""
+        if not isinstance(obj, Envelope):
+            if self.world.injector is not None:
+                return self.world.injector.on_delivery(
+                    self.global_rank, op, obj, self.world.step_label
+                )
+            return obj
+        injector = self.world.injector
+        for attempt in range(1 + MAX_REDELIVERIES):
+            payload = obj.payload
+            if injector is not None:
+                payload = injector.on_delivery(
+                    self.global_rank, op, payload, self.world.step_label
+                )
+            if payload_checksum(payload) == obj.crc:
+                return payload
+            if attempt == MAX_REDELIVERIES:
+                break
+            # checksum mismatch: meter the point-to-point retransmission
+            # and record the recovery event before redelivering
+            nbytes = payload_nbytes(obj.payload) + CHECKSUM_NBYTES
+            self._record("redelivery", nbytes, nbytes, comm_size=2)
+            if injector is not None:
+                injector.record_retry(
+                    self.global_rank, op, self.world.step_label,
+                    attempt + 1, 0.0, kind="redelivery",
+                )
+        raise CorruptPayloadError(
+            f"rank {self.global_rank}: {op} payload failed checksum "
+            f"{obj.crc:#010x} after {MAX_REDELIVERIES} redeliveries"
+        )
+
+    # ------------------------------------------------------------------ #
     # collectives
     # ------------------------------------------------------------------ #
 
     def barrier(self) -> None:
         """Synchronise all members."""
+        self._inject("barrier")
         _, last = self._exchange(None)
         if last:
             self._record("barrier", 0, 0)
@@ -245,15 +327,20 @@ class SimComm:
     def bcast(self, obj, root: int = 0):
         """Broadcast ``obj`` from local rank ``root`` to all members."""
         self._check_root(root)
-        contrib, last = self._exchange(obj if self.rank == root else None)
+        self._inject("bcast")
+        payload = self._wrap(obj) if self.rank == root else None
+        contrib, last = self._exchange(payload)
         result = contrib[root]
         if last:
             nbytes = payload_nbytes(result)
             self._record("bcast", nbytes, nbytes * max(self.size - 1, 0))
-        return result
+        if self.rank == root:
+            return obj  # root keeps its own reference, like MPI_Bcast
+        return self._deliver(result, "bcast")
 
     def allgather(self, obj) -> list:
         """Every member receives the list of all contributions (rank order)."""
+        self._inject("allgather")
         contrib, last = self._exchange(obj)
         if last:
             sizes = [payload_nbytes(v) for v in contrib.values()]
@@ -264,6 +351,7 @@ class SimComm:
     def gather(self, obj, root: int = 0) -> list | None:
         """Root receives the list of contributions; others get ``None``."""
         self._check_root(root)
+        self._inject("gather")
         contrib, last = self._exchange(obj)
         if last:
             sizes = [payload_nbytes(v) for v in contrib.values()]
@@ -276,6 +364,7 @@ class SimComm:
         """Root provides a list of ``size`` payloads; member ``i`` gets the
         ``i``-th."""
         self._check_root(root)
+        self._inject("scatter")
         if self.rank == root:
             objs = list(objs)
             if len(objs) != self.size:
@@ -295,6 +384,7 @@ class SimComm:
         ``op`` is ``"sum"``, ``"max"`` or ``"min"``; combination is in rank
         order so floating-point results are deterministic.
         """
+        self._inject("allreduce")
         contrib, last = self._exchange(value)
         if last:
             nbytes = payload_nbytes(value)
@@ -305,6 +395,7 @@ class SimComm:
     def reduce(self, value, op: str = "sum", root: int = 0):
         """Like :meth:`allreduce` but only ``root`` receives the result."""
         self._check_root(root)
+        self._inject("reduce")
         contrib, last = self._exchange(value)
         if last:
             nbytes = payload_nbytes(value)
@@ -321,13 +412,17 @@ class SimComm:
             raise CommError(
                 f"alltoall needs {self.size} payloads, got {len(sendlist)}"
             )
-        contrib, last = self._exchange(sendlist)
+        self._inject("alltoall")
+        contrib, last = self._exchange([self._wrap(x) for x in sendlist])
         if last:
             per_rank = [
                 sum(payload_nbytes(x) for x in contrib[r]) for r in range(self.size)
             ]
             self._record("alltoall", max(per_rank, default=0), sum(per_rank))
-        return [contrib[src][self.rank] for src in range(self.size)]
+        return [
+            self._deliver(contrib[src][self.rank], "alltoall")
+            for src in range(self.size)
+        ]
 
     def alltoallv(self, sendlist, counts=None) -> list:
         """Variable-size personalised all-to-all (MPI_Alltoallv semantics).
@@ -369,13 +464,17 @@ class SimComm:
                 raise CommError(
                     f"alltoallv needs {self.size} payloads, got {len(sendlist)}"
                 )
-        contrib, last = self._exchange(sendlist)
+        self._inject("alltoallv")
+        contrib, last = self._exchange([self._wrap(x) for x in sendlist])
         if last:
             per_rank = [
                 sum(payload_nbytes(x) for x in contrib[r]) for r in range(self.size)
             ]
             self._record("alltoallv", max(per_rank, default=0), sum(per_rank))
-        return [contrib[src][self.rank] for src in range(self.size)]
+        return [
+            self._deliver(contrib[src][self.rank], "alltoallv")
+            for src in range(self.size)
+        ]
 
     # ------------------------------------------------------------------ #
     # communicator management
@@ -487,20 +586,23 @@ class SimComm:
                 return False, None
             slot = ctx.slots.pop(key)
             slot.taken = 1
-            return True, slot.contrib[0]
+            obj = slot.contrib[0]
+        return True, self._deliver(obj, "recv")
 
     def send(self, obj, dest: int, tag: int = 0) -> None:
         """Blocking-buffered send to local rank ``dest``."""
         self._check_root(dest, "dest")
+        self._inject("send")
+        payload = self._wrap(obj)
         ctx = self._p2p_context(self.global_rank, self.members[dest])
         with ctx.cv:
             seq = ctx.seq
             ctx.seq += 1
             slot = ctx.slots[seq] = _Slot(tag=int(tag))
-            slot.contrib[0] = obj
+            slot.contrib[0] = payload
             slot.complete = True
             ctx.cv.notify_all()
-        self._record("send", payload_nbytes(obj), comm_size=2)
+        self._record("send", payload_nbytes(payload), comm_size=2)
 
     def recv(self, source: int, tag: int = 0):
         """Blocking receive from local rank ``source``.
@@ -511,6 +613,7 @@ class SimComm:
         matching).
         """
         self._check_root(source, "source")
+        self._inject("recv")
         ctx = self._p2p_context(self.members[source], self.global_rank)
         deadline = time.monotonic() + self.world.timeout
         with ctx.cv:
@@ -519,7 +622,8 @@ class SimComm:
                 if key is not None:
                     slot = ctx.slots.pop(key)
                     slot.taken = 1
-                    return slot.contrib[0]
+                    obj = slot.contrib[0]
+                    break
                 if self.world.failed.is_set():
                     raise CommError("recv aborted: a peer rank failed")
                 remaining = deadline - time.monotonic()
@@ -529,6 +633,7 @@ class SimComm:
                         f"recv timeout from rank {source} tag {tag}"
                     )
                 ctx.cv.wait(min(remaining, 0.5))
+        return self._deliver(obj, "recv")
 
     # ------------------------------------------------------------------ #
 

@@ -19,6 +19,7 @@ from typing import Any, Callable
 
 from ..errors import CommError, SpmdError
 from .comm import DEFAULT_TIMEOUT, SimComm, World
+from .faults import FaultInjector
 from .tracker import CommTracker
 
 
@@ -28,6 +29,8 @@ def run_spmd(
     *args,
     tracker: CommTracker | None = None,
     timeout: float = DEFAULT_TIMEOUT,
+    faults=None,
+    checksums: bool | None = None,
     **kwargs,
 ) -> list:
     """Execute ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks.
@@ -46,6 +49,13 @@ def run_spmd(
         private tracker is created and discarded.
     timeout:
         Deadlock guard for collectives, in seconds.
+    faults:
+        Optional :class:`~repro.simmpi.faults.FaultPlan` or
+        :class:`~repro.simmpi.faults.FaultInjector` to run the program
+        under deterministic fault injection.
+    checksums:
+        Force per-message envelope checksums on/off; ``None`` enables
+        them exactly when faults are injected.
 
     Returns
     -------
@@ -54,7 +64,15 @@ def run_spmd(
     """
     if nprocs <= 0:
         raise ValueError(f"nprocs must be positive, got {nprocs}")
-    world = World(nprocs, tracker=tracker, timeout=timeout)
+    injector = None
+    if faults is not None:
+        injector = (
+            faults if isinstance(faults, FaultInjector) else FaultInjector(faults)
+        )
+    world = World(
+        nprocs, tracker=tracker, timeout=timeout,
+        injector=injector, checksums=checksums,
+    )
     results: list[Any] = [None] * nprocs
     failures: dict[int, BaseException] = {}
     failures_lock = threading.Lock()

@@ -19,16 +19,30 @@ from .matrix import SparseMatrix
 
 
 def save_matrix(path, a: SparseMatrix) -> None:
-    """Save in the native ``.npz`` format (exact round-trip)."""
-    np.savez_compressed(
-        path,
-        nrows=np.int64(a.nrows),
-        ncols=np.int64(a.ncols),
-        indptr=a.indptr,
-        rowidx=a.rowidx,
-        values=a.values,
-        sorted_within_columns=np.bool_(a.sorted_within_columns),
-    )
+    """Save in the native ``.npz`` format (exact round-trip).
+
+    Crash-safe: the archive is written to a ``*.tmp`` sibling and moved
+    into place with an atomic ``os.replace``, so a killed writer (spill /
+    checkpoint batches under fault injection) can never leave a truncated
+    file at ``path`` that a later resume would trust.
+    """
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"  # np.savez's extension rule, kept for tmp-file writes
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        np.savez_compressed(
+            fh,
+            nrows=np.int64(a.nrows),
+            ncols=np.int64(a.ncols),
+            indptr=a.indptr,
+            rowidx=a.rowidx,
+            values=a.values,
+            sorted_within_columns=np.bool_(a.sorted_within_columns),
+        )
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
 
 
 def load_matrix(path) -> SparseMatrix:

@@ -16,7 +16,7 @@ import time
 
 from ..errors import GridError, ShapeError
 from ..grid.distribution import gather_tiles
-from ..simmpi.comm import SimComm
+from ..simmpi.comm import DEFAULT_TIMEOUT, SimComm
 from ..simmpi.engine import run_spmd
 from ..simmpi.tracker import CommTracker
 from ..sparse.matrix import SparseMatrix
@@ -71,7 +71,7 @@ def spgemm_1d(
     suite="esc",
     semiring="plus_times",
     tracker: CommTracker | None = None,
-    timeout: float = 120.0,
+    timeout: float = DEFAULT_TIMEOUT,
 ) -> SummaResult:
     """1D row-distributed SpGEMM baseline.
 
@@ -219,7 +219,7 @@ def cannon2d(
     semiring="plus_times",
     overlap: bool = False,
     tracker: CommTracker | None = None,
-    timeout: float = 120.0,
+    timeout: float = DEFAULT_TIMEOUT,
 ) -> SummaResult:
     """Cannon's algorithm on a square 2D grid (the DBCSR baseline [9, 33]).
 

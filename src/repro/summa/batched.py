@@ -13,10 +13,14 @@ import threading
 
 import numpy as np
 
-from ..errors import ShapeError
+from ..errors import MemoryPressureError, ShapeError, SpmdError
 from ..grid.distribution import gather_tiles
 from ..grid.grid3d import ProcGrid3D
+from ..resilience import CheckpointManager
+from ..resilience import run_key as _checkpoint_run_key
+from ..simmpi.comm import DEFAULT_TIMEOUT
 from ..simmpi.engine import run_spmd
+from ..simmpi.faults import FaultInjector
 from ..simmpi.tracker import CommTracker
 from ..sparse.io import save_matrix
 from ..sparse.matrix import BYTES_PER_NONZERO, SparseMatrix
@@ -39,12 +43,15 @@ class _BatchPieceCollector:
     flushes completed batches in batch order after the run.
     """
 
-    def __init__(self, nprocs: int, nrows: int, ncols: int) -> None:
+    def __init__(
+        self, nprocs: int, nrows: int, ncols: int, on_complete=None
+    ) -> None:
         self._lock = threading.Lock()
         self._nprocs = nprocs
         self._nrows = nrows
         self._ncols = ncols
         self._pending: dict[int, list] = {}
+        self._on_complete = on_complete
         self.completed: dict[int, tuple[list, SparseMatrix]] = {}
 
     def sink(self, batch: int, r0: int, c0: int, tile: SparseMatrix) -> None:
@@ -54,9 +61,15 @@ class _BatchPieceCollector:
             if len(pieces) == self._nprocs:
                 del self._pending[batch]
                 spans = sorted({(c, c + t.ncols) for _r, c, t in pieces})
-                self.completed[batch] = (
-                    spans, gather_tiles(self._nrows, self._ncols, pieces),
-                )
+                gathered = gather_tiles(self._nrows, self._ncols, pieces)
+                self.completed[batch] = (spans, gathered)
+            else:
+                return
+        # durability hook (checkpointing) runs outside the collector lock
+        # but still *during* the run, the moment the batch's last piece
+        # lands — so a later crash can never lose this batch.
+        if self._on_complete is not None:
+            self._on_complete(batch, spans, gathered)
 
 
 def batched_summa3d(
@@ -81,7 +94,12 @@ def batched_summa3d(
     overlap: str = "off",
     spill_dir=None,
     tracker: CommTracker | None = None,
-    timeout: float = 120.0,
+    timeout: float = DEFAULT_TIMEOUT,
+    faults=None,
+    checksums: bool | None = None,
+    max_retries: int | None = 3,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> SummaResult:
     """Multiply ``C = A @ B`` with the memory-constrained, communication-
     avoiding BatchedSUMMA3D algorithm.
@@ -151,6 +169,29 @@ def batched_summa3d(
         memory-constrained pattern.
     tracker:
         Optional communication meter shared with the caller.
+    faults:
+        A :class:`~repro.simmpi.faults.FaultPlan` (or
+        :class:`~repro.simmpi.faults.FaultInjector`, or a list of CLI
+        fault-spec strings) to run under deterministic fault injection.
+        The injector's :meth:`~repro.simmpi.faults.FaultInjector.stats`
+        surface as ``result.fault_stats``.
+    checksums:
+        Force per-message envelope checksums on/off; default (``None``)
+        enables them exactly when faults are injected, so fault-free runs
+        keep the seed wire format.
+    max_retries:
+        Bound on transparent retries of transiently-failed communication
+        attempts (``None`` disables retrying).
+    checkpoint_dir:
+        Directory for manifest-backed batch checkpoints
+        (:class:`~repro.resilience.CheckpointManager`): each batch
+        becomes durable the moment its last piece lands, so a crashed
+        run can be continued.
+    resume:
+        With ``checkpoint_dir``, continue from the last completed batch
+        of a previous (crashed) run instead of batch 0.  The manifest
+        must match this multiplication (operands + configuration);
+        ``batches=None`` adopts the manifest's batch count.
 
     Returns
     -------
@@ -166,9 +207,22 @@ def batched_summa3d(
         raise ValueError(
             f"unknown overlap mode {overlap!r}; expected one of {OVERLAP_MODES}"
         )
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires checkpoint_dir=")
     grid = ProcGrid3D(nprocs, layers)
     if tracker is None:
         tracker = CommTracker()
+
+    injector = None
+    if faults is not None:
+        if isinstance(faults, FaultInjector):
+            injector = faults
+        else:
+            from ..simmpi.faults import FaultPlan
+
+            injector = FaultInjector(
+                faults if isinstance(faults, FaultPlan) else FaultPlan(faults)
+            )
 
     if comm_backend == "auto":
         from .planner import choose_backend
@@ -185,34 +239,119 @@ def batched_summa3d(
             )
         postprocess = _compose_mask(mask, mask_complement, postprocess)
 
+    # Checkpointing: the batch is the durability granule.  The driver
+    # must know the batch count before the run to fingerprint the batch
+    # geometry, so when the symbolic step would normally run in-band it
+    # runs as a driver pre-pass instead (same Alg. 3, same metering).
+    ckpt = None
+    first_batch = 0
+    sym_prepass = None
+    if checkpoint_dir is not None:
+        ckpt = CheckpointManager(checkpoint_dir)
+        ckpt_key = _checkpoint_run_key(
+            a, b,
+            nprocs=nprocs, layers=layers, batch_scheme=batch_scheme,
+            merge_policy=merge_policy,
+            suite=str(getattr(suite, "name", suite)),
+            semiring=str(getattr(semiring, "name", semiring)),
+        )
+        manifest = ckpt.load_manifest() if resume else None
+        if batches is None and manifest is None:
+            if memory_budget is not None:
+                from .symbolic3d import symbolic3d
+
+                sym = symbolic3d(
+                    a, b, nprocs, layers,
+                    memory_budget=memory_budget,
+                    bytes_per_nonzero=bytes_per_nonzero,
+                    tracker=tracker, timeout=timeout,
+                )
+                batches = sym.batches
+                sym_prepass = {
+                    "batches": sym.batches, "max_nnz_c": sym.max_nnz_c,
+                    "max_nnz_a": sym.max_nnz_a, "max_nnz_b": sym.max_nnz_b,
+                }
+            else:
+                batches = 1
+        if resume:
+            batches, first_batch = ckpt.resume_run(ckpt_key, batches)
+        else:
+            ckpt.start_run(ckpt_key, batches)
+
     # Memory-constrained streaming: when the output is discarded but
     # batches are still consumed, ranks stream each finished piece to the
-    # driver instead of holding it, so per-rank memory stays flat.
-    collector = None
-    if not keep_output and (on_batch is not None or spill_dir is not None):
-        collector = _BatchPieceCollector(nprocs, a.nrows, b.ncols)
+    # driver instead of holding it, so per-rank memory stays flat.  A
+    # checkpointing run always streams: batches must become durable the
+    # moment they complete, not after the run.
+    def make_collector():
+        if ckpt is not None:
+            return _BatchPieceCollector(
+                nprocs, a.nrows, b.ncols, on_complete=ckpt.write_batch
+            )
+        if not keep_output and (on_batch is not None or spill_dir is not None):
+            return _BatchPieceCollector(nprocs, a.nrows, b.ncols)
+        return None
 
-    per_rank = run_spmd(
-        nprocs,
-        spmd_batched_summa3d,
-        a,
-        b,
-        grid,
-        batches=batches,
-        memory_budget=memory_budget,
-        bytes_per_nonzero=bytes_per_nonzero,
-        suite=suite,
-        semiring=semiring,
-        keep_pieces=keep_output,
-        postprocess=postprocess,
-        batch_scheme=batch_scheme,
-        merge_policy=merge_policy,
-        comm_backend=comm_backend,
-        overlap=overlap,
-        piece_sink=collector.sink if collector is not None else None,
-        tracker=tracker,
-        timeout=timeout,
-    )
+    collector = make_collector()
+    rebatched: list[dict] = []
+    while True:
+        try:
+            per_rank = run_spmd(
+                nprocs,
+                spmd_batched_summa3d,
+                a,
+                b,
+                grid,
+                batches=batches,
+                memory_budget=memory_budget,
+                bytes_per_nonzero=bytes_per_nonzero,
+                suite=suite,
+                semiring=semiring,
+                keep_pieces=keep_output,
+                postprocess=postprocess,
+                batch_scheme=batch_scheme,
+                merge_policy=merge_policy,
+                comm_backend=comm_backend,
+                overlap=overlap,
+                piece_sink=collector.sink if collector is not None else None,
+                max_retries=max_retries,
+                start_batch=first_batch,
+                batch_barrier=ckpt is not None,
+                tracker=tracker,
+                timeout=timeout,
+                faults=injector,
+                checksums=checksums,
+            )
+            break
+        except SpmdError as err:
+            pressures = [
+                e for e in err.failures.values()
+                if isinstance(e, MemoryPressureError)
+            ]
+            if pressures and all(
+                isinstance(e, MemoryPressureError) for e in err.failures.values()
+            ):
+                # graceful degradation (the paper's own memory lever):
+                # double the batch count and rerun.  The column geometry
+                # changes with b, so checkpointed batches are invalid.
+                cur = next(
+                    (e.batches for e in pressures if e.batches), None
+                ) or (batches or 1)
+                new_b = min(cur * 2, max(1, b.ncols))
+                if new_b <= cur:
+                    raise
+                rebatched.append({"from": int(cur), "to": int(new_b)})
+                batches = new_b
+                first_batch = 0
+                if ckpt is not None:
+                    ckpt.reset(ckpt_key, new_b)
+                collector = make_collector()
+                continue
+            if ckpt is not None:
+                raise SpmdError(
+                    err.failures, checkpoint_dir=os.fspath(checkpoint_dir)
+                ) from err
+            raise
 
     ran_batches = per_rank[0]["batches"]
     per_rank_times = [r["times"] for r in per_rank]
@@ -229,6 +368,18 @@ def batched_summa3d(
     info["fiber_piece_nnz"] = [r["fiber_piece_nnz"] for r in per_rank]
     info["batch_scheme"] = batch_scheme
     info["merge_policy"] = merge_policy
+    if sym_prepass is not None and "symbolic" not in info:
+        info["symbolic"] = sym_prepass
+    if injector is not None:
+        info["fault_stats"] = injector.stats()
+    if injector is not None or ckpt is not None or rebatched:
+        resilience: dict = {"max_retries": max_retries}
+        if ckpt is not None:
+            resilience["checkpoint_dir"] = os.fspath(checkpoint_dir)
+            resilience["resumed_from_batch"] = first_batch
+        if rebatched:
+            resilience["rebatched"] = rebatched
+        info["resilience"] = resilience
 
     if spill_dir is not None:
         os.makedirs(spill_dir, exist_ok=True)
@@ -242,7 +393,25 @@ def batched_summa3d(
             on_batch(batch, spans, batch_matrix)
 
     matrix = None
-    if collector is not None:
+    if ckpt is not None:
+        # resumed prefix from the checkpoint, computed suffix from the
+        # collector; consumption replays in batch order either way, and
+        # the final assembly concatenates the same canonical COO set the
+        # non-checkpointed path would, so products are bit-identical.
+        batch_matrices = []
+        for batch in range(first_batch):
+            spans, batch_matrix = ckpt.load_batch(batch)
+            consume(batch, spans, batch_matrix)
+            batch_matrices.append(batch_matrix)
+        for batch in range(first_batch, ran_batches):
+            spans, batch_matrix = collector.completed.pop(batch)
+            consume(batch, spans, batch_matrix)
+            batch_matrices.append(batch_matrix)
+        if keep_output:
+            matrix = gather_tiles(
+                a.nrows, b.ncols, [(0, 0, m) for m in batch_matrices]
+            )
+    elif collector is not None:
         for batch in range(ran_batches):
             spans, batch_matrix = collector.completed.pop(batch)
             consume(batch, spans, batch_matrix)
@@ -343,7 +512,12 @@ def batched_summa3d_rows(
     overlap: str = "off",
     spill_dir=None,
     tracker: CommTracker | None = None,
-    timeout: float = 120.0,
+    timeout: float = DEFAULT_TIMEOUT,
+    faults=None,
+    checksums: bool | None = None,
+    max_retries: int | None = 3,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> SummaResult:
     """Row-wise batched SpGEMM: each batch computes ``nrows / b`` *rows*
     of ``C`` (paper Sec. IV-B).
@@ -364,7 +538,10 @@ def batched_summa3d_rows(
     (``batch_scheme``, ``merge_policy``, ``comm_backend``, ``overlap``,
     ``bytes_per_nonzero``, ``spill_dir``) apply unchanged — they act on
     the transposed run.  Spilled batch files hold *row* blocks of ``C``
-    (already transposed back), consistent with ``on_batch``.
+    (already transposed back), consistent with ``on_batch``.  The
+    resilience knobs (``faults``, ``checksums``, ``max_retries``,
+    ``checkpoint_dir``, ``resume``) also forward; checkpoints fingerprint
+    the transposed operands, so resuming requires this same entry point.
     """
     from ..sparse.ops import transpose
 
@@ -400,6 +577,11 @@ def batched_summa3d_rows(
         overlap=overlap,
         tracker=tracker,
         timeout=timeout,
+        faults=faults,
+        checksums=checksums,
+        max_retries=max_retries,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )
     if result.matrix is not None:
         result.matrix = transpose(result.matrix)

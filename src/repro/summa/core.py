@@ -37,6 +37,7 @@ from ..comm import get_backend
 from ..errors import MemoryBudgetError
 from ..grid.distribution import extract_a_tile, extract_b_tile
 from ..grid.grid3d import GridComms, ProcGrid3D
+from ..resilience import RetryPolicy
 from ..simmpi.comm import SimComm
 from ..sparse.matrix import BYTES_PER_NONZERO, SparseMatrix
 from ..sparse.ops import split_bounds
@@ -120,26 +121,46 @@ def spmd_symbolic3d(
     memory_budget: int,
     bytes_per_nonzero: int,
     tracer: Tracer,
+    retry: "RetryPolicy | None" = None,
 ) -> dict:
     """Alg. 3 as seen by one rank: returns the batch count and statistics.
 
     ``memory_budget`` is the aggregate memory ``M`` over all processes;
-    Alg. 3 line 12 works with the per-process share ``M / p``.
+    Alg. 3 line 12 works with the per-process share ``M / p``.  ``retry``
+    optionally re-runs transiently-failed symbolic collectives (the
+    structure pass is as exposed to flaky messages as the numeric one).
     """
     grid = comms.grid
     a_tile = _operand_tile(a, grid, comms.world.rank, "A")
     b_tile = _operand_tile(b, grid, comms.world.rank, "B")
+
+    def call(comm, op, fn):
+        return fn() if retry is None else retry.call(fn, comm=comm, op=op)
+
     local_unmerged_nnz = 0
     with tracer.span(STEP_SYMBOLIC), comms.world.step(STEP_SYMBOLIC):
         for s in range(grid.stages):
-            a_recv = comms.row.bcast(a_tile, root=s)
-            b_recv = comms.col.bcast(b_tile, root=s)
+            a_recv = call(
+                comms.row, "bcast", lambda s=s: comms.row.bcast(a_tile, root=s)
+            )
+            b_recv = call(
+                comms.col, "bcast", lambda s=s: comms.col.bcast(b_tile, root=s)
+            )
             # LocalSymbolic: nnz of this stage's (internally merged) product;
             # summed over stages it is the unmerged storage of Alg. 1 line 7.
             local_unmerged_nnz += symbolic_nnz(a_recv, b_recv)
-        max_nnz_c = comms.world.allreduce(local_unmerged_nnz, op="max")
-        max_nnz_a = comms.world.allreduce(a_tile.nnz, op="max")
-        max_nnz_b = comms.world.allreduce(b_tile.nnz, op="max")
+        max_nnz_c = call(
+            comms.world, "allreduce",
+            lambda: comms.world.allreduce(local_unmerged_nnz, op="max"),
+        )
+        max_nnz_a = call(
+            comms.world, "allreduce",
+            lambda: comms.world.allreduce(a_tile.nnz, op="max"),
+        )
+        max_nnz_b = call(
+            comms.world, "allreduce",
+            lambda: comms.world.allreduce(b_tile.nnz, op="max"),
+        )
 
     r = bytes_per_nonzero
     per_proc = memory_budget / grid.nprocs
@@ -177,6 +198,9 @@ def spmd_batched_summa3d(
     comm_backend="dense",
     overlap: str = "off",
     piece_sink=None,
+    max_retries: int | None = 3,
+    start_batch: int = 0,
+    batch_barrier: bool = False,
 ) -> dict:
     """Alg. 4 (BatchedSUMMA3D) as executed by one rank.
 
@@ -221,6 +245,18 @@ def spmd_batched_summa3d(
         memory-constrained streaming path (spilling / per-batch hooks
         with ``keep_output=False``), where held bytes must not grow with
         the batch count.
+    max_retries:
+        Bound on per-attempt retries of transiently-failed communication
+        (a :class:`~repro.resilience.RetryPolicy` attached to the
+        backend); ``None`` disables retrying entirely.
+    start_batch:
+        First batch to execute (resume support): the plan covers batches
+        ``start_batch .. batches-1``, and batches below ``start_batch``
+        are assumed durably checkpointed by the driver.
+    batch_barrier:
+        Synchronise all ranks at each batch boundary (see
+        :func:`~repro.summa.exec.compile_batched_summa3d`) — the
+        checkpointing durability guarantee.
 
     Returns (per rank)
     ------------------
@@ -237,6 +273,8 @@ def spmd_batched_summa3d(
     suite = get_suite(suite)
     semiring = get_semiring(semiring)
     backend = get_backend(comm_backend)
+    retry = RetryPolicy(max_retries) if max_retries is not None else None
+    backend.retry = retry
     comms = GridComms.build(comm, grid)
     tracer = Tracer(rank=comm.rank)
     info: dict = {}
@@ -246,7 +284,8 @@ def spmd_batched_summa3d(
             batches = 1
         else:
             sym = spmd_symbolic3d(
-                comms, a, b, memory_budget, bytes_per_nonzero, tracer
+                comms, a, b, memory_budget, bytes_per_nonzero, tracer,
+                retry=retry,
             )
             batches = sym["batches"]
             info["symbolic"] = sym
@@ -284,6 +323,8 @@ def spmd_batched_summa3d(
         batches=batches,
         merge_policy=merge_policy,
         has_postprocess=postprocess is not None,
+        first_batch=start_batch,
+        batch_barrier=batch_barrier,
     )
     executor.run(plan, state, tracer)
 

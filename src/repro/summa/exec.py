@@ -144,13 +144,33 @@ def compile_batched_summa3d(
     batches: int,
     merge_policy: str = "deferred",
     has_postprocess: bool = False,
+    first_batch: int = 0,
+    batch_barrier: bool = False,
 ) -> ExecutionPlan:
     """Compile Alg. 4 for ``grid`` into an :class:`ExecutionPlan`.
 
     The op sequence (and which instants are timed under which step
     label) mirrors the pre-IR monolith exactly, so a
     :class:`SequentialExecutor` run is indistinguishable from it.
+
+    ``first_batch`` compiles only batches ``first_batch .. batches-1`` —
+    the resume path: batches below it are already durable in a
+    checkpoint, and every op closure is keyed by its *global* batch
+    index, so a resumed plan computes exactly the same column blocks the
+    full plan would have.
+
+    ``batch_barrier`` appends a world-wide barrier as each batch's last
+    op.  Checkpointing needs it for its durability guarantee: a rank can
+    only reach batch ``i`` by passing batch ``i-1``'s barrier, which it
+    only passes once *every* rank has finalized batch ``i-1`` — i.e. the
+    batch's last piece has landed and its checkpoint entry is written.
+    Without the barrier a fast rank crashing in batch ``i`` can abort
+    slower peers while they are still mid-batch ``i-1``, losing it.
     """
+    if not 0 <= first_batch <= batches:
+        raise ExecPlanError(
+            f"first_batch {first_batch} outside [0, {batches}]"
+        )
     plan = ExecutionPlan()
     last = -1  # opid of the most recent op (default dependency)
 
@@ -166,7 +186,7 @@ def compile_batched_summa3d(
         last = opid
         return opid
 
-    for batch in range(batches):
+    for batch in range(first_batch, batches):
         add("col-split", "ColSplit", _run_col_split(batch), batch=batch,
             timed=False)
         plan_id = add("comm-plan", STEP_COMM_PLAN, _run_comm_plan,
@@ -221,6 +241,9 @@ def compile_batched_summa3d(
                 batch=batch)
         add("finalize", "Finalize", _run_finalize(batch), batch=batch,
             timed=False)
+        if batch_barrier:
+            add("batch-barrier", "Batch-Barrier", _run_batch_barrier,
+                batch=batch, timed=False)
 
     plan.validate()
     return plan
@@ -411,6 +434,11 @@ def _run_postprocess(batch):
     return run
 
 
+def _run_batch_barrier(state, span):
+    with state.comms.world.step("Batch-Barrier"):
+        state.comms.world.barrier()
+
+
 def _run_finalize(batch):
     def run(state, span):
         if state.piece_sink is not None:
@@ -437,7 +465,18 @@ class SequentialExecutor:
     overlap = "off"
 
     def run(self, plan: ExecutionPlan, state: ExecState, tracer: Tracer) -> None:
+        # plan-level fault hook: a FaultInjector may crash this rank (or
+        # raise synthetic memory pressure) when it reaches a chosen
+        # (batch, stage) op — the deterministic stand-in for node death
+        # and under-estimated symbolic bounds.
+        world = state.comms.world.world
+        injector = world.injector
+        rank = state.comms.world.global_rank
         for op in plan.ops:
+            if injector is not None:
+                injector.on_plan_op(
+                    rank, op.kind, op.batch, op.stage, batches=state.batches
+                )
             self._before(op, plan, state)
             with tracer.span(
                 op.op, stage=op.stage, batch=op.batch, timed=op.timed

@@ -52,6 +52,14 @@ class SummaResult:
     info: dict = field(default_factory=dict)
     trace: list = field(default_factory=list)
 
+    @property
+    def fault_stats(self) -> dict | None:
+        """Fault-injection summary for runs that injected faults: planned
+        and fired :class:`~repro.simmpi.faults.FaultSpec` counts, retries
+        observed, total simulated backoff, and the ordered event list.
+        ``None`` on fault-free runs."""
+        return self.info.get("fault_stats")
+
     def export_trace(self, path: str) -> None:
         """Write the run's merged span timeline as chrome://tracing JSON
         (open via chrome://tracing "Load" or https://ui.perfetto.dev)."""

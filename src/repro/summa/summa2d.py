@@ -7,6 +7,7 @@ identical; the fiber steps vanish.
 
 from __future__ import annotations
 
+from ..simmpi.comm import DEFAULT_TIMEOUT
 from ..simmpi.tracker import CommTracker
 from ..sparse.matrix import SparseMatrix
 from .batched import batched_summa3d
@@ -23,7 +24,7 @@ def summa2d(
     comm_backend="dense",
     overlap: str = "off",
     tracker: CommTracker | None = None,
-    timeout: float = 120.0,
+    timeout: float = DEFAULT_TIMEOUT,
 ) -> SummaResult:
     """Multiply ``C = A @ B`` on a square 2D process grid.
 

@@ -7,6 +7,7 @@ from each layer's low-rank contribution.
 
 from __future__ import annotations
 
+from ..simmpi.comm import DEFAULT_TIMEOUT
 from ..simmpi.tracker import CommTracker
 from ..sparse.matrix import SparseMatrix
 from .batched import batched_summa3d
@@ -24,7 +25,7 @@ def summa3d(
     comm_backend="dense",
     overlap: str = "off",
     tracker: CommTracker | None = None,
-    timeout: float = 120.0,
+    timeout: float = DEFAULT_TIMEOUT,
 ) -> SummaResult:
     """Multiply ``C = A @ B`` on a ``sqrt(p/l) x sqrt(p/l) x l`` grid.
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from ..errors import ShapeError
 from ..grid.grid3d import GridComms, ProcGrid3D
-from ..simmpi.comm import SimComm
+from ..simmpi.comm import DEFAULT_TIMEOUT, SimComm
 from ..simmpi.engine import run_spmd
 from ..simmpi.tracker import CommTracker
 from ..sparse.matrix import BYTES_PER_NONZERO, SparseMatrix
@@ -43,7 +43,7 @@ def symbolic3d(
     memory_budget: int,
     bytes_per_nonzero: int = BYTES_PER_NONZERO,
     tracker: CommTracker | None = None,
-    timeout: float = 120.0,
+    timeout: float = DEFAULT_TIMEOUT,
 ) -> SymbolicResult:
     """Compute the exact number of batches a memory budget requires.
 

@@ -1,0 +1,162 @@
+"""Unit tests for manifest-backed batch-granular checkpointing."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.resilience import CheckpointManager, run_key
+from repro.sparse import random_sparse
+
+
+@pytest.fixture
+def matrix():
+    return random_sparse(24, 24, nnz=120, seed=3)
+
+
+class TestRunKey:
+    def test_covers_operand_contents(self, matrix):
+        other = random_sparse(24, 24, nnz=120, seed=4)
+        assert run_key(matrix, matrix, nprocs=4) == \
+            run_key(matrix, matrix, nprocs=4)
+        assert run_key(matrix, matrix, nprocs=4) != \
+            run_key(matrix, other, nprocs=4)
+
+    def test_covers_configuration(self, matrix):
+        assert run_key(matrix, matrix, nprocs=4) != \
+            run_key(matrix, matrix, nprocs=8)
+        assert run_key(matrix, matrix, suite="esc") != \
+            run_key(matrix, matrix, suite="spa")
+
+
+class TestCheckpointManager:
+    def test_write_then_load_roundtrip(self, tmp_path, matrix):
+        ckpt = CheckpointManager(tmp_path / "ck")
+        ckpt.start_run("k1", 3)
+        ckpt.write_batch(0, [(0, 12)], matrix)
+        spans, loaded = ckpt.load_batch(0)
+        assert spans == [(0, 12)]
+        assert loaded.nnz == matrix.nnz
+        assert loaded.allclose(matrix)
+
+    def test_completed_prefix_is_contiguous(self, tmp_path, matrix):
+        ckpt = CheckpointManager(tmp_path / "ck")
+        ckpt.start_run("k1", 4)
+        ckpt.write_batch(0, [(0, 6)], matrix)
+        ckpt.write_batch(2, [(12, 18)], matrix)  # gap at 1
+        assert ckpt.completed_prefix() == 1
+
+    def test_resume_adopts_manifest_batches(self, tmp_path, matrix):
+        ckpt = CheckpointManager(tmp_path / "ck")
+        ckpt.start_run("k1", 3)
+        ckpt.write_batch(0, [(0, 8)], matrix)
+        fresh = CheckpointManager(tmp_path / "ck")
+        batches, first = fresh.resume_run("k1", None)
+        assert (batches, first) == (3, 1)
+
+    def test_resume_rejects_different_run_key(self, tmp_path, matrix):
+        ckpt = CheckpointManager(tmp_path / "ck")
+        ckpt.start_run("k1", 3)
+        with pytest.raises(CheckpointError, match="different operands"):
+            CheckpointManager(tmp_path / "ck").resume_run("k2")
+
+    def test_resume_rejects_conflicting_batch_count(self, tmp_path):
+        ckpt = CheckpointManager(tmp_path / "ck")
+        ckpt.start_run("k1", 3)
+        with pytest.raises(CheckpointError, match="batch geometry"):
+            CheckpointManager(tmp_path / "ck").resume_run("k1", 5)
+
+    def test_resume_empty_dir_without_batches_fails(self, tmp_path):
+        with pytest.raises(CheckpointError, match="nothing to resume"):
+            CheckpointManager(tmp_path / "ck").resume_run("k1", None)
+
+    def test_resume_empty_dir_with_batches_starts_fresh(self, tmp_path):
+        batches, first = CheckpointManager(tmp_path / "ck").resume_run("k1", 4)
+        assert (batches, first) == (4, 0)
+
+    def test_corrupt_manifest_is_typed(self, tmp_path):
+        ckdir = tmp_path / "ck"
+        ckdir.mkdir()
+        (ckdir / "manifest.json").write_text("{not json")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            CheckpointManager(ckdir).load_manifest()
+
+    def test_malformed_manifest_is_typed(self, tmp_path):
+        ckdir = tmp_path / "ck"
+        ckdir.mkdir()
+        (ckdir / "manifest.json").write_text(json.dumps({"version": 99}))
+        with pytest.raises(CheckpointError, match="malformed"):
+            CheckpointManager(ckdir).load_manifest()
+
+    def test_missing_batch_file_detected(self, tmp_path, matrix):
+        ckpt = CheckpointManager(tmp_path / "ck")
+        ckpt.start_run("k1", 2)
+        ckpt.write_batch(0, [(0, 12)], matrix)
+        os.remove(tmp_path / "ck" / "batch_0.npz")
+        with pytest.raises(CheckpointError, match="missing"):
+            CheckpointManager(tmp_path / "ck").resume_run("k1")
+
+    def test_truncated_batch_file_detected(self, tmp_path, matrix):
+        from repro.sparse import save_matrix
+
+        ckpt = CheckpointManager(tmp_path / "ck")
+        ckpt.start_run("k1", 2)
+        ckpt.write_batch(0, [(0, 12)], matrix)
+        save_matrix(
+            str(tmp_path / "ck" / "batch_0.npz"),
+            random_sparse(24, 24, nnz=7, seed=9),
+        )
+        with pytest.raises(CheckpointError, match="truncated"):
+            ckpt.load_batch(0)
+
+    def test_reset_clears_batch_files(self, tmp_path, matrix):
+        ckpt = CheckpointManager(tmp_path / "ck")
+        ckpt.start_run("k1", 2)
+        ckpt.write_batch(0, [(0, 12)], matrix)
+        ckpt.reset("k1", 4)
+        assert not os.path.exists(tmp_path / "ck" / "batch_0.npz")
+        assert ckpt.completed_prefix() == 0
+        assert ckpt.load_manifest()["batches"] == 4
+
+    def test_manifest_written_atomically(self, tmp_path, matrix):
+        """No .tmp residue after writes; manifest always parses."""
+        ckpt = CheckpointManager(tmp_path / "ck")
+        ckpt.start_run("k1", 2)
+        ckpt.write_batch(0, [(0, 12)], matrix)
+        leftovers = [f for f in os.listdir(tmp_path / "ck") if ".tmp" in f]
+        assert leftovers == []
+        json.loads((tmp_path / "ck" / "manifest.json").read_text())
+
+
+class TestAtomicSaveMatrix:
+    def test_no_tmp_residue(self, tmp_path, matrix):
+        from repro.sparse import load_matrix, save_matrix
+
+        path = tmp_path / "m.npz"
+        save_matrix(str(path), matrix)
+        assert load_matrix(str(path)).allclose(matrix)
+        assert [f for f in os.listdir(tmp_path) if ".tmp" in f] == []
+
+    def test_failed_write_preserves_existing_file(self, tmp_path, matrix):
+        """An interrupted save must never clobber the previous good file —
+        the crash-safety contract spill/checkpoint files rely on."""
+        import numpy as np
+
+        from repro.sparse import load_matrix, save_matrix
+
+        path = tmp_path / "m.npz"
+        save_matrix(str(path), matrix)
+
+        original_savez = np.savez_compressed
+
+        def exploding(*args, **kwargs):
+            raise OSError("disk full")
+
+        np.savez_compressed = exploding
+        try:
+            with pytest.raises(OSError):
+                save_matrix(str(path), random_sparse(8, 8, nnz=5, seed=1))
+        finally:
+            np.savez_compressed = original_savez
+        assert load_matrix(str(path)).allclose(matrix)

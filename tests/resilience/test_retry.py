@@ -1,0 +1,100 @@
+"""Unit tests for the bounded deterministic retry policy."""
+
+import pytest
+
+from repro.errors import TransientCommError
+from repro.resilience import RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_success_passes_through(self):
+        assert RetryPolicy(3).call(lambda: 42) == 42
+
+    def test_retries_until_success(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientCommError("flake")
+            return "ok"
+
+        assert RetryPolicy(3).call(flaky) == "ok"
+        assert calls["n"] == 3
+
+    def test_budget_exhaustion_reraises(self):
+        calls = {"n": 0}
+
+        def always():
+            calls["n"] += 1
+            raise TransientCommError("flake")
+
+        with pytest.raises(TransientCommError):
+            RetryPolicy(2).call(always)
+        assert calls["n"] == 3  # first + 2 retries
+
+    def test_zero_retries_means_one_attempt(self):
+        calls = {"n": 0}
+
+        def always():
+            calls["n"] += 1
+            raise TransientCommError("flake")
+
+        with pytest.raises(TransientCommError):
+            RetryPolicy(0).call(always)
+        assert calls["n"] == 1
+
+    def test_non_transient_errors_not_retried(self):
+        calls = {"n": 0}
+
+        def bad():
+            calls["n"] += 1
+            raise ValueError("genuine bug")
+
+        with pytest.raises(ValueError):
+            RetryPolicy(5).call(bad)
+        assert calls["n"] == 1
+
+    def test_backoff_is_exponential_and_deterministic(self):
+        policy = RetryPolicy(5, backoff_base=0.001, multiplier=2.0)
+        assert policy.backoff(1) == pytest.approx(0.001)
+        assert policy.backoff(2) == pytest.approx(0.002)
+        assert policy.backoff(4) == pytest.approx(0.008)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(-1)
+
+    def test_retry_is_metered_not_slept(self):
+        """Retrying must record the simulated backoff, not actually sleep."""
+        import time
+
+        from repro.simmpi import run_spmd
+        from repro.simmpi.faults import FaultInjector, FaultPlan
+        from repro.simmpi.tracker import CommTracker
+
+        inj = FaultInjector(FaultPlan())
+        tracker = CommTracker()
+        # a policy whose simulated delays would total minutes if slept
+        policy = RetryPolicy(4, backoff_base=30.0)
+
+        def prog(comm):
+            calls = {"n": 0}
+
+            def flaky():
+                calls["n"] += 1
+                if calls["n"] < 4:
+                    raise TransientCommError("flake")
+                return None
+
+            policy.call(flaky, comm=comm, op="bcast")
+
+        t0 = time.monotonic()
+        run_spmd(1, prog, tracker=tracker, faults=inj, timeout=10)
+        assert time.monotonic() - t0 < 5  # did not sleep 30+60+120 s
+        stats = inj.stats()
+        assert stats["retries"] == 3
+        assert stats["simulated_backoff_s"] == pytest.approx(30 + 60 + 120)
+        retry_events = [e for e in tracker.events if e.op == "retry"]
+        assert len(retry_events) == 3
+        assert all(e.nbytes == 0 for e in retry_events)
