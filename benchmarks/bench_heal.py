@@ -1,0 +1,166 @@
+"""Heal study — what online recovery costs, by strategy and crash point.
+
+Three ways to survive a rank crash at batch ``i`` of ``b``, compared in
+the tracker's deterministic byte currency plus the heal layer's own
+meters (recovery latency, operand bytes redistributed to the repaired
+position):
+
+* **spare-promotion** (``heal="spare"``) — a parked spare rank takes
+  over the dead grid position; the run continues in place.
+* **shrink-redistribute** (``heal="shrink"``) — the host pool shrinks
+  and the dead position respawns oversubscribed on a survivor host;
+  the run continues in place.
+* **full restart** (the PR 3 baseline) — the run aborts with a
+  checkpoint pointer and a second invocation resumes from the last
+  durable batch.
+
+All three must produce bit-identical products; the interesting numbers
+are the extra communication each pays and how it scales with the crash
+point.  Restart pays the whole prefix replay machinery again (process
+launch, symbolic step, re-broadcasts from batch ``i``); healing pays one
+agreement round plus re-entry from batch ``i`` — and only the repaired
+position's operand tiles move again.
+"""
+
+import shutil
+import tempfile
+
+import numpy as np
+import pytest
+
+from _helpers import print_series
+from repro.data.generators import erdos_renyi
+from repro.errors import SpmdError
+from repro.simmpi import CommTracker, FaultPlan
+from repro.summa import batched_summa3d
+
+NPROCS, BATCHES = 4, 4
+
+
+@pytest.fixture(scope="module")
+def operands():
+    a = erdos_renyi(96, avg_degree=6.0, seed=23)
+    return a, a
+
+
+@pytest.fixture(scope="module")
+def baseline(operands):
+    a, b = operands
+    tracker = CommTracker()
+    result = batched_summa3d(
+        a, b, nprocs=NPROCS, batches=BATCHES, tracker=tracker, timeout=30
+    )
+    return tracker.total_bytes(), result
+
+
+def _heal_run(a, b, ckpt_dir, crash_batch, mode, spares):
+    tracker = CommTracker()
+    result = batched_summa3d(
+        a, b, nprocs=NPROCS, batches=BATCHES, tracker=tracker, timeout=30,
+        checkpoint_dir=ckpt_dir,
+        faults=FaultPlan([f"crash:rank=1,batch={crash_batch}"]),
+        heal=mode, world_spares=spares,
+    )
+    heal = result.info["resilience"]["heal"]
+    assert heal["heals"] == 1
+    return {
+        "bytes": tracker.total_bytes(),
+        "extra": heal["extra_bytes_moved"],
+        "latency_s": heal["events"][0]["latency_s"],
+        "matrix": result.matrix,
+    }
+
+
+def _restart_run(a, b, ckpt_dir, crash_batch):
+    crashed = CommTracker()
+    with pytest.raises(SpmdError):
+        batched_summa3d(
+            a, b, nprocs=NPROCS, batches=BATCHES, tracker=crashed, timeout=30,
+            checkpoint_dir=ckpt_dir,
+            faults=FaultPlan([f"crash:rank=1,batch={crash_batch}"]),
+        )
+    resumed = CommTracker()
+    result = batched_summa3d(
+        a, b, nprocs=NPROCS, tracker=resumed, timeout=30,
+        checkpoint_dir=ckpt_dir, resume=True,
+    )
+    return {
+        "bytes": crashed.total_bytes() + resumed.total_bytes(),
+        "extra": resumed.total_bytes(),
+        "latency_s": None,
+        "matrix": result.matrix,
+    }
+
+
+def test_heal_vs_restart_by_crash_batch(operands, baseline):
+    a, b = operands
+    base_bytes, base = baseline
+
+    rows = [["fault-free", "-", base_bytes, 0, "-"]]
+    by_strategy: dict[str, list[dict]] = {}
+    for crash_batch in range(1, BATCHES):
+        for strategy in ("spare", "shrink", "restart"):
+            ckpt_dir = tempfile.mkdtemp()
+            try:
+                if strategy == "restart":
+                    run = _restart_run(a, b, ckpt_dir, crash_batch)
+                else:
+                    run = _heal_run(
+                        a, b, ckpt_dir, crash_batch, strategy,
+                        spares=1 if strategy == "spare" else 0,
+                    )
+            finally:
+                shutil.rmtree(ckpt_dir, ignore_errors=True)
+            # every strategy must end bit-identical to fault-free
+            assert np.array_equal(run["matrix"].values, base.matrix.values)
+            assert np.array_equal(run["matrix"].rowidx, base.matrix.rowidx)
+            by_strategy.setdefault(strategy, []).append(run)
+            latency = (
+                f"{run['latency_s'] * 1e3:.2f} ms"
+                if run["latency_s"] is not None else "n/a (new process)"
+            )
+            rows.append([
+                f"{strategy} crash@{crash_batch}", BATCHES - crash_batch,
+                run["bytes"], run["extra"], latency,
+            ])
+    print_series(
+        "Crash recovery cost by strategy and crash point",
+        ["run", "batches recomputed", "comm bytes", "extra bytes", "latency"],
+        rows,
+    )
+
+    # restart's recovery traffic is the whole resumed run: it shrinks as
+    # the crash moves later (fewer batches left to replay) — strictly
+    restart_extra = [r["extra"] for r in by_strategy["restart"]]
+    assert all(x > y for x, y in zip(restart_extra, restart_extra[1:]))
+    for strategy in ("spare", "shrink"):
+        extras = [r["extra"] for r in by_strategy[strategy]]
+        # healing's recovery traffic is the repaired position's operand
+        # tiles — a constant, independent of the crash point...
+        assert len(set(extras)) == 1, strategy
+        # ...and far below what any restart re-moves
+        assert all(
+            healed < restarted
+            for healed, restarted in zip(extras, restart_extra)
+        ), strategy
+        # continuing in place stays near the fault-free volume: the
+        # completed prefix is never recomputed, only re-entered batches
+        totals = [r["bytes"] for r in by_strategy[strategy]]
+        assert all(t < 1.25 * base_bytes for t in totals), strategy
+    # a restart always pays more than one fault-free run in aggregate
+    # (the crashed attempt's traffic is sunk cost)
+    assert all(r["bytes"] > base_bytes for r in by_strategy["restart"])
+
+
+def test_spare_vs_shrink_redistribution_is_tile_sized(operands, baseline):
+    """Both heal modes move exactly the repaired position's operand
+    tiles — the redistribution meter must be small next to a full run."""
+    a, b = operands
+    base_bytes, _ = baseline
+    for mode, spares in (("spare", 1), ("shrink", 0)):
+        ckpt_dir = tempfile.mkdtemp()
+        try:
+            run = _heal_run(a, b, ckpt_dir, 2, mode, spares)
+        finally:
+            shutil.rmtree(ckpt_dir, ignore_errors=True)
+        assert 0 < run["extra"] < base_bytes / NPROCS

@@ -80,6 +80,23 @@ def cmd_multiply(args) -> int:
         result = _run_multiply(args, a, b, tracker)
     except SpmdError as err:
         print(f"error: {err}", file=sys.stderr)
+        for rank, failure in sorted(err.failures.items()):
+            context = getattr(failure, "context", None)
+            if context:
+                fields = ", ".join(
+                    f"{k}={v}" for k, v in sorted(context.items())
+                )
+                print(f"  rank {rank}: {type(failure).__name__} ({fields})",
+                      file=sys.stderr)
+            dump = getattr(failure, "dump", None)
+            if dump:
+                print("  blocked ranks at failure:", file=sys.stderr)
+                for blocked_rank in sorted(dump):
+                    state = dump[blocked_rank]
+                    print(f"    rank {blocked_rank}: {state['op']} "
+                          f"tag={state['tag']} waiting on "
+                          f"{state['pending']} for {state['blocked_s']}s",
+                          file=sys.stderr)
         if args.checkpoint_dir and not args.resume:
             print(f"rerun with --resume to continue from the last "
                   f"completed batch in {args.checkpoint_dir}",
@@ -103,6 +120,18 @@ def cmd_multiply(args) -> int:
     if resilience is not None and resilience.get("checkpoint_dir"):
         print(f"checkpoint: {resilience['checkpoint_dir']} "
               f"(resumed from batch {resilience['resumed_from_batch']})")
+    if resilience is not None and resilience.get("heal"):
+        heal = resilience["heal"]
+        print(f"heal: mode={heal['mode']}, {heal['heals']} event(s), "
+              f"{heal['extra_bytes_moved']} extra bytes redistributed")
+        for event in heal["events"]:
+            dead = ", ".join(
+                f"position {d['position']} (rank {d['rank']})"
+                for d in event["dead"]
+            )
+            print(f"  epoch {event['epoch']}: lost {dead}; resumed from "
+                  f"batch {event['restart_batch']} after "
+                  f"{event['latency_s'] * 1e3:.1f} ms")
     print(result.step_times.format_table("step times (critical path)"))
     print(tracker.format_table())
     if args.trace_out is not None:
@@ -133,6 +162,9 @@ def _run_multiply(args, a, b, tracker):
         max_retries=args.max_retries,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        checkpoint_keep_last=args.checkpoint_keep_last,
+        heal=args.heal,
+        world_spares=args.spares,
     )
 
 
@@ -396,6 +428,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="continue from the last completed batch in "
                    "--checkpoint-dir")
+    p.add_argument("--checkpoint-keep-last", type=int, default=None,
+                   metavar="K",
+                   help="garbage-collect all but the newest K checkpointed "
+                   "batch files as the run progresses")
+    p.add_argument("--heal", default=None, choices=["spare", "shrink"],
+                   help="survive rank crashes online (requires "
+                   "--checkpoint-dir): promote a parked spare rank, or "
+                   "shrink the host pool and respawn the dead position")
+    p.add_argument("--spares", type=int, default=0, metavar="N",
+                   help="pre-allocate N spare ranks for --heal spare")
     p.set_defaults(func=cmd_multiply)
 
     p = sub.add_parser("stats", help="symbolic SpGEMM statistics")

@@ -100,6 +100,17 @@ class CommBackend(ABC):
     def prepare_batch(self, comms, a_tile: SparseMatrix, b_batch: SparseMatrix) -> None:
         """Per-batch prologue; default no-op."""
 
+    def revoke(self) -> None:
+        """Discard all cached per-run plan state.
+
+        Called when the communicators this backend planned against are
+        revoked (an online heal rebuilt the grid, see
+        :mod:`repro.resilience.heal`) and on every (re-)entry of the
+        SPMD body: anything derived from the old membership — exchange
+        plans, occupancy masks, outstanding prefetches — must be
+        recomputed against the repaired grid.  Default no-op: the dense
+        backend is stateless between calls."""
+
     @abstractmethod
     def bcast_a(self, comms, a_tile: SparseMatrix, stage: int) -> SparseMatrix:
         """Deliver the stage's A operand along the row communicator."""

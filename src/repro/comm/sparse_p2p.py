@@ -44,6 +44,14 @@ class SparseP2P(CommBackend):
         self._a_col_masks: list | None = None
         self._b_requests: list | None = None
 
+    def revoke(self) -> None:
+        """Drop the exchange plan and occupancy masks: they were built
+        against a membership that no longer exists, and the repaired
+        grid's re-entry re-runs the symbolic prologue from scratch."""
+        self.plan = None
+        self._a_col_masks = None
+        self._b_requests = None
+
     # ------------------------------------------------------------------ #
     # symbolic prologue
     # ------------------------------------------------------------------ #

@@ -258,6 +258,9 @@ class DistContext:
         suite="esc",
         semiring="plus_times",
         postprocess=None,
+        faults=None,
+        checksums: bool | None = None,
+        max_retries: int | None = 3,
     ) -> tuple[DistMatrixHandle, SummaResult]:
         """``C = A @ B`` between resident handles; C stays distributed.
 
@@ -272,6 +275,13 @@ class DistContext:
         either way it gathers and redistributes normally.
         ``result.matrix`` is ``None`` — call ``handle.to_global()`` if the
         assembled product is wanted.
+
+        ``faults`` / ``checksums`` / ``max_retries`` run the multiplication
+        under the same deterministic fault injection, envelope checksums
+        and bounded retry as :func:`~repro.summa.batched.batched_summa3d`;
+        every blocking rendezvous is watched by the wait-for-graph hang
+        watchdog either way, so a wedged resident-matrix pipeline raises a
+        classified :class:`~repro.errors.HangError` instead of hanging.
         """
         self._check(ha)
         self._check(hb)
@@ -303,8 +313,11 @@ class DistContext:
             semiring=semiring,
             keep_pieces=True,
             postprocess=postprocess,
+            max_retries=max_retries,
             tracker=self.tracker,
             timeout=self.timeout,
+            faults=faults,
+            checksums=checksums,
         )
         ran_batches = per_rank[0]["batches"]
         # Each rank's batch pieces are contiguous in global column space

@@ -10,7 +10,22 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the :mod:`repro` library."""
+    """Base class for all errors raised by the :mod:`repro` library.
+
+    Every instance carries a ``context`` dict — uniform, machine-readable
+    failure coordinates (``rank``, ``op``, ``peer``, ``tag``, ...) that
+    raise sites attach via :meth:`with_context`.  The CLI's friendly
+    error path prints it; tests assert on it instead of parsing messages.
+    """
+
+    def __init__(self, *args):
+        super().__init__(*args)
+        self.context: dict = {}
+
+    def with_context(self, **fields) -> "ReproError":
+        """Attach failure coordinates; returns ``self`` for raise chaining."""
+        self.context.update(fields)
+        return self
 
 
 class ShapeError(ReproError, ValueError):
@@ -51,6 +66,52 @@ class TransientCommError(ReproError, RuntimeError):
     a :class:`CommError` subclass — the engine filters ``CommError`` as
     abort cascade, while an unretried transient fault is a genuine failure
     that must keep its rank attribution."""
+
+
+class RankRevokedError(CommError):
+    """The communicator's epoch was revoked by an online heal: a member
+    died and the surviving set agreed to rebuild.  Raised at operation
+    entry and inside rendezvous waits on every stale-epoch communicator;
+    the healing wrapper (:mod:`repro.resilience.heal`) catches it, joins
+    the agreement for the new epoch and re-enters the run.  A
+    :class:`CommError` subclass so that, should it ever leak past a
+    non-healing caller, the engine files it with the abort cascade."""
+
+
+class HangError(ReproError, RuntimeError):
+    """The simulated-MPI watchdog fired.
+
+    ``kind`` classifies the hang:
+
+    * ``"deadlock"`` — the wait-for graph of blocked ranks contains a
+      cycle that persisted across two watchdog sweeps with no progress —
+      a genuine cyclic deadlock, reported long before the flat timeout;
+    * ``"peer-exited"`` — a blocked rank waits on a peer whose thread
+      already returned and can never arrive;
+    * ``"timeout"`` — the hard wall-clock backstop expired without a
+      diagnosable cycle (e.g. a peer stuck outside any communicator).
+
+    ``cycle`` names the global ranks forming the cycle (empty for
+    non-cyclic kinds) and ``dump`` maps each involved rank to its wait
+    record: op, communicator, peer set, tag, attempt counters, seconds
+    blocked.  Deliberately *not* a :class:`CommError` — a hang is a
+    genuine failure that must keep rank attribution, not be filtered as
+    an abort cascade."""
+
+    def __init__(self, message: str, *, kind: str = "timeout",
+                 cycle=(), dump: dict | None = None):
+        super().__init__(message)
+        self.kind = kind
+        self.cycle = tuple(cycle)
+        self.dump = dict(dump or {})
+        self.with_context(kind=kind, cycle=list(self.cycle))
+
+
+class HealError(ReproError, RuntimeError):
+    """Online recovery could not repair the run: no spare or host was
+    available for a dead grid coordinate, the agreement protocol timed
+    out, or the heal-round budget was exhausted.  The run falls back to
+    the PR 3 path — abort with a checkpoint pointer."""
 
 
 class CorruptPayloadError(ReproError, RuntimeError):

@@ -66,8 +66,14 @@ class CheckpointManager:
     happens to complete a batch's final piece.
     """
 
-    def __init__(self, directory) -> None:
+    def __init__(self, directory, keep_last: int | None = None) -> None:
+        if keep_last is not None and keep_last < 1:
+            raise CheckpointError(
+                f"keep_last must be >= 1 (got {keep_last}): the newest "
+                "completed batch is the resume point and cannot be pruned"
+            )
         self.directory = os.fspath(directory)
+        self.keep_last = keep_last
         self._lock = threading.Lock()
         self._manifest: dict | None = None
 
@@ -185,7 +191,9 @@ class CheckpointManager:
         k = 0
         while str(k) in manifest["completed"]:
             entry = manifest["completed"][str(k)]
-            if not os.path.exists(os.path.join(self.directory, entry["file"])):
+            if not entry.get("pruned") and not os.path.exists(
+                os.path.join(self.directory, entry["file"])
+            ):
                 raise CheckpointError(
                     f"manifest lists batch {k} but {entry['file']!r} is "
                     f"missing from {self.directory!r}"
@@ -204,6 +212,8 @@ class CheckpointManager:
                 "spans": [[int(c0), int(c1)] for c0, c1 in spans],
                 "nnz": int(matrix.nnz),
             }
+            if self.keep_last is not None:
+                self._prune_locked(self.keep_last)
             self._write_manifest()
 
     def load_batch(self, batch: int) -> tuple[list, SparseMatrix]:
@@ -214,6 +224,12 @@ class CheckpointManager:
             raise CheckpointError(
                 f"batch {batch} is not recorded in {self.manifest_path!r}"
             )
+        if entry.get("pruned"):
+            raise CheckpointError(
+                f"batch {batch} was garbage-collected (keep_last pruning); "
+                "its data is gone — rerun without keep_last (or with a "
+                "larger value) when batch output must be reassembled"
+            ).with_context(batch=int(batch), file=entry["file"])
         matrix = load_matrix(os.path.join(self.directory, entry["file"]))
         if matrix.nnz != entry["nnz"]:
             raise CheckpointError(
@@ -222,6 +238,74 @@ class CheckpointManager:
             )
         spans = [(int(c0), int(c1)) for c0, c1 in entry["spans"]]
         return spans, matrix
+
+    # ------------------------------------------------------------------ #
+    # garbage collection
+    # ------------------------------------------------------------------ #
+
+    def _prune_locked(self, keep_last: int) -> list[str]:
+        """Prune completed-batch files beyond the newest ``keep_last``.
+
+        Caller holds ``self._lock`` and writes the manifest afterwards.
+        Entries stay in the manifest marked ``"pruned"`` so
+        :meth:`completed_prefix` still counts them (resume never replays
+        a pruned batch) while :meth:`load_batch` fails loudly on them.
+        """
+        manifest = self._require_manifest()
+        done = sorted(
+            (int(k) for k, e in manifest["completed"].items()
+             if not e.get("pruned")),
+            reverse=True,
+        )
+        removed = []
+        for batch in done[keep_last:]:
+            entry = manifest["completed"][str(batch)]
+            try:
+                os.remove(os.path.join(self.directory, entry["file"]))
+            except OSError:
+                pass
+            entry["pruned"] = True
+            removed.append(entry["file"])
+        return removed
+
+    def gc(self, keep_last: int | None = None) -> dict:
+        """Manifest-driven garbage collection of the checkpoint directory.
+
+        Removes every ``batch_*.npz`` / ``*.tmp`` file the active
+        manifest does not reference — the debris superseded runs leave
+        behind (mem-pressure re-batching writes a fresh manifest but a
+        crash can strand the old geometry's files; ``reset`` only removes
+        what *its* manifest listed).  With ``keep_last`` (defaulting to
+        the manager's knob) additionally prunes all but the newest
+        ``keep_last`` completed batches, keeping their manifest entries
+        as tombstones so the resume point is unaffected.
+
+        Returns ``{"orphans_removed": [...], "pruned": [...]}``.
+        """
+        if keep_last is None:
+            keep_last = self.keep_last
+        with self._lock:
+            manifest = self._require_manifest()
+            referenced = {MANIFEST_NAME}
+            referenced.update(
+                e["file"] for e in manifest["completed"].values()
+            )
+            orphans = []
+            for name in sorted(os.listdir(self.directory)):
+                if name in referenced:
+                    continue
+                if name.endswith(".tmp") or (
+                    name.startswith("batch_") and name.endswith(".npz")
+                ):
+                    try:
+                        os.remove(os.path.join(self.directory, name))
+                        orphans.append(name)
+                    except OSError:
+                        pass
+            pruned = [] if keep_last is None else self._prune_locked(keep_last)
+            if pruned:
+                self._write_manifest()
+        return {"orphans_removed": orphans, "pruned": pruned}
 
     def _require_manifest(self) -> dict:
         if self._manifest is None:

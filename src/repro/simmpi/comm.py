@@ -22,7 +22,7 @@ from typing import Any
 
 import numpy as np
 
-from ..errors import CommError, CorruptPayloadError
+from ..errors import CommError, CorruptPayloadError, HangError, RankRevokedError
 from .serialization import (
     CHECKSUM_NBYTES,
     Envelope,
@@ -67,6 +67,43 @@ class _CommContext:
         self.seq = 0  # monotonic id source for point-to-point messages
 
 
+class _WaitInfo:
+    """One blocked rank's entry in the wait-for graph.
+
+    ``pending`` lists the *global* ranks this rank is still waiting on —
+    the outgoing edges of the wait-for graph.  ``since`` and ``op_id``
+    identify this particular wait instance: the watchdog only declares
+    deadlock when the exact same cycle (same ranks, same wait instances)
+    is observed on two consecutive sweeps.
+    """
+
+    __slots__ = ("rank", "op", "comm_id", "tag", "op_id", "pending",
+                 "since", "heartbeat")
+
+    def __init__(self, rank, op, comm_id, tag, op_id, pending, since,
+                 heartbeat) -> None:
+        self.rank = rank
+        self.op = op
+        self.comm_id = comm_id
+        self.tag = tag
+        self.op_id = op_id
+        self.pending = tuple(pending)
+        self.since = since
+        self.heartbeat = heartbeat
+
+    def describe(self) -> dict:
+        return {
+            "rank": self.rank,
+            "op": self.op,
+            "comm": str(self.comm_id),
+            "tag": self.tag,
+            "op_id": self.op_id,
+            "pending": list(self.pending),
+            "blocked_s": round(max(time.monotonic() - self.since, 0.0), 3),
+            "heartbeat": self.heartbeat,
+        }
+
+
 class World:
     """Process-global state of one SPMD run: contexts, tracker, failure flag.
 
@@ -93,6 +130,20 @@ class World:
         self._contexts: dict[tuple, _CommContext] = {}
         self._ctx_lock = threading.Lock()
         self._tls = threading.local()
+        #: current communicator epoch; bumped by Membership.declare_dead.
+        #: Read lock-free on the op hot path (monotonic int, GIL-atomic).
+        self.revoke_epoch = 0
+        #: Membership/heal state (None unless the engine enables healing).
+        self.membership = None
+        #: wait-for graph: global rank -> _WaitInfo of its current block.
+        self._waits: dict[int, _WaitInfo] = {}
+        self._wait_lock = threading.Lock()
+        #: ranks whose threads have returned (feeds peer-exited diagnosis).
+        self._finished_ranks: set[int] = set()
+        #: per-rank operation-entry counters (progress heartbeats). Each
+        #: key is written by exactly one thread, so a plain dict suffices.
+        self._heartbeats: dict[int, int] = {}
+        self.watchdog_interval = max(0.05, min(1.0, timeout / 20.0))
 
     def context(self, comm_id: tuple) -> _CommContext:
         with self._ctx_lock:
@@ -101,14 +152,103 @@ class World:
                 ctx = self._contexts[comm_id] = _CommContext()
             return ctx
 
-    def abort(self) -> None:
-        """Mark the run failed and wake every waiting rank."""
-        self.failed.set()
+    def wake_all(self) -> None:
+        """Wake every rank blocked in any rendezvous (revocation/abort)."""
         with self._ctx_lock:
             contexts = list(self._contexts.values())
         for ctx in contexts:
             with ctx.cv:
                 ctx.cv.notify_all()
+
+    def abort(self) -> None:
+        """Mark the run failed and wake every waiting rank."""
+        self.failed.set()
+        self.wake_all()
+        if self.membership is not None:
+            self.membership.wake()
+
+    # ------------------------------------------------------------------ #
+    # watchdog: wait-for graph of blocked ranks
+    # ------------------------------------------------------------------ #
+
+    def heartbeat(self, global_rank: int) -> int:
+        beat = self._heartbeats.get(global_rank, 0) + 1
+        self._heartbeats[global_rank] = beat
+        return beat
+
+    def mark_finished(self, global_rank: int) -> None:
+        with self._wait_lock:
+            self._finished_ranks.add(global_rank)
+
+    def register_wait(self, global_rank: int, info: _WaitInfo) -> None:
+        with self._wait_lock:
+            self._waits[global_rank] = info
+
+    def clear_wait(self, global_rank: int) -> None:
+        with self._wait_lock:
+            self._waits.pop(global_rank, None)
+
+    def wait_snapshot(self) -> tuple[dict[int, _WaitInfo], set[int]]:
+        with self._wait_lock:
+            return dict(self._waits), set(self._finished_ranks)
+
+    def hang_dump(self, ranks=None) -> dict[int, dict]:
+        """Per-rank wait records for a :class:`~repro.errors.HangError`."""
+        waits, _ = self.wait_snapshot()
+        if ranks is not None:
+            waits = {r: w for r, w in waits.items() if r in set(ranks)}
+        return {r: w.describe() for r, w in sorted(waits.items())}
+
+    def watchdog_diagnose(self, global_rank: int):
+        """Diagnose a definite hang observable from ``global_rank``.
+
+        Returns ``("peer-exited", gone_peers, None)`` when a pending peer's
+        thread has already returned and nothing (no heal layer) can replace
+        it; ``("deadlock", cycle, signature)`` when the wait-for graph has
+        a cycle through ``global_rank`` (the caller must observe the same
+        signature on two consecutive sweeps before firing, so a cycle that
+        resolves itself between sweeps never trips the watchdog); else
+        ``None`` — possibly slow, not provably hung.
+        """
+        waits, finished = self.wait_snapshot()
+        info = waits.get(global_rank)
+        if info is None:
+            return None
+        if self.membership is None:
+            gone = tuple(p for p in info.pending if p in finished)
+            if gone:
+                return ("peer-exited", gone, None)
+        cycle = self._find_cycle(waits, global_rank)
+        if cycle is not None:
+            sig = tuple((r, waits[r].op_id, waits[r].since) for r in cycle)
+            return ("deadlock", tuple(cycle), sig)
+        return None
+
+    @staticmethod
+    def _find_cycle(waits: dict[int, _WaitInfo], start: int):
+        """DFS over blocked ranks for a wait-for cycle through ``start``.
+        Returns the rank list of the cycle (beginning at ``start``) or
+        ``None``.  Only ranks currently registered as blocked are nodes —
+        a computing (unblocked) rank breaks every path through it.
+        """
+        visited: set[int] = set()
+
+        def dfs(rank: int, trail: list[int]):
+            info = waits.get(rank)
+            if info is None:
+                return None
+            for peer in info.pending:
+                if peer == start:
+                    return trail + [rank]
+                if peer in trail or peer in visited:
+                    continue
+                visited.add(peer)
+                found = dfs(peer, trail + [rank])
+                if found is not None:
+                    return found
+            return None
+
+        return dfs(start, [])
 
     @property
     def step_label(self) -> str:
@@ -142,16 +282,23 @@ class SimComm:
         Global ranks belonging to this communicator, in local-rank order.
     rank:
         This process's local rank within the communicator.
+    epoch:
+        Membership epoch this communicator belongs to.  When the world's
+        ``revoke_epoch`` advances past it (a member died and the heal
+        layer revoked the old grid), every operation on this communicator
+        raises :class:`~repro.errors.RankRevokedError`.
     """
 
-    __slots__ = ("world", "comm_id", "members", "rank", "_opseq")
+    __slots__ = ("world", "comm_id", "members", "rank", "_opseq", "epoch")
 
-    def __init__(self, world: World, comm_id: tuple, members: tuple[int, ...], rank: int):
+    def __init__(self, world: World, comm_id: tuple, members: tuple[int, ...],
+                 rank: int, epoch: int = 0):
         self.world = world
         self.comm_id = comm_id
         self.members = tuple(members)
         self.rank = int(rank)
         self._opseq = 0
+        self.epoch = int(epoch)
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -198,7 +345,7 @@ class SimComm:
     # the rendezvous primitive
     # ------------------------------------------------------------------ #
 
-    def _exchange(self, payload) -> tuple[dict[int, Any], bool]:
+    def _exchange(self, payload, op: str = "collective") -> tuple[dict[int, Any], bool]:
         """Contribute ``payload``; return (all contributions, completed_here).
 
         ``completed_here`` is True on exactly one rank (the last to arrive)
@@ -207,7 +354,6 @@ class SimComm:
         ctx = self.world.context(self.comm_id)
         op_id = self._opseq
         self._opseq += 1
-        deadline = time.monotonic() + self.world.timeout
         with ctx.cv:
             slot = ctx.slots.get(op_id)
             if slot is None:
@@ -223,22 +369,128 @@ class SimComm:
                 slot.complete = True
                 ctx.cv.notify_all()
             else:
-                while not slot.complete:
-                    if self.world.failed.is_set():
-                        raise CommError("collective aborted: a peer rank failed")
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0:
-                        self.world.abort()
-                        raise CommError(
-                            f"collective timeout on {self.comm_id} op {op_id}: "
-                            f"{len(slot.contrib)}/{self.size} ranks arrived"
-                        )
-                    ctx.cv.wait(min(remaining, 0.5))
+                self._blocked_wait(
+                    ctx, op, tag=None, op_id=op_id,
+                    ready=lambda: slot.complete,
+                    pending=lambda: (
+                        self.members[r] for r in range(self.size)
+                        if r not in slot.contrib
+                    ),
+                    abort_msg="collective aborted: a peer rank failed",
+                )
             result = slot.contrib
             slot.taken += 1
             if slot.taken == self.size:
                 del ctx.slots[op_id]
         return result, completed_here
+
+    def _check_revoked(self) -> None:
+        """Raise when the heal layer revoked this communicator's epoch."""
+        world = self.world
+        if world.membership is not None and world.revoke_epoch > self.epoch:
+            raise RankRevokedError(
+                f"rank {self.global_rank}: communicator {self.comm_id} "
+                f"(epoch {self.epoch}) revoked at epoch {world.revoke_epoch}"
+            ).with_context(
+                rank=self.global_rank, comm=str(self.comm_id),
+                epoch=self.epoch, revoke_epoch=world.revoke_epoch,
+            )
+
+    def _blocked_wait(self, ctx: _CommContext, op: str, *, tag, op_id,
+                      ready, pending, abort_msg: str) -> None:
+        """Wait under ``ctx.cv`` until ``ready()`` — watchdog-supervised.
+
+        Registers this rank in the world's wait-for graph (with the
+        current ``pending()`` peer set) each sweep, diagnoses cyclic
+        deadlock / exited peers via :meth:`World.watchdog_diagnose`, and
+        enforces the flat-timeout backstop.  A deadlock only fires after
+        the identical cycle is seen on two consecutive sweeps.  The
+        caller must hold ``ctx.cv``; ``ready``/``pending`` run under it.
+        """
+        world = self.world
+        me = self.global_rank
+        since = time.monotonic()
+        deadline = since + world.timeout
+        interval = world.watchdog_interval
+        next_check = since + interval
+        last_sig = None
+        try:
+            while not ready():
+                if world.failed.is_set():
+                    raise CommError(abort_msg)
+                self._check_revoked()
+                pend = tuple(pending())
+                world.register_wait(me, _WaitInfo(
+                    rank=me, op=op, comm_id=self.comm_id, tag=tag,
+                    op_id=op_id, pending=pend, since=since,
+                    heartbeat=world._heartbeats.get(me, 0),
+                ))
+                now = time.monotonic()
+                if now >= deadline:
+                    world.abort()
+                    raise self._hang_error(
+                        "timeout", op, pend, tag=tag, op_id=op_id, since=since
+                    )
+                if now >= next_check:
+                    diag = world.watchdog_diagnose(me)
+                    if diag is not None:
+                        kind, nodes, sig = diag
+                        if kind == "peer-exited":
+                            world.abort()
+                            raise self._hang_error(
+                                "peer-exited", op, pend, tag=tag,
+                                op_id=op_id, since=since, cycle=nodes,
+                            )
+                        if sig is not None and sig == last_sig:
+                            world.abort()
+                            raise self._hang_error(
+                                "deadlock", op, pend, tag=tag,
+                                op_id=op_id, since=since, cycle=nodes,
+                            )
+                        last_sig = sig
+                    else:
+                        last_sig = None
+                    next_check = now + interval
+                ctx.cv.wait(min(max(deadline - now, 0.001), interval, 0.5))
+        finally:
+            world.clear_wait(me)
+
+    def _hang_error(self, kind: str, op: str, pend, *, tag, op_id, since,
+                    cycle=()) -> HangError:
+        world = self.world
+        me = self.global_rank
+        dump = world.hang_dump()
+        dump.setdefault(me, _WaitInfo(
+            rank=me, op=op, comm_id=self.comm_id, tag=tag, op_id=op_id,
+            pending=pend, since=since,
+            heartbeat=world._heartbeats.get(me, 0),
+        ).describe())
+        if kind == "deadlock":
+            chain = " -> ".join(f"rank {r}" for r in (*cycle, cycle[0]))
+            message = f"deadlock: wait-for cycle {chain}"
+        elif kind == "peer-exited":
+            who = ", ".join(str(r) for r in (cycle or pend))
+            message = (
+                f"rank {me}: {op} waits on rank(s) {who} whose thread(s) "
+                "already returned and can never arrive"
+            )
+        else:
+            message = (
+                f"rank {me}: {op} on {self.comm_id} timed out after "
+                f"{world.timeout:g}s waiting on rank(s) "
+                f"{', '.join(str(r) for r in pend)}"
+            )
+        for r, rec in sorted(dump.items()):
+            message += (
+                f"\n  rank {r}: {rec['op']} on {rec['comm']}"
+                + (f" tag {rec['tag']}" if rec["tag"] is not None else "")
+                + f" op #{rec['op_id']} waiting on {rec['pending']}"
+                + f" for {rec['blocked_s']}s (heartbeat {rec['heartbeat']})"
+            )
+        return HangError(message, kind=kind, cycle=cycle, dump=dump).with_context(
+            rank=me, op=op, peers=list(pend), tag=tag, op_id=op_id,
+            comm=str(self.comm_id),
+        )
 
     def _record(
         self,
@@ -261,13 +513,16 @@ class SimComm:
     # ------------------------------------------------------------------ #
 
     def _inject(self, op: str) -> None:
-        """Fault-injection hook at operation *entry* — before ``_opseq``
-        advances or any shared state is touched, so a raise here leaves
-        the operation perfectly retryable on this rank alone (peers just
-        keep waiting in the rendezvous)."""
-        injector = self.world.injector
+        """Operation-entry hook — heartbeat, revocation check, fault
+        injection.  Runs before ``_opseq`` advances or any shared state is
+        touched, so a raise here leaves the operation perfectly retryable
+        on this rank alone (peers just keep waiting in the rendezvous)."""
+        world = self.world
+        world.heartbeat(self.global_rank)
+        self._check_revoked()
+        injector = world.injector
         if injector is not None:
-            injector.on_attempt(self.global_rank, op, self.world.step_label)
+            injector.on_attempt(self.global_rank, op, world.step_label)
 
     def _wrap(self, obj):
         """Envelope ``obj`` with its checksum when integrity is on."""
@@ -311,6 +566,10 @@ class SimComm:
         raise CorruptPayloadError(
             f"rank {self.global_rank}: {op} payload failed checksum "
             f"{obj.crc:#010x} after {MAX_REDELIVERIES} redeliveries"
+        ).with_context(
+            rank=self.global_rank, op=op, step=self.world.step_label,
+            comm=str(self.comm_id), crc=f"{obj.crc:#010x}",
+            redeliveries=MAX_REDELIVERIES,
         )
 
     # ------------------------------------------------------------------ #
@@ -320,7 +579,7 @@ class SimComm:
     def barrier(self) -> None:
         """Synchronise all members."""
         self._inject("barrier")
-        _, last = self._exchange(None)
+        _, last = self._exchange(None, "barrier")
         if last:
             self._record("barrier", 0, 0)
 
@@ -329,7 +588,7 @@ class SimComm:
         self._check_root(root)
         self._inject("bcast")
         payload = self._wrap(obj) if self.rank == root else None
-        contrib, last = self._exchange(payload)
+        contrib, last = self._exchange(payload, "bcast")
         result = contrib[root]
         if last:
             nbytes = payload_nbytes(result)
@@ -341,7 +600,7 @@ class SimComm:
     def allgather(self, obj) -> list:
         """Every member receives the list of all contributions (rank order)."""
         self._inject("allgather")
-        contrib, last = self._exchange(obj)
+        contrib, last = self._exchange(obj, "allgather")
         if last:
             sizes = [payload_nbytes(v) for v in contrib.values()]
             self._record("allgather", max(sizes, default=0),
@@ -352,7 +611,7 @@ class SimComm:
         """Root receives the list of contributions; others get ``None``."""
         self._check_root(root)
         self._inject("gather")
-        contrib, last = self._exchange(obj)
+        contrib, last = self._exchange(obj, "gather")
         if last:
             sizes = [payload_nbytes(v) for v in contrib.values()]
             self._record("gather", max(sizes, default=0), sum(sizes))
@@ -371,7 +630,7 @@ class SimComm:
                 raise CommError(
                     f"scatter needs {self.size} payloads, got {len(objs)}"
                 )
-        contrib, last = self._exchange(objs if self.rank == root else None)
+        contrib, last = self._exchange(objs if self.rank == root else None, "scatter")
         payloads = contrib[root]
         if last:
             sizes = [payload_nbytes(v) for v in payloads]
@@ -385,7 +644,7 @@ class SimComm:
         order so floating-point results are deterministic.
         """
         self._inject("allreduce")
-        contrib, last = self._exchange(value)
+        contrib, last = self._exchange(value, "allreduce")
         if last:
             nbytes = payload_nbytes(value)
             self._record("allreduce", nbytes, nbytes * max(self.size - 1, 0))
@@ -396,7 +655,7 @@ class SimComm:
         """Like :meth:`allreduce` but only ``root`` receives the result."""
         self._check_root(root)
         self._inject("reduce")
-        contrib, last = self._exchange(value)
+        contrib, last = self._exchange(value, "reduce")
         if last:
             nbytes = payload_nbytes(value)
             self._record("gather", nbytes, nbytes * max(self.size - 1, 0))
@@ -413,7 +672,7 @@ class SimComm:
                 f"alltoall needs {self.size} payloads, got {len(sendlist)}"
             )
         self._inject("alltoall")
-        contrib, last = self._exchange([self._wrap(x) for x in sendlist])
+        contrib, last = self._exchange([self._wrap(x) for x in sendlist], "alltoall")
         if last:
             per_rank = [
                 sum(payload_nbytes(x) for x in contrib[r]) for r in range(self.size)
@@ -465,7 +724,7 @@ class SimComm:
                     f"alltoallv needs {self.size} payloads, got {len(sendlist)}"
                 )
         self._inject("alltoallv")
-        contrib, last = self._exchange([self._wrap(x) for x in sendlist])
+        contrib, last = self._exchange([self._wrap(x) for x in sendlist], "alltoallv")
         if last:
             per_rank = [
                 sum(payload_nbytes(x) for x in contrib[r]) for r in range(self.size)
@@ -486,7 +745,7 @@ class SimComm:
         if key is None:
             key = self.rank
         op_marker = self._opseq  # consistent across members (same program order)
-        contrib, _ = self._exchange((int(color), int(key)))
+        contrib, _ = self._exchange((int(color), int(key)), "split")
         mine = (int(color), int(key))
         group = sorted(
             (ck[1], r) for r, ck in contrib.items() if ck[0] == mine[0]
@@ -495,7 +754,7 @@ class SimComm:
         members = tuple(self.members[r] for r in local_ranks)
         new_rank = local_ranks.index(self.rank)
         comm_id = (*self.comm_id, op_marker, mine[0])
-        return SimComm(self.world, comm_id, members, new_rank)
+        return SimComm(self.world, comm_id, members, new_rank, epoch=self.epoch)
 
     def dup(self) -> "SimComm":
         """Duplicate the communicator (fresh collective sequence space)."""
@@ -615,24 +874,25 @@ class SimComm:
         self._check_root(source, "source")
         self._inject("recv")
         ctx = self._p2p_context(self.members[source], self.global_rank)
-        deadline = time.monotonic() + self.world.timeout
+        matched: dict[str, int] = {}
+
+        def ready() -> bool:
+            key = self._match(ctx, tag)
+            if key is None:
+                return False
+            matched["key"] = key
+            return True
+
         with ctx.cv:
-            while True:
-                key = self._match(ctx, tag)
-                if key is not None:
-                    slot = ctx.slots.pop(key)
-                    slot.taken = 1
-                    obj = slot.contrib[0]
-                    break
-                if self.world.failed.is_set():
-                    raise CommError("recv aborted: a peer rank failed")
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    self.world.abort()
-                    raise CommError(
-                        f"recv timeout from rank {source} tag {tag}"
-                    )
-                ctx.cv.wait(min(remaining, 0.5))
+            self._blocked_wait(
+                ctx, "recv", tag=tag, op_id=ctx.seq,
+                ready=ready,
+                pending=lambda: (self.members[source],),
+                abort_msg="recv aborted: a peer rank failed",
+            )
+            slot = ctx.slots.pop(matched["key"])
+            slot.taken = 1
+            obj = slot.contrib[0]
         return self._deliver(obj, "recv")
 
     # ------------------------------------------------------------------ #

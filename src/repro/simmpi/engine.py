@@ -10,6 +10,13 @@ collectives wake and raise :class:`~repro.errors.CommError`) and the
 engine raises :class:`~repro.errors.SpmdError` carrying the *original*
 per-rank exceptions — cascade errors caused by the abort are filtered out
 when at least one genuine failure exists.
+
+With ``heal=`` (a :class:`~repro.resilience.heal.HealContext`) a rank
+crash does **not** abort the world: the death is reported to the world's
+:class:`~repro.simmpi.membership.Membership`, survivors agree on a repair
+(promoting one of ``world_spares`` parked spare ranks, or respawning the
+dead grid position oversubscribed onto a survivor host) and the run
+continues in place.  Only unhealable failures reach :class:`SpmdError`.
 """
 
 from __future__ import annotations
@@ -17,9 +24,10 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable
 
-from ..errors import CommError, SpmdError
+from ..errors import CommError, RankCrashError, SpmdError
 from .comm import DEFAULT_TIMEOUT, SimComm, World
 from .faults import FaultInjector
+from .membership import Membership
 from .tracker import CommTracker
 
 
@@ -31,6 +39,8 @@ def run_spmd(
     timeout: float = DEFAULT_TIMEOUT,
     faults=None,
     checksums: bool | None = None,
+    world_spares: int = 0,
+    heal=None,
     **kwargs,
 ) -> list:
     """Execute ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks.
@@ -56,14 +66,26 @@ def run_spmd(
     checksums:
         Force per-message envelope checksums on/off; ``None`` enables
         them exactly when faults are injected.
+    world_spares:
+        Number of pre-allocated spare ranks parked outside the grid,
+        promotable by the heal layer (``heal`` with mode ``"spare"``).
+    heal:
+        Optional :class:`~repro.resilience.heal.HealContext`.  When set,
+        ``fn`` must be a healing body (it registers itself with the
+        world's membership so spares/respawns can run it too) and rank
+        crashes are repaired online instead of aborting.
 
     Returns
     -------
     list
-        Per-rank return values of ``fn``, indexed by rank.
+        Per-rank return values of ``fn``, indexed by rank (grid
+        position — under healing, a repaired position's value comes from
+        whichever rank finally held it).
     """
     if nprocs <= 0:
         raise ValueError(f"nprocs must be positive, got {nprocs}")
+    if world_spares < 0:
+        raise ValueError(f"world_spares must be >= 0, got {world_spares}")
     injector = None
     if faults is not None:
         injector = (
@@ -73,32 +95,113 @@ def run_spmd(
         nprocs, tracker=tracker, timeout=timeout,
         injector=injector, checksums=checksums,
     )
+    membership = None
+    if heal is not None:
+        membership = Membership(
+            world, nprocs, heal.mode, heal, first_batch=heal.first_batch,
+            max_rounds=heal.max_rounds,
+        )
+        membership._next_rank = nprocs + world_spares
+        world.membership = membership
     results: list[Any] = [None] * nprocs
     failures: dict[int, BaseException] = {}
     failures_lock = threading.Lock()
+    threads: list[threading.Thread] = []
+    threads_lock = threading.Lock()
 
-    def runner(rank: int) -> None:
-        comm = SimComm(world, ("world",), tuple(range(nprocs)), rank)
+    def record_failure(position: int, exc: BaseException) -> None:
+        with failures_lock:
+            failures[position] = exc
+        world.abort()
+
+    def run_body(position: int, global_rank: int) -> None:
+        """Run the SPMD body for one grid position (any holder)."""
         try:
-            results[rank] = fn(comm, *args, **kwargs)
+            if global_rank < nprocs and global_rank == position:
+                comm = SimComm(world, ("world",), tuple(range(nprocs)), position)
+                results[position] = fn(comm, *args, **kwargs)
+            else:
+                # promoted spare / respawn: enter through the healing body
+                results[position] = membership.body.run(world, position, global_rank)
+        except RankCrashError as exc:
+            if membership is not None:
+                membership.declare_dead(global_rank, exc)
+            else:
+                record_failure(position, exc)
         except BaseException as exc:  # noqa: BLE001 — reported via SpmdError
-            with failures_lock:
-                failures[rank] = exc
-            world.abort()
+            record_failure(position, exc)
+        finally:
+            world.mark_finished(global_rank)
+            if membership is not None:
+                membership.worker_done()
 
-    if nprocs == 1:
+    def spare_runner(global_rank: int) -> None:
+        decision = membership.park(global_rank)
+        if decision is None:
+            return  # never promoted
+        run_body(decision.promoted[global_rank], global_rank)
+
+    def spawn_respawn(global_rank: int, position: int) -> None:
+        t = threading.Thread(
+            target=run_body, args=(position, global_rank),
+            name=f"simmpi-respawn-{global_rank}",
+        )
+        with threads_lock:
+            threads.append(t)
+        t.start()
+
+    if membership is not None:
+        membership.spawn = spawn_respawn
+
+    if nprocs == 1 and membership is None and world_spares == 0:
         # fast path: no threads needed for a single rank
+        def runner(rank: int) -> None:
+            comm = SimComm(world, ("world",), tuple(range(nprocs)), rank)
+            try:
+                results[rank] = fn(comm, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001
+                record_failure(rank, exc)
+
         runner(0)
     else:
-        threads = [
-            threading.Thread(target=runner, args=(rank,), name=f"simmpi-rank-{rank}")
-            for rank in range(nprocs)
-        ]
-        for t in threads:
+        if membership is not None:
+            membership.worker_started(nprocs)
+        with threads_lock:
+            for rank in range(nprocs):
+                threads.append(threading.Thread(
+                    target=run_body, args=(rank, rank),
+                    name=f"simmpi-rank-{rank}",
+                ))
+            for spare in range(nprocs, nprocs + world_spares):
+                threads.append(threading.Thread(
+                    target=spare_runner, args=(spare,),
+                    name=f"simmpi-spare-{spare}",
+                ))
+            to_start = list(threads)
+        for t in to_start:
             t.start()
-        for t in threads:
-            t.join()
+        if membership is not None:
+            # Respawns may add threads while we join: wait for all worker
+            # bodies to finish first, then release parked spares.
+            membership.wait_idle()
+            membership.finish()
+        joined = 0
+        while True:
+            with threads_lock:
+                batch = threads[joined:]
+            if not batch:
+                break
+            for t in batch:
+                t.join()
+            joined += len(batch)
 
+    if membership is not None:
+        # Deaths the heal layer could not repair (failed agreement, crash
+        # with no survivors, ...) must surface with their original cause.
+        with failures_lock:
+            for position, exc in membership.healed.items():
+                if results[position] is None:
+                    failures.setdefault(position, exc)
     if failures:
         genuine = {
             r: e for r, e in failures.items() if not isinstance(e, CommError)

@@ -175,15 +175,24 @@ class FaultPlan:
         nprocs: int,
         transient: int = 0,
         corrupt: int = 0,
+        crash: int = 0,
         ops=("bcast", "send", "recv", "alltoallv"),
         max_nth: int = 8,
+        max_batch: int = 1,
     ) -> "FaultPlan":
-        """A seeded pseudo-random plan of retryable faults.
+        """A seeded pseudo-random plan of faults.
 
         Coordinates are drawn from ``numpy.random.RandomState(seed)``, so
         the plan — and therefore the whole faulty run — is a pure function
         of the seed.  Specs addressing attempts that never happen simply
         never fire; :meth:`FaultInjector.stats` reports planned vs fired.
+        ``transient``/``corrupt`` draw retryable attempt/delivery faults;
+        ``crash`` draws plan-level rank crashes addressed by batch
+        (``0..max_batch-1``) — the chaos-test lever: under healing each
+        crash must be survived in place, without it each must abort with
+        a classified, checkpoint-pointing error.  The ``crash`` draws
+        come last, so extending a plan with crashes never changes which
+        transient/corrupt coordinates an existing seed produces.
         """
         rng = np.random.RandomState(seed)
         specs = []
@@ -195,6 +204,12 @@ class FaultPlan:
                     op=str(ops[int(rng.randint(len(ops)))]),
                     nth=int(rng.randint(1, max_nth + 1)),
                 ))
+        for _ in range(crash):
+            specs.append(FaultSpec(
+                kind="crash",
+                rank=int(rng.randint(nprocs)),
+                batch=int(rng.randint(max_batch)),
+            ))
         return cls(specs)
 
 

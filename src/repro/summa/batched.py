@@ -14,9 +14,9 @@ import threading
 import numpy as np
 
 from ..errors import MemoryPressureError, ShapeError, SpmdError
-from ..grid.distribution import gather_tiles
+from ..grid.distribution import extract_a_tile, extract_b_tile, gather_tiles
 from ..grid.grid3d import ProcGrid3D
-from ..resilience import CheckpointManager
+from ..resilience import HEAL_MODES, CheckpointManager, HealContext, HealingBody
 from ..resilience import run_key as _checkpoint_run_key
 from ..simmpi.comm import DEFAULT_TIMEOUT
 from ..simmpi.engine import run_spmd
@@ -71,6 +71,15 @@ class _BatchPieceCollector:
         if self._on_complete is not None:
             self._on_complete(batch, spans, gathered)
 
+    def drop_pending(self) -> None:
+        """Discard half-gathered batches (online heal): the repaired run
+        re-enters from the checkpointed batch boundary and every
+        incomplete batch is recomputed from scratch, so stale pieces —
+        possibly including ones sunk by the dead rank — must not mix
+        with their recomputed replacements."""
+        with self._lock:
+            self._pending.clear()
+
 
 def batched_summa3d(
     a: SparseMatrix,
@@ -100,6 +109,9 @@ def batched_summa3d(
     max_retries: int | None = 3,
     checkpoint_dir=None,
     resume: bool = False,
+    checkpoint_keep_last: int | None = None,
+    heal: str | None = None,
+    world_spares: int = 0,
 ) -> SummaResult:
     """Multiply ``C = A @ B`` with the memory-constrained, communication-
     avoiding BatchedSUMMA3D algorithm.
@@ -192,6 +204,29 @@ def batched_summa3d(
         of a previous (crashed) run instead of batch 0.  The manifest
         must match this multiplication (operands + configuration);
         ``batches=None`` adopts the manifest's batch count.
+    checkpoint_keep_last:
+        With ``checkpoint_dir``, garbage-collect all but the newest ``k``
+        completed batch files as the run progresses (manifest entries
+        remain as tombstones, so resume still continues from the right
+        batch).  For runs that stream batches out (``keep_output=False``
+        with ``on_batch``/``spill_dir`` consuming them during assembly
+        only) the checkpoint is pure insurance and need not retain the
+        whole history.  Incompatible with needing the full output back
+        out of the checkpoint after a resume.
+    heal:
+        Online recovery mode (requires ``checkpoint_dir``): ``None``
+        (default) keeps PR 3 semantics — a rank crash aborts the run
+        with a checkpoint pointer.  ``"spare"`` parks ``world_spares``
+        pre-allocated spare ranks and promotes one into a dead rank's
+        grid position; ``"shrink"`` shrinks the *host pool*, respawning
+        the dead position oversubscribed onto the lowest surviving host.
+        Either way survivors revoke the old communicators, agree on the
+        repair, rebuild the grid and re-enter from the last checkpointed
+        batch — the run completes without restarting, bit-identical to a
+        fault-free run, with the heal reported in
+        ``info["resilience"]["heal"]``.
+    world_spares:
+        Number of spare ranks to pre-allocate for ``heal="spare"``.
 
     Returns
     -------
@@ -209,6 +244,20 @@ def batched_summa3d(
         )
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True requires checkpoint_dir=")
+    if heal is not None:
+        if heal not in HEAL_MODES:
+            raise ValueError(
+                f"unknown heal mode {heal!r}; expected one of {HEAL_MODES}"
+            )
+        if checkpoint_dir is None:
+            raise ValueError(
+                "heal= requires checkpoint_dir=: the re-entry point of an "
+                "online heal is the last durably checkpointed batch"
+            )
+        if heal == "spare" and world_spares < 1:
+            raise ValueError('heal="spare" needs world_spares >= 1')
+    if world_spares < 0:
+        raise ValueError(f"world_spares must be >= 0, got {world_spares}")
     grid = ProcGrid3D(nprocs, layers)
     if tracker is None:
         tracker = CommTracker()
@@ -247,7 +296,7 @@ def batched_summa3d(
     first_batch = 0
     sym_prepass = None
     if checkpoint_dir is not None:
-        ckpt = CheckpointManager(checkpoint_dir)
+        ckpt = CheckpointManager(checkpoint_dir, keep_last=checkpoint_keep_last)
         ckpt_key = _checkpoint_run_key(
             a, b,
             nprocs=nprocs, layers=layers, batch_scheme=batch_scheme,
@@ -294,34 +343,73 @@ def batched_summa3d(
 
     collector = make_collector()
     rebatched: list[dict] = []
+    heal_ctx = None
     while True:
+        spmd_kwargs = dict(
+            batches=batches,
+            memory_budget=memory_budget,
+            bytes_per_nonzero=bytes_per_nonzero,
+            suite=suite,
+            semiring=semiring,
+            keep_pieces=keep_output,
+            postprocess=postprocess,
+            batch_scheme=batch_scheme,
+            merge_policy=merge_policy,
+            comm_backend=comm_backend,
+            overlap=overlap,
+            piece_sink=collector.sink if collector is not None else None,
+            max_retries=max_retries,
+            batch_barrier=ckpt is not None,
+        )
         try:
-            per_rank = run_spmd(
-                nprocs,
-                spmd_batched_summa3d,
-                a,
-                b,
-                grid,
-                batches=batches,
-                memory_budget=memory_budget,
-                bytes_per_nonzero=bytes_per_nonzero,
-                suite=suite,
-                semiring=semiring,
-                keep_pieces=keep_output,
-                postprocess=postprocess,
-                batch_scheme=batch_scheme,
-                merge_policy=merge_policy,
-                comm_backend=comm_backend,
-                overlap=overlap,
-                piece_sink=collector.sink if collector is not None else None,
-                max_retries=max_retries,
-                start_batch=first_batch,
-                batch_barrier=ckpt is not None,
-                tracker=tracker,
-                timeout=timeout,
-                faults=injector,
-                checksums=checksums,
-            )
+            if heal is None:
+                per_rank = run_spmd(
+                    nprocs,
+                    spmd_batched_summa3d,
+                    a,
+                    b,
+                    grid,
+                    start_batch=first_batch,
+                    **spmd_kwargs,
+                    tracker=tracker,
+                    timeout=timeout,
+                    faults=injector,
+                    checksums=checksums,
+                )
+            else:
+                # Online healing: each rank runs a HealingBody that
+                # re-enters the SPMD program from the checkpointed batch
+                # boundary after every membership epoch change, instead of
+                # the whole world aborting on the first crash.
+                heal_ctx = HealContext(
+                    heal, checkpoint=ckpt, collector=collector,
+                    first_batch=first_batch,
+                )
+
+                def attempt(comm, start_batch, _kw=spmd_kwargs):
+                    return spmd_batched_summa3d(
+                        comm, a, b, grid, start_batch=start_batch, **_kw
+                    )
+
+                def join_bytes(position, _grid=grid):
+                    ta = extract_a_tile(a, _grid, position)
+                    tb = extract_b_tile(b, _grid, position)
+                    return sum(
+                        arr.nbytes
+                        for t in (ta, tb)
+                        for arr in (t.indptr, t.rowidx, t.values)
+                    )
+
+                per_rank = run_spmd(
+                    nprocs,
+                    HealingBody(heal_ctx, attempt, join_bytes=join_bytes),
+                    tracker=tracker,
+                    timeout=timeout,
+                    faults=injector,
+                    checksums=checksums,
+                    world_spares=world_spares,
+                    heal=heal_ctx,
+                )
             break
         except SpmdError as err:
             pressures = [
@@ -377,6 +465,9 @@ def batched_summa3d(
         if ckpt is not None:
             resilience["checkpoint_dir"] = os.fspath(checkpoint_dir)
             resilience["resumed_from_batch"] = first_batch
+        if heal_ctx is not None:
+            resilience["heal"] = heal_ctx.report()
+            resilience["world_spares"] = world_spares
         if rebatched:
             resilience["rebatched"] = rebatched
         info["resilience"] = resilience
@@ -398,19 +489,31 @@ def batched_summa3d(
         # collector; consumption replays in batch order either way, and
         # the final assembly concatenates the same canonical COO set the
         # non-checkpointed path would, so products are bit-identical.
-        batch_matrices = []
-        for batch in range(first_batch):
-            spans, batch_matrix = ckpt.load_batch(batch)
-            consume(batch, spans, batch_matrix)
-            batch_matrices.append(batch_matrix)
-        for batch in range(first_batch, ran_batches):
-            spans, batch_matrix = collector.completed.pop(batch)
-            consume(batch, spans, batch_matrix)
-            batch_matrices.append(batch_matrix)
-        if keep_output:
-            matrix = gather_tiles(
-                a.nrows, b.ncols, [(0, 0, m) for m in batch_matrices]
-            )
+        # When nothing downstream consumes batches the prefix is never
+        # loaded back — required under keep_last pruning, where older
+        # batch files are tombstones by design.
+        needs_batches = (
+            keep_output or on_batch is not None or spill_dir is not None
+        )
+        if needs_batches:
+            batch_matrices = []
+            for batch in range(first_batch):
+                spans, batch_matrix = ckpt.load_batch(batch)
+                consume(batch, spans, batch_matrix)
+                batch_matrices.append(batch_matrix)
+            for batch in range(first_batch, ran_batches):
+                spans, batch_matrix = collector.completed.pop(batch)
+                consume(batch, spans, batch_matrix)
+                batch_matrices.append(batch_matrix)
+            if keep_output:
+                matrix = gather_tiles(
+                    a.nrows, b.ncols, [(0, 0, m) for m in batch_matrices]
+                )
+        else:
+            collector.completed.clear()
+        gc_stats = ckpt.gc()
+        if gc_stats["orphans_removed"] or gc_stats["pruned"]:
+            info.setdefault("resilience", {})["checkpoint_gc"] = gc_stats
     elif collector is not None:
         for batch in range(ran_batches):
             spans, batch_matrix = collector.completed.pop(batch)
@@ -518,6 +621,9 @@ def batched_summa3d_rows(
     max_retries: int | None = 3,
     checkpoint_dir=None,
     resume: bool = False,
+    checkpoint_keep_last: int | None = None,
+    heal: str | None = None,
+    world_spares: int = 0,
 ) -> SummaResult:
     """Row-wise batched SpGEMM: each batch computes ``nrows / b`` *rows*
     of ``C`` (paper Sec. IV-B).
@@ -540,8 +646,9 @@ def batched_summa3d_rows(
     the transposed run.  Spilled batch files hold *row* blocks of ``C``
     (already transposed back), consistent with ``on_batch``.  The
     resilience knobs (``faults``, ``checksums``, ``max_retries``,
-    ``checkpoint_dir``, ``resume``) also forward; checkpoints fingerprint
-    the transposed operands, so resuming requires this same entry point.
+    ``checkpoint_dir``, ``resume``, ``checkpoint_keep_last``, ``heal``,
+    ``world_spares``) also forward; checkpoints fingerprint the
+    transposed operands, so resuming requires this same entry point.
     """
     from ..sparse.ops import transpose
 
@@ -582,6 +689,9 @@ def batched_summa3d_rows(
         max_retries=max_retries,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        checkpoint_keep_last=checkpoint_keep_last,
+        heal=heal,
+        world_spares=world_spares,
     )
     if result.matrix is not None:
         result.matrix = transpose(result.matrix)

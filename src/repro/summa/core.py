@@ -275,6 +275,10 @@ def spmd_batched_summa3d(
     backend = get_backend(comm_backend)
     retry = RetryPolicy(max_retries) if max_retries is not None else None
     backend.retry = retry
+    # Entry hygiene: any cached plan state belongs to a previous grid
+    # membership (heal re-entry, or a caller-shared backend instance) and
+    # must be re-planned against the communicators built below.
+    backend.revoke()
     comms = GridComms.build(comm, grid)
     tracer = Tracer(rank=comm.rank)
     info: dict = {}

@@ -1,0 +1,210 @@
+"""Online-heal integration: a BatchedSUMMA3D run must survive a rank
+crash *without restarting*, and the healed product must be bit-identical
+to the fault-free run.
+
+The chaos half is the property the whole resilience stack is sold on:
+under any seeded random fault plan, a run either completes bit-identical
+to fault-free or raises a *classified* resilience error promptly — it
+never hangs and never escapes with an unclassified traceback.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import HealError, ReproError, SpmdError
+from repro.simmpi import FaultPlan
+from repro.sparse import random_sparse
+from repro.summa import batched_summa3d
+
+
+@pytest.fixture(scope="module")
+def operands():
+    a = random_sparse(36, 36, nnz=400, seed=71)
+    b = random_sparse(36, 36, nnz=380, seed=72)
+    return a, b
+
+
+@pytest.fixture(scope="module")
+def fault_free(operands):
+    a, b = operands
+    return batched_summa3d(a, b, nprocs=4, batches=2)
+
+
+def assert_bit_identical(m, ref):
+    assert m is not None and ref is not None
+    assert np.array_equal(m.indptr, ref.indptr)
+    assert np.array_equal(m.rowidx, ref.rowidx)
+    assert np.array_equal(m.values, ref.values)
+
+
+class TestSpareHeal:
+    def test_crash_mid_run_heals_in_place(self, tmp_path, operands, fault_free):
+        a, b = operands
+        result = batched_summa3d(
+            a, b, nprocs=4, batches=2,
+            checkpoint_dir=tmp_path / "ck",
+            faults=FaultPlan(["crash:rank=1,batch=1"]),
+            heal="spare", world_spares=1, timeout=20,
+        )
+        assert_bit_identical(result.matrix, fault_free.matrix)
+        heal = result.info["resilience"]["heal"]
+        assert heal["mode"] == "spare"
+        assert heal["heals"] == 1
+        assert heal["extra_bytes_moved"] > 0
+        event = heal["events"][0]
+        assert event["dead"] == [{"position": 1, "rank": 1}]
+        # the spare (global rank 4) took over grid position 1
+        assert event["promoted"] == {4: 1}
+        assert result.info["resilience"]["world_spares"] == 1
+        # batch 0 completed before the crash: re-entry skipped it
+        assert event["restart_batch"] == 1
+
+    def test_crash_in_first_batch_replays_from_zero(
+        self, tmp_path, operands, fault_free
+    ):
+        a, b = operands
+        result = batched_summa3d(
+            a, b, nprocs=4, batches=2,
+            checkpoint_dir=tmp_path / "ck",
+            faults=FaultPlan(["crash:rank=0,batch=0"]),
+            heal="spare", world_spares=1, timeout=20,
+        )
+        assert_bit_identical(result.matrix, fault_free.matrix)
+        assert result.info["resilience"]["heal"]["events"][0]["restart_batch"] == 0
+
+    def test_two_crashes_consume_two_spares(self, tmp_path, operands, fault_free):
+        a, b = operands
+        result = batched_summa3d(
+            a, b, nprocs=4, batches=2,
+            checkpoint_dir=tmp_path / "ck",
+            faults=FaultPlan([
+                "crash:rank=1,batch=0", "crash:rank=3,batch=1",
+            ]),
+            heal="spare", world_spares=2, timeout=25,
+        )
+        assert_bit_identical(result.matrix, fault_free.matrix)
+        assert result.info["resilience"]["heal"]["heals"] == 2
+
+    def test_spare_exhaustion_is_a_classified_heal_error(
+        self, tmp_path, operands
+    ):
+        a, b = operands
+        with pytest.raises(SpmdError) as info:
+            batched_summa3d(
+                a, b, nprocs=4, batches=2,
+                checkpoint_dir=tmp_path / "ck",
+                faults=FaultPlan([
+                    "crash:rank=1,batch=0", "crash:rank=2,batch=1",
+                ]),
+                heal="spare", world_spares=1, timeout=20,
+            )
+        heal_errors = [
+            e for e in info.value.failures.values()
+            if isinstance(e, HealError)
+        ]
+        assert heal_errors, f"expected HealError: {info.value.failures!r}"
+        assert "no spare rank left" in str(heal_errors[0])
+
+    def test_sparse_backend_heals_too(self, tmp_path, operands, fault_free):
+        a, b = operands
+        result = batched_summa3d(
+            a, b, nprocs=4, batches=2, comm_backend="sparse",
+            checkpoint_dir=tmp_path / "ck",
+            faults=FaultPlan(["crash:rank=2,batch=1"]),
+            heal="spare", world_spares=1, timeout=25,
+        )
+        assert_bit_identical(result.matrix, fault_free.matrix)
+        assert result.info["resilience"]["heal"]["heals"] == 1
+
+
+class TestShrinkHeal:
+    def test_crash_heals_by_host_pool_shrink(self, tmp_path, operands, fault_free):
+        a, b = operands
+        result = batched_summa3d(
+            a, b, nprocs=4, batches=2,
+            checkpoint_dir=tmp_path / "ck",
+            faults=FaultPlan(["crash:rank=2,batch=1"]),
+            heal="shrink", timeout=20,
+        )
+        assert_bit_identical(result.matrix, fault_free.matrix)
+        heal = result.info["resilience"]["heal"]
+        assert heal["mode"] == "shrink"
+        assert heal["heals"] == 1
+        event = heal["events"][0]
+        # position 2 respawned, oversubscribed onto the lowest surviving host
+        assert event["hosts"][2] == 0
+
+    def test_layered_grid_heals(self, tmp_path):
+        a = random_sparse(32, 32, nnz=350, seed=81)
+        b = random_sparse(32, 32, nnz=330, seed=82)
+        ref = batched_summa3d(a, b, nprocs=8, layers=2, batches=2)
+        result = batched_summa3d(
+            a, b, nprocs=8, layers=2, batches=2,
+            checkpoint_dir=tmp_path / "ck",
+            faults=FaultPlan(["crash:rank=5,batch=1"]),
+            heal="shrink", timeout=25,
+        )
+        assert_bit_identical(result.matrix, ref.matrix)
+
+
+class TestHealValidation:
+    def test_heal_requires_checkpoint_dir(self, operands):
+        a, b = operands
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            batched_summa3d(a, b, nprocs=4, heal="spare", world_spares=1)
+
+    def test_spare_mode_requires_spares(self, tmp_path, operands):
+        a, b = operands
+        with pytest.raises(ValueError, match="world_spares"):
+            batched_summa3d(
+                a, b, nprocs=4, heal="spare",
+                checkpoint_dir=tmp_path / "ck",
+            )
+
+    def test_unknown_mode_rejected(self, tmp_path, operands):
+        a, b = operands
+        with pytest.raises(ValueError, match="heal mode"):
+            batched_summa3d(
+                a, b, nprocs=4, heal="migrate",
+                checkpoint_dir=tmp_path / "ck",
+            )
+
+
+class TestChaos:
+    """Seeded random fault plans over a grid sweep: every run either
+    completes bit-identical to fault-free or raises a classified
+    resilience error promptly.  No hangs, no unclassified tracebacks."""
+
+    GRIDS = [(4, 1), (8, 2), (9, 1)]
+
+    @pytest.mark.parametrize("nprocs,layers", GRIDS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_chaos_run_completes_or_fails_classified(
+        self, tmp_path, nprocs, layers, seed
+    ):
+        a = random_sparse(40, 40, nnz=420, seed=90 + seed)
+        b = random_sparse(40, 40, nnz=410, seed=95 + seed)
+        ref = batched_summa3d(a, b, nprocs=nprocs, layers=layers, batches=2)
+        plan = FaultPlan.random(
+            seed=seed, nprocs=nprocs, transient=2, corrupt=1,
+            crash=1, max_batch=2,
+        )
+        t0 = time.monotonic()
+        try:
+            result = batched_summa3d(
+                a, b, nprocs=nprocs, layers=layers, batches=2,
+                checkpoint_dir=tmp_path / "ck",
+                faults=plan, heal="spare", world_spares=2, timeout=20,
+            )
+        except SpmdError as err:
+            # classified failure: every reported cause is a typed repro
+            # error carrying machine-readable context
+            assert err.failures
+            for exc in err.failures.values():
+                assert isinstance(exc, ReproError), repr(exc)
+        else:
+            assert_bit_identical(result.matrix, ref.matrix)
+        # the watchdog budget bounds the run either way
+        assert time.monotonic() - t0 < 60
