@@ -24,11 +24,13 @@ from .errors import (
     FormatError,
     GridError,
     MemoryBudgetError,
+    MemoryBudgetExceededError,
     PlannerError,
     ReproError,
     ShapeError,
     SpmdError,
 )
+from .mem import MemoryLedger, nbytes_of, resolve_budget
 from .sparse import (
     SparseMatrix,
     col_concat,
@@ -74,9 +76,14 @@ __all__ = [
     "GridError",
     "DistributionError",
     "MemoryBudgetError",
+    "MemoryBudgetExceededError",
     "CommError",
     "SpmdError",
     "PlannerError",
+    # memory accounting
+    "MemoryLedger",
+    "nbytes_of",
+    "resolve_budget",
     # sparse core
     "SparseMatrix",
     "eye",
@@ -138,4 +145,4 @@ from .summa import (  # noqa: E402
 )
 
 # subpackages exposed for attribute access (repro.apps.markov_cluster, ...)
-from . import apps, comm, data, model, simmpi, sparse, summa, grid, utils  # noqa: E402,F401
+from . import apps, comm, data, mem, model, simmpi, sparse, summa, grid, utils  # noqa: E402,F401

@@ -108,6 +108,22 @@ def cmd_multiply(args) -> int:
     if result.matrix is not None:
         print(f"nnz(C) = {result.matrix.nnz}")
     print(f"peak per-process memory: {result.max_local_bytes / 1e6:.3f} MB")
+    mem = result.memory
+    if mem:
+        if mem.get("budget_per_rank"):
+            print(f"  budget: {mem['budget_per_rank'] / 1e6:.3f} MB/rank, "
+                  f"enforce = {mem.get('enforce', 'off')}, "
+                  f"{len(mem.get('warnings', []))} warning(s)")
+        cats = ", ".join(
+            f"{name} {entry['high_water'] / 1e6:.3f}"
+            for name, entry in sorted(mem.get("categories", {}).items())
+        )
+        if cats:
+            print(f"  high-water by category (MB): {cats}")
+        if mem.get("model_error") is not None:
+            print(f"  Table III model: "
+                  f"{mem['model']['high_water_total'] / 1e6:.3f} MB predicted "
+                  f"({mem['model_error']:.2f}x measured)")
     if result.fault_stats is not None:
         fs = result.fault_stats
         injected = ", ".join(
@@ -152,6 +168,8 @@ def _run_multiply(args, a, b, tracker):
         layers=args.layers,
         batches=args.batches,
         memory_budget=args.memory_budget,
+        memory_budget_per_rank=args.memory_budget_per_rank,
+        enforce=args.memory_enforce,
         suite=args.suite,
         comm_backend=args.comm_backend,
         overlap=args.overlap,
@@ -395,6 +413,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batches", type=int, default=None)
     p.add_argument("--memory-budget", type=int, default=None,
                    help="aggregate budget in bytes (runs the symbolic step)")
+    p.add_argument("--memory-budget-per-rank", type=int, default=None,
+                   help="the same limit per rank (mutually exclusive with "
+                   "--memory-budget)")
+    p.add_argument("--memory-enforce", default="off",
+                   choices=["off", "warn", "strict"],
+                   help="what the per-rank memory ledger does when the "
+                   "measured high-water mark exceeds the budget: account "
+                   "only, record warnings, or fail the offending stage "
+                   "(strict re-batches to 2b via graceful degradation)")
     p.add_argument("--suite", default="esc",
                    choices=["esc", "unsorted-hash", "sorted-heap", "hybrid", "spa"])
     p.add_argument("--comm-backend", default="dense",

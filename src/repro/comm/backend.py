@@ -79,6 +79,21 @@ class CommBackend(ABC):
     #: re-calling the primitive on the failing rank alone is always safe.
     retry = None
 
+    #: optional :class:`~repro.mem.MemoryLedger` this backend charges its
+    #: received buffers to; installed per rank by the SPMD core alongside
+    #: ``retry``.  Both concrete backends call :meth:`_charge_recv` on
+    #: every payload they deliver, so recv-buffer spikes are accounted at
+    #: the backend boundary whichever wire path the bytes took.
+    ledger = None
+
+    def _charge_recv(self, obj) -> None:
+        """Record a received payload as a momentary ``recv_buffer`` spike
+        (the executor's op handle takes over the persistent charge)."""
+        if self.ledger is not None:
+            from ..mem import nbytes_of
+
+            self.ledger.touch("recv_buffer", nbytes_of(obj))
+
     def _call(self, comm, op: str, fn):
         """Run one communication attempt under the retry policy (if any)."""
         if self.retry is None:
@@ -163,22 +178,30 @@ class DenseCollective(CommBackend):
 
     def bcast_a(self, comms, a_tile: SparseMatrix, stage: int) -> SparseMatrix:
         with comms.row.backend_scope(self.name):
-            return self._call(
+            recv = self._call(
                 comms.row, "bcast", lambda: comms.row.bcast(a_tile, root=stage)
             )
+        if comms.row.rank != stage:
+            self._charge_recv(recv)
+        return recv
 
     def bcast_b(self, comms, b_batch: SparseMatrix, stage: int) -> SparseMatrix:
         with comms.col.backend_scope(self.name):
-            return self._call(
+            recv = self._call(
                 comms.col, "bcast", lambda: comms.col.bcast(b_batch, root=stage)
             )
+        if comms.col.rank != stage:
+            self._charge_recv(recv)
+        return recv
 
     def fiber_exchange(self, comms, sendlist: list) -> list:
         with comms.fiber.backend_scope(self.name):
-            return self._call(
+            received = self._call(
                 comms.fiber, "alltoallv",
                 lambda: comms.fiber.alltoallv(sendlist),
             )
+        self._charge_recv(received)
+        return received
 
     def _ibcast(self, comm, obj, stage: int) -> Request:
         """The :meth:`SimComm.ibcast` fan-out with retry applied to each

@@ -117,9 +117,11 @@ class SparseP2P(CommBackend):
                             dest=t, tag=stage,
                         ))
                 return a_tile
-            return self._call(
+            recv = self._call(
                 row, "recv", lambda: row.recv(stage, tag=stage)
             )
+        self._charge_recv(recv)
+        return recv
 
     def bcast_b(self, comms, b_batch: SparseMatrix, stage: int) -> SparseMatrix:
         col = comms.col
@@ -132,19 +134,23 @@ class SparseP2P(CommBackend):
                             dest=t, tag=stage,
                         ))
                 return b_batch
-            return self._call(
+            recv = self._call(
                 col, "recv", lambda: col.recv(stage, tag=stage)
             )
+        self._charge_recv(recv)
+        return recv
 
     def fiber_exchange(self, comms, sendlist: list) -> list:
         # fiber pieces are exact output partials — nothing to filter —
         # but the variable-size exchange meters true per-destination
         # volumes under the sparse tag.
         with comms.fiber.backend_scope(self.name):
-            return self._call(
+            received = self._call(
                 comms.fiber, "alltoallv",
                 lambda: comms.fiber.alltoallv(sendlist),
             )
+        self._charge_recv(received)
+        return received
 
     def prefetch_stage(
         self, comms, a_tile: SparseMatrix, b_batch: SparseMatrix, stage: int

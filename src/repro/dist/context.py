@@ -335,6 +335,12 @@ class DistContext:
         standard = _standard_ranges("A", self.grid, ha.nrows, hb.ncols)
         layout = "A" if ranges == standard else "C"
         handle = self._register(new_tiles, ha.nrows, hb.ncols, layout, ranges)
+        from ..mem import MemoryLedger
+
+        info = dict(per_rank[0]["info"], resident=True)
+        info["memory"] = MemoryLedger.merge_reports(
+            [r["info"]["memory"] for r in per_rank]
+        )
         result = SummaResult(
             matrix=None,
             grid=self.grid,
@@ -343,7 +349,7 @@ class DistContext:
             per_rank_times=[r["times"] for r in per_rank],
             tracker=self.tracker,
             max_local_bytes=max(r["max_local_bytes"] for r in per_rank),
-            info=dict(per_rank[0]["info"], resident=True),
+            info=info,
         )
         return handle, result
 

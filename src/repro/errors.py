@@ -131,6 +131,17 @@ class MemoryPressureError(ReproError, RuntimeError):
         self.batches = batches
 
 
+class MemoryBudgetExceededError(MemoryPressureError):
+    """Real (measured) budget overrun: the :class:`~repro.mem.MemoryLedger`
+    found the per-rank high-water mark above the enforced budget at a
+    stage boundary under ``enforce="strict"``.  Deterministic — the
+    high-water mark is a pure function of the program, so the same run
+    raises at the same (batch, stage) every time.  A
+    :class:`MemoryPressureError` subclass so the batched driver's
+    graceful-degradation path (double the batch count and re-run) treats
+    it exactly like injected memory pressure."""
+
+
 class RankCrashError(ReproError, RuntimeError):
     """An injected hard crash of one rank (fault-injection stand-in for a
     node failure).  Not retryable; surfaces through :class:`SpmdError`

@@ -9,7 +9,10 @@ exactly on the simulated-MPI runtime.
   variants) with latency, bandwidth and sparse-kernel rates;
 * :mod:`complexity` — the closed forms of Tables II and III;
 * :mod:`predictor` — per-step and total time projection, strong-scaling
-  series, and batch-count estimation at paper scale.
+  series, and batch-count estimation at paper scale;
+* :mod:`memory` — the Table III / Sec. III-B per-process memory estimate
+  (the counterpart the α–β time model lacked) and its calibration fit
+  against measured :class:`~repro.mem.MemoryLedger` marks.
 """
 
 from .machine import (
@@ -33,6 +36,13 @@ from .predictor import (
     predict_steps,
     strong_scaling_series,
 )
+from .memory import (
+    MemoryFit,
+    batches_for_budget,
+    estimate_max_tile_stats,
+    fit_memory_model,
+    predict_memory,
+)
 
 __all__ = [
     "MachineSpec",
@@ -50,4 +60,9 @@ __all__ = [
     "parallel_efficiency",
     "strong_scaling_series",
     "ScalePoint",
+    "predict_memory",
+    "batches_for_budget",
+    "estimate_max_tile_stats",
+    "fit_memory_model",
+    "MemoryFit",
 ]

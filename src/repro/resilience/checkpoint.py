@@ -31,6 +31,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+from contextlib import nullcontext
 
 from ..errors import CheckpointError
 from ..simmpi.serialization import payload_checksum
@@ -66,7 +67,8 @@ class CheckpointManager:
     happens to complete a batch's final piece.
     """
 
-    def __init__(self, directory, keep_last: int | None = None) -> None:
+    def __init__(self, directory, keep_last: int | None = None, *,
+                 ledger=None) -> None:
         if keep_last is not None and keep_last < 1:
             raise CheckpointError(
                 f"keep_last must be >= 1 (got {keep_last}): the newest "
@@ -74,6 +76,11 @@ class CheckpointManager:
             )
         self.directory = os.fspath(directory)
         self.keep_last = keep_last
+        #: optional :class:`~repro.mem.MemoryLedger` the serialization
+        #: buffer of each batch write is charged to (category
+        #: ``"checkpoint"``) — driver-side memory, so the driver passes
+        #: its own ledger here, never a rank's.
+        self.ledger = ledger
         self._lock = threading.Lock()
         self._manifest: dict | None = None
 
@@ -204,7 +211,14 @@ class CheckpointManager:
     def write_batch(self, batch: int, spans, matrix: SparseMatrix) -> None:
         """Durably record one completed batch (file first, then manifest)."""
         path = self._batch_path(batch)
-        with self._lock:
+        scope = (
+            nullcontext()
+            if self.ledger is None
+            else self.ledger.scope(
+                "checkpoint", matrix.nbytes, label=f"batch_{int(batch)}"
+            )
+        )
+        with self._lock, scope:
             manifest = self._require_manifest()
             save_matrix(path, matrix)
             manifest["completed"][str(int(batch))] = {

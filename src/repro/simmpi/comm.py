@@ -268,6 +268,21 @@ class World:
     def backend_label(self, value: str) -> None:
         self._tls.backend = value
 
+    @property
+    def ledger(self):
+        """This rank thread's :class:`~repro.mem.MemoryLedger` (or ``None``).
+
+        Thread-local like :attr:`step_label`: each SPMD rank installs its
+        own ledger at body entry, and every payload the thread *receives*
+        is charged as a momentary ``recv_buffer`` spike at the delivery
+        chokepoint — the accounting SpComm3D argues for: where the bytes
+        land, not where a driver sums them afterwards."""
+        return getattr(self._tls, "ledger", None)
+
+    @ledger.setter
+    def ledger(self, value) -> None:
+        self._tls.ledger = value
+
 
 class SimComm:
     """One rank's communicator handle.
@@ -537,6 +552,12 @@ class SimComm:
         would perform — and tries again, up to :data:`MAX_REDELIVERIES`
         extra attempts.  The slot keeps the *original* payload, so
         redelivery always heals injected corruption."""
+        ledger = self.world.ledger
+        if ledger is not None:
+            ledger.touch(
+                "recv_buffer",
+                payload_nbytes(obj.payload if isinstance(obj, Envelope) else obj),
+            )
         if not isinstance(obj, Envelope):
             if self.world.injector is not None:
                 return self.world.injector.on_delivery(

@@ -50,7 +50,14 @@ class DcscMatrix:
 
     @property
     def nbytes(self) -> int:
-        """Actual storage bytes — O(nnz + nzc), dimension-independent."""
+        """Actual storage bytes — O(nnz + nzc), dimension-independent.
+
+        Same uniform ``nbytes()`` protocol as
+        :attr:`~repro.sparse.matrix.SparseMatrix.nbytes`
+        (:func:`repro.mem.nbytes_of` resolves it), but counting the real
+        DCSC arrays rather than the flat r-per-nonzero model — the
+        whole point of doubly-compressed storage is that these differ.
+        """
         return int(
             self.jc.nbytes + self.cp.nbytes + self.ir.nbytes + self.num.nbytes
         )

@@ -122,7 +122,14 @@ class SparseMatrix:
 
     @property
     def nbytes(self) -> int:
-        """Memory accounting at the paper's r = 24 bytes per nonzero."""
+        """Memory accounting at the paper's r = 24 bytes per nonzero.
+
+        Part of the uniform ``nbytes()`` protocol every byte-carrying
+        object in the library exposes (see :func:`repro.mem.nbytes_of`):
+        whatever a :class:`~repro.mem.MemoryLedger` charges is this
+        value, so measured high-water marks and the Table III model
+        (also counted at ``r`` bytes/nonzero) stay directly comparable.
+        """
         return self.nnz * BYTES_PER_NONZERO
 
     def col_nnz(self) -> np.ndarray:

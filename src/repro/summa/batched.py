@@ -16,6 +16,8 @@ import numpy as np
 from ..errors import MemoryPressureError, ShapeError, SpmdError
 from ..grid.distribution import extract_a_tile, extract_b_tile, gather_tiles
 from ..grid.grid3d import ProcGrid3D
+from ..mem import ENFORCE_MODES, MemoryLedger, resolve_budget
+from ..model.memory import predict_memory
 from ..resilience import HEAL_MODES, CheckpointManager, HealContext, HealingBody
 from ..resilience import run_key as _checkpoint_run_key
 from ..simmpi.comm import DEFAULT_TIMEOUT
@@ -89,6 +91,8 @@ def batched_summa3d(
     *,
     batches: int | None = None,
     memory_budget: int | None = None,
+    memory_budget_per_rank: int | None = None,
+    enforce: str = "off",
     bytes_per_nonzero: int = BYTES_PER_NONZERO,
     suite="esc",
     semiring="plus_times",
@@ -132,6 +136,23 @@ def batched_summa3d(
         it from ``memory_budget``; with neither given, ``b = 1``.
     memory_budget:
         Aggregate memory ``M`` in bytes across all processes.
+    memory_budget_per_rank:
+        The same limit expressed per rank.  Exactly one of
+        ``memory_budget`` / ``memory_budget_per_rank`` may be given; the
+        driver converts between the two here — and only here — via
+        :func:`repro.mem.resolve_budget` (``aggregate = per_rank * p``,
+        ``per_rank = aggregate // p``), so every downstream consumer
+        (Alg. 3 batch planning takes the aggregate, ledger enforcement
+        takes the per-rank figure) sees consistent units.
+    enforce:
+        What the per-rank :class:`~repro.mem.MemoryLedger` does when its
+        measured high-water mark exceeds the per-rank budget: ``"off"``
+        (default, account only), ``"warn"`` (record a warning in
+        ``info["memory"]["warnings"]``), or ``"strict"`` (raise a
+        deterministic :class:`~repro.errors.MemoryBudgetExceededError`
+        at the first stage boundary over budget; the driver's
+        graceful-degradation path catches it and re-runs with ``2b``
+        batches).  Requires a budget when not ``"off"``.
     suite:
         Kernel suite name (``"esc"``, ``"unsorted-hash"``, ``"sorted-heap"``,
         ``"hybrid"``, ``"spa"``) or a :class:`~repro.sparse.KernelSuite`.
@@ -242,6 +263,20 @@ def batched_summa3d(
         raise ValueError(
             f"unknown overlap mode {overlap!r}; expected one of {OVERLAP_MODES}"
         )
+    if enforce not in ENFORCE_MODES:
+        raise ValueError(
+            f"unknown enforce mode {enforce!r}; expected one of {ENFORCE_MODES}"
+        )
+    # The single aggregate <-> per-rank unit conversion point (satellite b):
+    # Alg. 3 consumes the aggregate M, the ledger the per-rank share.
+    memory_budget, budget_per_rank = resolve_budget(
+        memory_budget, memory_budget_per_rank, nprocs
+    )
+    if enforce != "off" and budget_per_rank is None:
+        raise ValueError(
+            f'enforce="{enforce}" needs a budget: pass memory_budget= '
+            "(aggregate) or memory_budget_per_rank="
+        )
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True requires checkpoint_dir=")
     if heal is not None:
@@ -295,8 +330,13 @@ def batched_summa3d(
     ckpt = None
     first_batch = 0
     sym_prepass = None
+    # Checkpoint buffers live on the driver, not on any rank; they get
+    # their own ledger so the merged memory report still accounts them.
+    ckpt_ledger = MemoryLedger(rank="driver")
     if checkpoint_dir is not None:
-        ckpt = CheckpointManager(checkpoint_dir, keep_last=checkpoint_keep_last)
+        ckpt = CheckpointManager(
+            checkpoint_dir, keep_last=checkpoint_keep_last, ledger=ckpt_ledger
+        )
         ckpt_key = _checkpoint_run_key(
             a, b,
             nprocs=nprocs, layers=layers, batch_scheme=batch_scheme,
@@ -348,6 +388,8 @@ def batched_summa3d(
         spmd_kwargs = dict(
             batches=batches,
             memory_budget=memory_budget,
+            memory_budget_per_rank=budget_per_rank,
+            enforce=enforce,
             bytes_per_nonzero=bytes_per_nonzero,
             suite=suite,
             semiring=semiring,
@@ -392,13 +434,11 @@ def batched_summa3d(
                     )
 
                 def join_bytes(position, _grid=grid):
+                    # uniform nbytes protocol (repro.mem.nbytes_of): the
+                    # tiles themselves know their storage footprint.
                     ta = extract_a_tile(a, _grid, position)
                     tb = extract_b_tile(b, _grid, position)
-                    return sum(
-                        arr.nbytes
-                        for t in (ta, tb)
-                        for arr in (t.indptr, t.rowidx, t.values)
-                    )
+                    return ta.nbytes + tb.nbytes
 
                 per_rank = run_spmd(
                     nprocs,
@@ -444,7 +484,6 @@ def batched_summa3d(
     ran_batches = per_rank[0]["batches"]
     per_rank_times = [r["times"] for r in per_rank]
     step_times = StepTimes.critical_path(per_rank_times)
-    max_local_bytes = max(r["max_local_bytes"] for r in per_rank)
     info = dict(per_rank[0]["info"])
     info.update(
         suite=str(getattr(suite, "name", suite)),
@@ -452,6 +491,40 @@ def batched_summa3d(
         layers=layers,
         nprocs=nprocs,
     )
+
+    # Uniform memory report: per-rank ledger marks merged into one block,
+    # plus the driver-side checkpoint category and — when symbolic matrix
+    # statistics exist — the Table III closed-form prediction with the
+    # measured-vs-predicted ratio (the closed-loop calibration signal).
+    mem_block = MemoryLedger.merge_reports(
+        [r["info"]["memory"] for r in per_rank]
+    )
+    if ckpt_ledger.high_water("checkpoint"):
+        mem_block["categories"]["checkpoint"] = {
+            "high_water": ckpt_ledger.high_water("checkpoint"),
+            "current": ckpt_ledger.current("checkpoint"),
+        }
+    sym_stats = info.get("symbolic") or sym_prepass
+    if sym_stats is not None:
+        predicted = predict_memory(
+            nprocs=nprocs,
+            layers=layers,
+            batches=ran_batches,
+            max_nnz_a=sym_stats["max_nnz_a"],
+            max_nnz_b=sym_stats["max_nnz_b"],
+            max_nnz_c=sym_stats["max_nnz_c"],
+            keep_output=keep_output,
+            overlap=overlap,
+            bytes_per_nonzero=bytes_per_nonzero,
+        )
+        mem_block["model"] = predicted
+        if mem_block["high_water_total"]:
+            mem_block["model_error"] = (
+                predicted["high_water_total"] / mem_block["high_water_total"]
+            )
+    info["memory"] = mem_block
+    # alias of info["memory"]["high_water_total"] (== max over ranks)
+    max_local_bytes = mem_block["high_water_total"]
 
     info["fiber_piece_nnz"] = [r["fiber_piece_nnz"] for r in per_rank]
     info["batch_scheme"] = batch_scheme
@@ -604,6 +677,8 @@ def batched_summa3d_rows(
     *,
     batches: int | None = None,
     memory_budget: int | None = None,
+    memory_budget_per_rank: int | None = None,
+    enforce: str = "off",
     bytes_per_nonzero: int = BYTES_PER_NONZERO,
     suite="esc",
     semiring="plus_times",
@@ -640,10 +715,10 @@ def batched_summa3d_rows(
     Only ordinary arithmetic and other commutative-multiply semirings
     preserve the identity; the multiply order is swapped by the transpose.
 
-    All batching/communication knobs of :func:`batched_summa3d`
+    All batching/communication/memory knobs of :func:`batched_summa3d`
     (``batch_scheme``, ``merge_policy``, ``comm_backend``, ``overlap``,
-    ``bytes_per_nonzero``, ``spill_dir``) apply unchanged — they act on
-    the transposed run.  Spilled batch files hold *row* blocks of ``C``
+    ``bytes_per_nonzero``, ``memory_budget_per_rank``, ``enforce``,
+    ``spill_dir``) apply unchanged — they act on the transposed run.  Spilled batch files hold *row* blocks of ``C``
     (already transposed back), consistent with ``on_batch``.  The
     resilience knobs (``faults``, ``checksums``, ``max_retries``,
     ``checkpoint_dir``, ``resume``, ``checkpoint_keep_last``, ``heal``,
@@ -669,6 +744,8 @@ def batched_summa3d_rows(
         layers=layers,
         batches=batches,
         memory_budget=memory_budget,
+        memory_budget_per_rank=memory_budget_per_rank,
+        enforce=enforce,
         bytes_per_nonzero=bytes_per_nonzero,
         suite=suite,
         semiring=semiring,

@@ -31,11 +31,10 @@ section is a stack of these.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..comm import get_backend
-from ..errors import MemoryBudgetError
 from ..grid.distribution import extract_a_tile, extract_b_tile
+from ..mem import ENFORCE_MODES, MemoryLedger
+from ..model.memory import batches_for_budget
 from ..grid.grid3d import GridComms, ProcGrid3D
 from ..resilience import RetryPolicy
 from ..simmpi.comm import SimComm
@@ -97,23 +96,6 @@ def _operand_tile(operand, grid: ProcGrid3D, rank: int, which: str) -> SparseMat
     return extract_b_tile(operand, grid, rank)
 
 
-class _MemoryMeter:
-    """Per-rank high-water memory accounting at r = 24 bytes/nonzero."""
-
-    __slots__ = ("base", "transient", "held", "high_water")
-
-    def __init__(self, base_bytes: int) -> None:
-        self.base = int(base_bytes)   # input tiles, live for the whole run
-        self.transient = 0            # stage partials / fiber pieces
-        self.held = 0                 # accumulated output pieces
-        self.high_water = int(base_bytes)
-
-    def snapshot(self) -> None:
-        total = self.base + self.transient + self.held
-        if total > self.high_water:
-            self.high_water = total
-
-
 def spmd_symbolic3d(
     comms: GridComms,
     a: SparseMatrix,
@@ -162,16 +144,17 @@ def spmd_symbolic3d(
             lambda: comms.world.allreduce(b_tile.nnz, op="max"),
         )
 
-    r = bytes_per_nonzero
-    per_proc = memory_budget / grid.nprocs
-    denom = per_proc - r * (max_nnz_a + max_nnz_b)
-    if denom <= 0:
-        raise MemoryBudgetError(
-            f"inputs alone exceed the per-process budget: M/p = {per_proc:.0f} B "
-            f"<= r*(maxnnzA + maxnnzB) = {r * (max_nnz_a + max_nnz_b)} B"
-        )
-    batches = max(1, int(np.ceil(r * max_nnz_c / denom)))
-    batches = min(batches, max(1, b.ncols))
+    # Alg. 3 line 12 lives in the memory model (the same closed form the
+    # driver compares measured high-water marks against).
+    batches = batches_for_budget(
+        memory_budget=memory_budget,
+        nprocs=grid.nprocs,
+        max_nnz_a=max_nnz_a,
+        max_nnz_b=max_nnz_b,
+        max_nnz_c=max_nnz_c,
+        bytes_per_nonzero=bytes_per_nonzero,
+        max_batches=b.ncols,
+    )
     return {
         "batches": batches,
         "max_nnz_c": int(max_nnz_c),
@@ -188,6 +171,8 @@ def spmd_batched_summa3d(
     *,
     batches: int | None,
     memory_budget: int | None,
+    memory_budget_per_rank: int | None = None,
+    enforce: str = "off",
     bytes_per_nonzero: int = BYTES_PER_NONZERO,
     suite="esc",
     semiring="plus_times",
@@ -214,6 +199,16 @@ def spmd_batched_summa3d(
     batches:
         Batch count; ``None`` runs the symbolic step (requires
         ``memory_budget``).
+    memory_budget_per_rank, enforce:
+        Per-rank byte limit for the rank's :class:`~repro.mem.MemoryLedger`
+        and what to do when the measured high-water mark exceeds it:
+        ``"off"`` (account only), ``"warn"`` (record in the memory
+        report), ``"strict"`` (raise a deterministic
+        :class:`~repro.errors.MemoryBudgetExceededError` at the stage
+        boundary that exceeds it — the driver's graceful-degradation
+        path catches it and re-batches).  The driver resolves the
+        aggregate ↔ per-rank unit conversion before this point
+        (:func:`repro.mem.resolve_budget`).
     postprocess:
         Optional ``fn(batch, col_start, col_stop, block) -> SparseMatrix``
         applied per batch to the complete column block (all ``nrows``
@@ -269,6 +264,10 @@ def spmd_batched_summa3d(
             f"unknown merge policy {merge_policy!r}; "
             "expected 'deferred' or 'incremental'"
         )
+    if enforce not in ENFORCE_MODES:
+        raise ValueError(
+            f"unknown enforce mode {enforce!r}; expected one of {ENFORCE_MODES}"
+        )
     executor = get_executor(overlap)
     suite = get_suite(suite)
     semiring = get_semiring(semiring)
@@ -279,6 +278,14 @@ def spmd_batched_summa3d(
     # membership (heal re-entry, or a caller-shared backend instance) and
     # must be re-planned against the communicators built below.
     backend.revoke()
+    # One ledger per rank per attempt; the world (thread-local) and the
+    # backend both see it, so wire deliveries and recv buffers are
+    # charged where they land, whichever path they take.
+    ledger = MemoryLedger(
+        rank=comm.rank, budget=memory_budget_per_rank, enforce=enforce
+    )
+    comm.world.ledger = ledger
+    backend.ledger = ledger
     comms = GridComms.build(comm, grid)
     tracer = Tracer(rank=comm.rank)
     info: dict = {}
@@ -309,7 +316,10 @@ def spmd_batched_summa3d(
     state.semiring = semiring
     state.a_tile = a_tile
     state.b_tile = b_tile
-    state.meter = _MemoryMeter(a_tile.nbytes + b_tile.nbytes)
+    ledger.batches = batches
+    state.ledger = ledger
+    state.mem["a_tile"] = ledger.acquire("a_piece", a_tile.nbytes, "a_tile")
+    state.mem["b_tile"] = ledger.acquire("b_piece", b_tile.nbytes, "b_tile")
     state.batches = batches
     state.batch_scheme = batch_scheme
     state.a_nrows = a.nrows
@@ -334,11 +344,12 @@ def spmd_batched_summa3d(
 
     info["comm_backend"] = backend.name
     info["overlap"] = executor.overlap
+    info["memory"] = ledger.report()
     return {
         "pieces": state.pieces,
         "times": tracer.step_times(),
         "batches": batches,
-        "max_local_bytes": state.meter.high_water,
+        "max_local_bytes": ledger.high_water_total,
         "fiber_piece_nnz": state.fiber_piece_nnz,
         "info": info,
         "trace": tracer,

@@ -32,6 +32,7 @@ from typing import Any, Callable
 import numpy as np
 
 from ..errors import DistributionError, ExecPlanError
+from ..mem import MemoryLedger
 from ..grid.distribution import (
     batch_layer_blocks,
     batch_local_columns,
@@ -65,6 +66,12 @@ class StageOp:
     breakdown (column splits, memory metering, piece accounting).
     ``deps`` lists the opids whose *outputs* this op reads — the edges
     that legitimise (or forbid) reordering by a smarter executor.
+    ``mem_delta``, when set, predicts the bytes this op will charge to
+    the :class:`~repro.mem.MemoryLedger` *before* it runs — a
+    ``state -> {category: bytes}`` closure.  The pipelined executor
+    prices in-flight prefetches with it (charging *both* buffers of the
+    depth-1 double-buffer), and planners can walk a plan's deltas to
+    shape a run's footprint without executing it.
     """
 
     opid: int
@@ -75,6 +82,7 @@ class StageOp:
     deps: tuple[int, ...]
     run: Callable[["ExecState", Any], None]
     timed: bool = True
+    mem_delta: Callable[["ExecState"], dict] | None = None
 
 
 @dataclass
@@ -87,10 +95,16 @@ class ExecutionPlan:
     returns a :class:`~repro.comm.backend.StagePrefetch`.  Stage 0 of
     every batch has no issuer — its broadcasts run blocking, right after
     the batch's Comm-Plan (whose collectives must not be overtaken).
+
+    ``mem_annotations`` indexes the broadcast ops' ``mem_delta``
+    predictors by ``(batch, stage)`` as ``(operand, closure)`` pairs, so
+    the pipelined executor can charge a stage's in-flight operands the
+    moment it issues the prefetch.
     """
 
     ops: list[StageOp] = field(default_factory=list)
     prefetch_issuers: dict[tuple[int, int], Callable] = field(default_factory=dict)
+    mem_annotations: dict[tuple[int, int], tuple] = field(default_factory=dict)
 
     def validate(self) -> None:
         """Check the plan is a DAG consistent with program order: every
@@ -114,15 +128,22 @@ class ExecState:
 
     The compiler only bakes *indices* (batch, stage) into op closures;
     everything rank-specific — communicators, backend instance, tiles,
-    geometry, the memory meter — lives here, assembled by
+    geometry, the memory ledger — lives here, assembled by
     :func:`repro.summa.core.spmd_batched_summa3d` before execution.
+
+    ``ledger`` is this rank's :class:`~repro.mem.MemoryLedger`; ``mem``
+    maps logical buffer names (``"a_recv"``, ``"d_local"``, the
+    ``"partials"`` list, prefetch keys …) to the live
+    :class:`~repro.mem.MemAllocation` handles tracking them.  Op bodies
+    release a buffer's old handle before acquiring its successor, so the
+    ledger's continuous totals equal the historical boundary snapshots.
     """
 
     __slots__ = (
         "comms", "grid", "backend", "suite", "semiring",
         "a_tile", "b_tile", "b_batch", "a_recv", "b_recv",
         "partials", "stage_out", "d_local", "sendlist", "received", "c_tile",
-        "pieces", "fiber_piece_nnz", "meter", "prefetched",
+        "pieces", "fiber_piece_nnz", "ledger", "mem", "prefetched",
         "batches", "batch_scheme", "super_w", "row_bounds", "r0",
         "a_nrows", "b_ncols", "c0", "c1",
         "postprocess", "keep_pieces", "piece_sink", "info",
@@ -136,6 +157,8 @@ class ExecState:
         self.fiber_piece_nnz = []
         self.prefetched = {}
         self.info = {}
+        self.mem = {}
+        self.ledger = MemoryLedger()  # unlimited unless core installs one
 
 
 def compile_batched_summa3d(
@@ -174,14 +197,15 @@ def compile_batched_summa3d(
     plan = ExecutionPlan()
     last = -1  # opid of the most recent op (default dependency)
 
-    def add(kind, label, run, *, batch=None, stage=None, timed=True, deps=None):
+    def add(kind, label, run, *, batch=None, stage=None, timed=True, deps=None,
+            mem_delta=None):
         nonlocal last
         opid = len(plan.ops)
         if deps is None:
             deps = (last,) if last >= 0 else ()
         plan.ops.append(StageOp(
             opid=opid, kind=kind, op=label, batch=batch, stage=stage,
-            deps=tuple(deps), run=run, timed=timed,
+            deps=tuple(deps), run=run, timed=timed, mem_delta=mem_delta,
         ))
         last = opid
         return opid
@@ -198,11 +222,17 @@ def compile_batched_summa3d(
             # Comm-Plan — not on stage s-1's multiply.  That missing edge
             # is exactly the freedom the PipelinedExecutor exploits.
             a_id = add("bcast-a", STEP_A_BCAST, _run_bcast_a(batch, s),
-                       batch=batch, stage=s, deps=(plan_id,))
+                       batch=batch, stage=s, deps=(plan_id,),
+                       mem_delta=_delta_bcast_a)
             b_id = add("bcast-b", STEP_B_BCAST, _run_bcast_b(batch, s),
-                       batch=batch, stage=s, deps=(plan_id,))
+                       batch=batch, stage=s, deps=(plan_id,),
+                       mem_delta=_delta_bcast_b)
+            plan.mem_annotations[(batch, s)] = (
+                ("a", _delta_bcast_a), ("b", _delta_bcast_b),
+            )
             mul_id = add("multiply", STEP_LOCAL_MULTIPLY, _run_multiply,
-                         batch=batch, stage=s, deps=(a_id, b_id))
+                         batch=batch, stage=s, deps=(a_id, b_id),
+                         mem_delta=_delta_multiply)
             if merge_policy == "incremental" and s > 0:
                 acc_id = add("merge-stage", STEP_MERGE_LAYER,
                              _run_merge_stage, batch=batch, stage=s,
@@ -225,7 +255,7 @@ def compile_batched_summa3d(
             add("fiber-split", "FiberSplit", _run_fiber_split(batch),
                 batch=batch, timed=False)
             add("fiber-exchange", STEP_ALLTOALL_FIBER, _run_fiber_exchange,
-                batch=batch)
+                batch=batch, mem_delta=_delta_fiber_exchange)
             add("meter", "Meter", _run_meter_fiber, batch=batch, timed=False)
             add("merge-fiber", STEP_MERGE_FIBER, _run_merge_fiber,
                 batch=batch)
@@ -247,6 +277,33 @@ def compile_batched_summa3d(
 
     plan.validate()
     return plan
+
+
+# --------------------------------------------------------------------- #
+# predicted memory deltas (StageOp.mem_delta annotations)
+# --------------------------------------------------------------------- #
+
+def _delta_bcast_a(state) -> dict:
+    """A stage receives a whole peer A tile; size a rank's own tile."""
+    return {"recv_buffer": state.a_tile.nbytes}
+
+
+def _delta_bcast_b(state) -> dict:
+    """A stage receives a peer's batch column block of B."""
+    return {"recv_buffer": state.b_batch.nbytes}
+
+
+def _delta_multiply(state) -> dict:
+    """Upper bound on the stage product: the merge scratch cannot exceed
+    the operands' combined flop expansion; used for introspection only
+    (the multiply charges its *actual* output size)."""
+    return {"merge_scratch": state.a_recv.nbytes + state.b_recv.nbytes}
+
+
+def _delta_fiber_exchange(state) -> dict:
+    """The fiber pieces received are the peers' shares of intermediates
+    the same size as this rank's; size our own layer result."""
+    return {"recv_buffer": state.d_local.nbytes}
 
 
 # --------------------------------------------------------------------- #
@@ -278,28 +335,44 @@ def _issue_prefetch(stage):
 
 def _run_bcast_a(batch, stage):
     def run(state, span):
+        led = state.ledger
+        # the previous stage's operand buffer is reused — release its
+        # handle before the replacement lands
+        led.release(state.mem.pop("a_recv", None))
         pf = state.prefetched.get((batch, stage))
         if pf is not None:
             state.a_recv = pf.wait_a()
+            # the in-flight charge placed at issue time hands over to
+            # the actual buffer's handle
+            led.release(state.mem.pop(("pf", batch, stage, "a"), None))
         else:
             with state.comms.row.step(STEP_A_BCAST):
                 state.a_recv = state.backend.bcast_a(
                     state.comms, state.a_tile, stage
                 )
+        state.mem["a_recv"] = led.acquire(
+            "recv_buffer", state.a_recv.nbytes, "a_recv"
+        )
         span.nbytes = state.a_recv.nbytes
     return run
 
 
 def _run_bcast_b(batch, stage):
     def run(state, span):
+        led = state.ledger
+        led.release(state.mem.pop("b_recv", None))
         pf = state.prefetched.pop((batch, stage), None)
         if pf is not None:
             state.b_recv = pf.wait_b()
+            led.release(state.mem.pop(("pf", batch, stage, "b"), None))
         else:
             with state.comms.col.step(STEP_B_BCAST):
                 state.b_recv = state.backend.bcast_b(
                     state.comms, state.b_batch, stage
                 )
+        state.mem["b_recv"] = led.acquire(
+            "recv_buffer", state.b_recv.nbytes, "b_recv"
+        )
         span.nbytes = state.b_recv.nbytes
     return run
 
@@ -308,40 +381,61 @@ def _run_multiply(state, span):
     state.stage_out = state.suite.local_multiply(
         state.a_recv, state.b_recv, state.semiring
     )
+    state.mem["stage_out"] = state.ledger.acquire(
+        "merge_scratch", state.stage_out.nbytes, "stage_out"
+    )
 
 
 def _run_merge_stage(state, span):
-    state.partials = [
-        state.suite.merge([state.partials[0], state.stage_out], state.semiring)
-    ]
+    led = state.ledger
+    merged = state.suite.merge(
+        [state.partials[0], state.stage_out], state.semiring
+    )
+    # release inputs before acquiring the merged result: the ledger's
+    # totals stay at the historical stage-boundary value (the merge's
+    # own double-buffering instant is deliberately not charged, matching
+    # the paper's Table III terms)
+    for h in state.mem.pop("partials", []):
+        led.release(h)
+    led.release(state.mem.pop("stage_out", None))
+    state.partials = [merged]
     state.stage_out = None
+    state.mem["partials"] = [
+        led.acquire("merge_scratch", merged.nbytes, "partial")
+    ]
 
 
 def _run_accumulate(state, span):
     state.partials.append(state.stage_out)
     state.stage_out = None
+    state.mem.setdefault("partials", []).append(state.mem.pop("stage_out"))
 
 
 def _run_meter_stage(state, span):
-    state.meter.transient = (
-        sum(p.nbytes for p in state.partials)
-        + state.a_recv.nbytes + state.b_recv.nbytes
-    )
-    state.meter.snapshot()
+    # stage boundary: enforcement happens in the executor's check() call
+    pass
 
 
 def _run_merge_layer(state, span):
+    led = state.ledger
     partials = state.partials
     state.d_local = (
         state.suite.merge(partials, state.semiring)
         if len(partials) > 1 else partials[0]
     )
     state.partials = []
+    for h in state.mem.pop("partials", []):
+        led.release(h)
+    # the last stage's operand buffers are dead once the layer merges
+    led.release(state.mem.pop("a_recv", None))
+    led.release(state.mem.pop("b_recv", None))
+    state.mem["d_local"] = led.acquire(
+        "merge_scratch", state.d_local.nbytes, "d_local"
+    )
 
 
 def _run_meter_layer(state, span):
-    state.meter.transient = state.d_local.nbytes
-    state.meter.snapshot()
+    pass
 
 
 def _run_fiber_split(batch):
@@ -367,17 +461,17 @@ def _run_fiber_exchange(state, span):
         )
     state.sendlist = None
     span.nbytes = sum(p.nbytes for p in state.received)
+    state.mem["received"] = state.ledger.acquire(
+        "recv_buffer", span.nbytes, "fiber_pieces"
+    )
 
 
 def _run_meter_fiber(state, span):
     state.fiber_piece_nnz.append(sum(p.nnz for p in state.received))
-    state.meter.transient = (
-        state.d_local.nbytes + sum(p.nbytes for p in state.received)
-    )
-    state.meter.snapshot()
 
 
 def _run_merge_fiber(state, span):
+    led = state.ledger
     received = state.received
     c_tile = (
         state.suite.merge(received, state.semiring)
@@ -387,16 +481,25 @@ def _run_merge_fiber(state, span):
     state.c_tile = c_tile.sort_indices()
     state.received = None
     state.d_local = None
+    led.release(state.mem.pop("received", None))
+    led.release(state.mem.pop("d_local", None))
+    state.mem["c_tile"] = led.acquire(
+        "output_batch", state.c_tile.nbytes, "c_tile"
+    )
 
 
 def _run_sort_output(state, span):
+    led = state.ledger
     state.c_tile = state.d_local.sort_indices()
     state.d_local = None
+    led.release(state.mem.pop("d_local", None))
+    state.mem["c_tile"] = led.acquire(
+        "output_batch", state.c_tile.nbytes, "c_tile"
+    )
 
 
 def _run_meter_output(state, span):
-    state.meter.transient = state.c_tile.nbytes
-    state.meter.snapshot()
+    pass
 
 
 def _run_c_range(batch):
@@ -431,6 +534,8 @@ def _run_postprocess(batch):
             block, state.r0, int(row_bounds[comms.i + 1]), 0,
             state.c1 - state.c0,
         )
+        # the hook replaced the tile (masking/pruning usually shrinks it)
+        state.ledger.resize(state.mem["c_tile"], state.c_tile.nbytes)
     return run
 
 
@@ -441,16 +546,20 @@ def _run_batch_barrier(state, span):
 
 def _run_finalize(batch):
     def run(state, span):
+        led = state.ledger
+        handle = state.mem.pop("c_tile", None)
         if state.piece_sink is not None:
             # streaming mode: the piece leaves the rank immediately, so
             # held memory stays flat across batches.
             state.piece_sink(batch, state.r0, state.c0, state.c_tile)
+            led.release(handle)
         elif state.keep_pieces:
             state.pieces.append((batch, state.r0, state.c0, state.c_tile))
-            state.meter.held += state.c_tile.nbytes
+            # the piece stays resident: its handle stays live
+            state.mem.setdefault("held", []).append(handle)
+        else:
+            led.release(handle)
         state.c_tile = None
-        state.meter.transient = 0
-        state.meter.snapshot()
     return run
 
 
@@ -472,16 +581,24 @@ class SequentialExecutor:
         world = state.comms.world.world
         injector = world.injector
         rank = state.comms.world.global_rank
+        ledger = state.ledger
         for op in plan.ops:
             if injector is not None:
                 injector.on_plan_op(
                     rank, op.kind, op.batch, op.stage, batches=state.batches
                 )
+            if ledger is not None and op.batch is not None:
+                ledger.enter_batch(op.batch)
             self._before(op, plan, state)
             with tracer.span(
                 op.op, stage=op.stage, batch=op.batch, timed=op.timed
             ) as span:
                 op.run(state, span)
+            if ledger is not None and op.kind == "meter":
+                # stage boundary: the deterministic enforcement point —
+                # a strict budget overrun raises here, at the same
+                # program point on every run.
+                ledger.check(batch=op.batch, stage=op.stage)
 
     def _before(self, op: StageOp, plan: ExecutionPlan, state: ExecState) -> None:
         """Hook for subclasses; the sequential executor does nothing."""
@@ -511,6 +628,17 @@ class PipelinedExecutor(SequentialExecutor):
         issuer = plan.prefetch_issuers.get(nxt)
         if issuer is not None and nxt not in state.prefetched:
             state.prefetched[nxt] = issuer(state)
+            # depth-1 double-buffering holds *two* stages of operands at
+            # once: charge the in-flight buffers (sized by the plan's
+            # predicted deltas) next to the current stage's live ones,
+            # so the overlap/memory trade-off shows up in the ledger.
+            led = state.ledger
+            if led is not None:
+                for operand, delta in plan.mem_annotations.get(nxt, ()):
+                    nbytes = delta(state).get("recv_buffer", 0)
+                    state.mem[("pf", nxt[0], nxt[1], operand)] = led.acquire(
+                        "recv_buffer", nbytes, f"prefetch-{operand}"
+                    )
 
 
 def get_executor(overlap: str) -> SequentialExecutor:

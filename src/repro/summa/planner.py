@@ -74,6 +74,11 @@ class PlanChoice:
     predicted_seconds: float
     candidates: tuple  # (layers, batches, predicted_seconds) per option
     backend: str = "dense"  # communication backend of the winning candidate
+    #: Table III per-process memory estimate for the winning candidate
+    #: (:func:`repro.model.predict_memory`), with ``basis`` recording
+    #: whether it came from exact symbolic maxima or the analytic
+    #: estimate.  ``None`` when no budget constrained the plan.
+    predicted_memory: dict | None = None
 
 
 def choose_backend(
@@ -195,11 +200,13 @@ def auto_config(
     )
     candidates = []
     candidate_backends = []
+    candidate_memory = []
     for layers in range(1, nprocs + 1):
         if nprocs % layers:
             continue
         if _math.isqrt(nprocs // layers) ** 2 != nprocs // layers:
             continue
+        cand_memory = None
         if memory_budget is None:
             batches = 1
         elif use_symbolic:
@@ -208,11 +215,13 @@ def auto_config(
             from ..errors import MemoryBudgetError, SpmdError
 
             try:
-                batches = symbolic3d(
+                sym = symbolic3d(
                     a, b, nprocs=nprocs, layers=layers,
                     memory_budget=memory_budget,
                     bytes_per_nonzero=bytes_per_nonzero,
-                ).batches
+                )
+                batches = sym.batches
+                cand_memory = sym.info.get("predicted_memory")
             except (MemoryBudgetError, SpmdError) as exc:
                 if isinstance(exc, SpmdError) and not all(
                     isinstance(e, MemoryBudgetError)
@@ -234,6 +243,15 @@ def auto_config(
                 )
             except ValueError:
                 continue
+            from ..model.memory import estimate_max_tile_stats, predict_memory
+
+            cand_memory = predict_memory(
+                nprocs=nprocs, layers=layers, batches=batches,
+                bytes_per_nonzero=bytes_per_nonzero, basis="estimate",
+                **estimate_max_tile_stats(
+                    nprocs=nprocs, layers=layers, **stats
+                ),
+            )
         stages = _math.isqrt(nprocs // layers)
         predicted, cand_backend = min(
             (
@@ -252,6 +270,7 @@ def auto_config(
         )
         candidates.append((layers, batches, predicted))
         candidate_backends.append(cand_backend)
+        candidate_memory.append(cand_memory)
     if not candidates:
         raise PlannerError(
             f"no feasible (layers, batches) configuration for nprocs={nprocs} "
@@ -265,6 +284,7 @@ def auto_config(
         predicted_seconds=best[2],
         candidates=tuple(candidates),
         backend=candidate_backends[best_idx],
+        predicted_memory=candidate_memory[best_idx],
     )
 
 

@@ -33,7 +33,9 @@ class SummaResult:
     max_local_bytes:
         Highest simultaneous per-process memory (bytes, at r = 24 B/nonzero
         accounting) any rank reached — the quantity the paper's batching
-        keeps under ``M / p``.
+        keeps under ``M / p``.  Kept as an alias of
+        ``info["memory"]["high_water_total"]``, the merged
+        :class:`~repro.mem.MemoryLedger` mark (see :attr:`memory`).
     info:
         Run metadata (kernel suite, semiring, symbolic statistics, ...).
     trace:
@@ -51,6 +53,23 @@ class SummaResult:
     max_local_bytes: int
     info: dict = field(default_factory=dict)
     trace: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # max_local_bytes is derived state: when the uniform memory block
+        # is present it wins, so the two can never drift apart.
+        mem = self.info.get("memory")
+        if mem and mem.get("high_water_total"):
+            self.max_local_bytes = int(mem["high_water_total"])
+
+    @property
+    def memory(self) -> dict:
+        """The uniform memory report: per-category high-water marks
+        (``categories``), per-batch peaks (``batch_peaks``), the enforced
+        budget and mode, and — when symbolic statistics were available —
+        the Table III prediction (``model``) and measured-vs-predicted
+        ratio (``model_error``).  Empty dict for runs predating the
+        :class:`~repro.mem.MemoryLedger`."""
+        return self.info.get("memory", {})
 
     @property
     def fault_stats(self) -> dict | None:

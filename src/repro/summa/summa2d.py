@@ -23,6 +23,9 @@ def summa2d(
     semiring="plus_times",
     comm_backend="dense",
     overlap: str = "off",
+    memory_budget: int | None = None,
+    memory_budget_per_rank: int | None = None,
+    enforce: str = "off",
     tracker: CommTracker | None = None,
     timeout: float = DEFAULT_TIMEOUT,
 ) -> SummaResult:
@@ -30,6 +33,10 @@ def summa2d(
 
     ``nprocs`` must be a perfect square.  See :func:`batched_summa3d` for
     parameter semantics (including the ``overlap`` pipelining knob).
+    The memory knobs meter and enforce here exactly as in the batched
+    driver (including graceful degradation to a batched run under
+    ``enforce="strict"``); the uniform ``info["memory"]`` report is
+    produced either way.
     """
     return batched_summa3d(
         a,
@@ -41,6 +48,9 @@ def summa2d(
         semiring=semiring,
         comm_backend=comm_backend,
         overlap=overlap,
+        memory_budget=memory_budget,
+        memory_budget_per_rank=memory_budget_per_rank,
+        enforce=enforce,
         tracker=tracker,
         timeout=timeout,
     )

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from ..errors import ShapeError
 from ..grid.grid3d import GridComms, ProcGrid3D
+from ..mem import resolve_budget
+from ..model.memory import predict_memory
 from ..simmpi.comm import DEFAULT_TIMEOUT, SimComm
 from ..simmpi.engine import run_spmd
 from ..simmpi.tracker import CommTracker
@@ -40,7 +42,8 @@ def symbolic3d(
     nprocs: int = 4,
     layers: int = 1,
     *,
-    memory_budget: int,
+    memory_budget: int | None = None,
+    memory_budget_per_rank: int | None = None,
     bytes_per_nonzero: int = BYTES_PER_NONZERO,
     tracker: CommTracker | None = None,
     timeout: float = DEFAULT_TIMEOUT,
@@ -48,13 +51,25 @@ def symbolic3d(
     """Compute the exact number of batches a memory budget requires.
 
     ``memory_budget`` is the aggregate memory ``M`` in bytes across all
-    ``nprocs`` processes.  Raises
+    ``nprocs`` processes; ``memory_budget_per_rank`` is the same limit
+    per rank (exactly one of the two must be given — conversion happens
+    via :func:`repro.mem.resolve_budget`).  Raises
     :class:`~repro.errors.MemoryBudgetError` when even the inputs do not
-    fit (no batch count can help, Sec. II-B).
+    fit (no batch count can help, Sec. II-B).  The result's
+    ``info["predicted_memory"]`` carries the Table III closed-form
+    per-process estimate at the chosen ``b``.
     """
     if a.ncols != b.nrows:
         raise ShapeError(
             f"cannot multiply {a.nrows}x{a.ncols} by {b.nrows}x{b.ncols}"
+        )
+    memory_budget, _per_rank = resolve_budget(
+        memory_budget, memory_budget_per_rank, nprocs
+    )
+    if memory_budget is None:
+        raise ValueError(
+            "symbolic3d needs a budget: pass memory_budget= (aggregate) "
+            "or memory_budget_per_rank="
         )
     grid = ProcGrid3D(nprocs, layers)
     if tracker is None:
@@ -81,4 +96,15 @@ def symbolic3d(
         grid=grid,
         step_times=StepTimes.critical_path(r["times"] for r in per_rank),
         tracker=tracker,
+        info={
+            "predicted_memory": predict_memory(
+                nprocs=nprocs,
+                layers=layers,
+                batches=first["batches"],
+                max_nnz_a=first["max_nnz_a"],
+                max_nnz_b=first["max_nnz_b"],
+                max_nnz_c=first["max_nnz_c"],
+                bytes_per_nonzero=bytes_per_nonzero,
+            )
+        },
     )

@@ -6,10 +6,10 @@ from repro.grid import ProcGrid3D
 from repro.grid.distribution import extract_a_tile, extract_b_tile
 from repro.simmpi import run_spmd
 from repro.sparse import multiply, random_sparse
+from repro.mem import MemoryLedger
 from repro.summa.core import (
     ALL_STEPS,
     TileSource,
-    _MemoryMeter,
     _operand_tile,
     spmd_batched_summa3d,
 )
@@ -49,24 +49,28 @@ class TestTileSource:
         assert _operand_tile(src, grid, 3, "B") is marker
 
 
-class TestMemoryMeter:
+class TestMemoryAccounting:
+    """The core meters through :class:`repro.mem.MemoryLedger` (which
+    replaced the old boundary-snapshot ``_MemoryMeter``)."""
+
     def test_high_water_tracks_maximum(self):
-        meter = _MemoryMeter(100)
-        assert meter.high_water == 100
-        meter.transient = 50
-        meter.snapshot()
-        assert meter.high_water == 150
-        meter.transient = 10
-        meter.held = 20
-        meter.snapshot()
-        assert meter.high_water == 150  # lower snapshot does not regress
+        ledger = MemoryLedger()
+        base = ledger.acquire("a_piece", 100)
+        assert ledger.high_water_total == 100
+        transient = ledger.acquire("recv_buffer", 50)
+        assert ledger.high_water_total == 150
+        ledger.release(transient)
+        ledger.acquire("output_batch", 30)
+        # lower current totals never regress the mark
+        assert ledger.high_water_total == 150
+        assert ledger.current_total == 130
+        ledger.release(base)
 
     def test_held_accumulates(self):
-        meter = _MemoryMeter(0)
+        ledger = MemoryLedger()
         for _ in range(3):
-            meter.held += 40
-            meter.snapshot()
-        assert meter.high_water == 120
+            ledger.acquire("output_batch", 40)
+        assert ledger.high_water_total == 120
 
 
 class TestSpmdDirectInvocation:
