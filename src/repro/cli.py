@@ -105,6 +105,12 @@ def cmd_multiply(args) -> int:
     print(f"grid {result.grid!r}, batches = {result.batches}, "
           f"comm backend = {result.info.get('comm_backend', args.comm_backend)}, "
           f"overlap = {result.info.get('overlap', args.overlap)}")
+    winfo = result.info.get("world") or {}
+    if winfo.get("world") == "processes":
+        print(f"world: processes (transport = {winfo.get('transport')}, "
+              f"shm {winfo.get('shm_segments', 0)} segment(s) / "
+              f"{winfo.get('shm_bytes', 0) / 1e6:.3f} MB, "
+              f"{winfo.get('naive_msgs', 0)} pickled message(s))")
     if result.matrix is not None:
         print(f"nnz(C) = {result.matrix.nnz}")
     print(f"peak per-process memory: {result.max_local_bytes / 1e6:.3f} MB")
@@ -183,6 +189,8 @@ def _run_multiply(args, a, b, tracker):
         checkpoint_keep_last=args.checkpoint_keep_last,
         heal=args.heal,
         world_spares=args.spares,
+        world=args.world,
+        transport=args.transport,
     )
 
 
@@ -431,6 +439,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--overlap", default="off", choices=["off", "depth1"],
                    help="stage pipelining: depth1 prefetches the next "
                    "stage's broadcasts behind the local multiply")
+    p.add_argument("--world", default="threads",
+                   choices=["threads", "processes"],
+                   help="execution world: the deterministic in-process "
+                   "thread simulator, or one OS process per rank with "
+                   "shared-memory payload transport (true parallelism; "
+                   "bit-identical results)")
+    p.add_argument("--transport", default="auto",
+                   choices=["naive", "shm", "auto"],
+                   help="process-world payload transport: always pickle, "
+                   "always shared memory, or pick by payload size "
+                   "(ignored for --world threads)")
     p.add_argument("--trace-out", default=None,
                    help="export the per-op trace timeline here as "
                    "chrome://tracing JSON")

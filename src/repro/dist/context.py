@@ -99,10 +99,17 @@ class DistContext:
 
     def __init__(self, nprocs: int = 4, layers: int = 1,
                  tracker: CommTracker | None = None,
-                 timeout: float = DEFAULT_TIMEOUT) -> None:
+                 timeout: float = DEFAULT_TIMEOUT,
+                 world: str = "threads",
+                 transport: str = "auto") -> None:
         self.grid = ProcGrid3D(nprocs, layers)
         self.tracker = tracker if tracker is not None else CommTracker()
         self.timeout = timeout
+        #: execution world for every SPMD region this context launches
+        #: (redistribute / transpose / multiply): "threads" or
+        #: "processes"; transport applies to the process world only.
+        self.world = world
+        self.transport = transport
         self._tiles: dict[int, list[SparseMatrix]] = {}
         self._next_key = itertools.count()
 
@@ -193,7 +200,8 @@ class DistContext:
             return gather_tiles(dr1 - dr0, dc1 - dc0, pieces)
 
         new_tiles = run_spmd(
-            self.grid.nprocs, spmd, tracker=self.tracker, timeout=self.timeout
+            self.grid.nprocs, spmd, tracker=self.tracker, timeout=self.timeout,
+            world=self.world, transport=self.transport,
         )
         return self._register(
             new_tiles, handle.nrows, handle.ncols, layout, dst_ranges
@@ -238,7 +246,8 @@ class DistContext:
             return received
 
         new_tiles = run_spmd(
-            grid.nprocs, spmd, tracker=self.tracker, timeout=self.timeout
+            grid.nprocs, spmd, tracker=self.tracker, timeout=self.timeout,
+            world=self.world, transport=self.transport,
         )
         return self._register(
             new_tiles, handle.ncols, handle.nrows, target_layout, dst_ranges
@@ -318,6 +327,8 @@ class DistContext:
             timeout=self.timeout,
             faults=faults,
             checksums=checksums,
+            world=self.world,
+            transport=self.transport,
         )
         ran_batches = per_rank[0]["batches"]
         # Each rank's batch pieces are contiguous in global column space

@@ -76,9 +76,17 @@ def nbytes_of(obj) -> int:
 
     Anything with an ``nbytes`` attribute (:class:`~repro.sparse.SparseMatrix`
     at ``r`` bytes per nonzero, :class:`~repro.sparse.dcsc.DcscMatrix`,
-    numpy arrays) reports it directly; lists/tuples sum their elements;
-    ``None`` is free.  This is the one place that decides how an object
-    is priced, so every layer charges the same number for the same thing.
+    numpy arrays) reports it directly; memoryviews report their mapped
+    extent; lists/tuples sum their elements; ``None`` is free.  This is
+    the one place that decides how an object is priced, so every layer
+    charges the same number for the same thing.
+
+    Zero-copy process-world receives deliver arrays that *view* a shared
+    segment (``repro.mp``).  They price identically to owned arrays —
+    ``ndarray.nbytes`` reports the mapped bytes regardless of ownership
+    — and are charged exactly once, at delivery, to the receiver's
+    ``recv_buffer`` category: transport decode never touches the ledger,
+    so a payload is never double-counted between sender and receiver.
     """
     if obj is None:
         return 0

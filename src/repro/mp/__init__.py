@@ -1,0 +1,27 @@
+"""Process-backed execution world (``world="processes"``).
+
+One OS process per rank, queues for control traffic, shared-memory
+segments for bulk payloads.  The threaded simulator in
+:mod:`repro.simmpi` stays the deterministic reference; this package is
+the performance world — same :class:`~repro.simmpi.comm.SimComm` API,
+bit-identical products, real multicore speedup.
+"""
+
+from .bridge import DriverCallback, set_runtime
+from .comm import MpComm, MpWorld
+from .engine import run_spmd_processes
+from .shm import leaked_segments, sweep_segments
+from .transport import AUTO_THRESHOLD, TRANSPORTS, get_transport
+
+__all__ = [
+    "AUTO_THRESHOLD",
+    "TRANSPORTS",
+    "DriverCallback",
+    "MpComm",
+    "MpWorld",
+    "get_transport",
+    "leaked_segments",
+    "run_spmd_processes",
+    "set_runtime",
+    "sweep_segments",
+]

@@ -1,0 +1,285 @@
+"""Process-backed SPMD engine: one OS process per rank.
+
+Mirrors :func:`repro.simmpi.engine.run_spmd` — same body signature
+``fn(comm, *args, **kwargs)``, same per-rank return-value list, same
+:class:`~repro.errors.SpmdError` failure semantics with cascade
+filtering — but each rank is a forked worker with a real interpreter, so
+local SpGEMM kernels run on separate cores instead of time-slicing one
+GIL.
+
+Workers are started with the ``fork`` method: the SPMD body, its
+arguments and any :class:`~repro.mp.bridge.DriverCallback` wrappers are
+inherited copy-on-write, so nothing outbound needs to be picklable.
+Inbound traffic (return values, tracker events, exceptions, callback
+arguments) is pickled explicitly in the worker — errors surface at the
+call site, not in a queue feeder thread.
+
+The parent supervises with a deadline slightly above the world timeout:
+every in-communicator hang is caught *inside* the stuck worker by its
+own watchdog (which names the process PID in the dump); the parent
+backstop only fires for a worker wedged outside any communicator wait,
+and terminates it.  After all workers are joined,
+:func:`~repro.mp.shm.sweep_segments` removes any shared-memory segment a
+crashed worker left behind.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue as _queue
+import sys
+import time
+from collections.abc import Callable
+from typing import Any
+
+from ..errors import CommError, HangError, RankCrashError, SpmdError
+from ..simmpi.comm import DEFAULT_TIMEOUT
+from ..simmpi.tracker import CommTracker
+from . import bridge
+from .bridge import DriverCallback
+from .comm import MpComm, MpWorld
+from .shm import sweep_segments
+from .transport import TRANSPORTS
+
+_RUN_COUNTER = 0
+
+
+def _fresh_run_id() -> str:
+    global _RUN_COUNTER
+    _RUN_COUNTER += 1
+    return f"repro-{os.getpid()}-{_RUN_COUNTER}-{os.urandom(3).hex()}"
+
+
+def _scan_callbacks(args, kwargs) -> list[DriverCallback]:
+    """Find DriverCallback wrappers in the launch arguments (shallow)
+    and assign each its wire index."""
+    found: list[DriverCallback] = []
+    for value in (*args, *kwargs.values()):
+        if isinstance(value, DriverCallback):
+            value.index = len(found)
+            found.append(value)
+    return found
+
+
+def _worker_main(rank, nprocs, inboxes, results, failed, fn, args, kwargs,
+                 timeout, checksums, transport, run_id) -> None:
+    rt = MpWorld(
+        rank, nprocs, inboxes, failed,
+        timeout=timeout, checksums=bool(checksums),
+        transport=transport, run_id=run_id,
+    )
+    rt.results = results
+    bridge.set_runtime(rt)
+    comm = MpComm(rt, ("world",), tuple(range(nprocs)), rank)
+    ok = False
+    try:
+        value = fn(comm, *args, **kwargs)
+        blob = pickle.dumps(value)
+        rt.finish()
+        results.put((
+            "done", rank, blob,
+            pickle.dumps(rt.tracker.events), rt.transport.stats(),
+        ))
+        ok = True
+    except BaseException as exc:  # noqa: BLE001 — reported via SpmdError
+        failed.set()
+        rt.abandon()
+        try:
+            eblob = pickle.dumps(exc)
+        except Exception:
+            eblob = pickle.dumps(
+                RuntimeError(f"rank {rank}: {type(exc).__name__}: {exc!r}")
+            )
+        results.put(("err", rank, eblob))
+    finally:
+        # the results queue must always flush — on the failure path the
+        # ("err", ...) blob is exactly what the parent is waiting for;
+        # peer inboxes may never be drained after a failure, so those
+        # are abandoned rather than waited on
+        try:
+            results.close()
+            results.join_thread()
+        except Exception:
+            pass
+        for q in inboxes:
+            try:
+                q.close()
+                if ok:
+                    q.join_thread()
+                else:
+                    q.cancel_join_thread()
+            except Exception:
+                pass
+        sys.stdout.flush()
+        sys.stderr.flush()
+        # skip interpreter teardown: every segment name is already
+        # unlinked (or swept by the parent), and arbitrary destruction
+        # order would otherwise spray harmless SharedMemory.__del__
+        # BufferErrors over stderr when a handle dies before its views
+        os._exit(0 if ok else 1)
+
+
+def run_spmd_processes(
+    nprocs: int,
+    fn: Callable[..., Any],
+    *args,
+    tracker: CommTracker | None = None,
+    timeout: float = DEFAULT_TIMEOUT,
+    checksums: bool | None = None,
+    transport: str = "auto",
+    world_info: dict | None = None,
+    **kwargs,
+) -> list:
+    """Execute ``fn(comm, *args, **kwargs)`` on ``nprocs`` worker
+    processes; same contract as the threaded
+    :func:`~repro.simmpi.engine.run_spmd`.
+
+    ``transport`` picks the payload wire format (one of
+    :data:`~repro.mp.transport.TRANSPORTS`); ``world_info``, when a
+    dict, receives run statistics (transport traffic, swept segments)
+    merged across ranks.  ``checksums=None`` means off — there is no
+    fault injector in this world to turn them on implicitly.
+    """
+    if nprocs <= 0:
+        raise ValueError(f"nprocs must be positive, got {nprocs}")
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+        )
+    ctx = multiprocessing.get_context("fork")
+    # Start the resource-tracker daemon *before* forking: all workers
+    # then share one tracker, so a segment registered at creation in one
+    # rank and unregistered at unlink time in another balances out
+    # instead of each rank's private tracker warning about "leaks".
+    from multiprocessing import resource_tracker
+    resource_tracker.ensure_running()
+    run_id = _fresh_run_id()
+    inboxes = [ctx.Queue() for _ in range(nprocs)]
+    results_q = ctx.Queue()
+    failed = ctx.Event()
+    callbacks = _scan_callbacks(args, kwargs)
+
+    workers = [
+        ctx.Process(
+            target=_worker_main,
+            args=(rank, nprocs, inboxes, results_q, failed, fn, args,
+                  kwargs, float(timeout), checksums, transport, run_id),
+            name=f"repro-mp-rank-{rank}",
+        )
+        for rank in range(nprocs)
+    ]
+    for w in workers:
+        w.start()
+
+    done: dict[int, tuple] = {}
+    errors: dict[int, bytes] = {}
+    deadline = time.monotonic() + float(timeout) * 1.25 + 15.0
+    while len(done) + len(errors) < nprocs:
+        try:
+            msg = results_q.get(timeout=0.05)
+        except _queue.Empty:
+            msg = None
+        if msg is not None:
+            kind = msg[0]
+            if kind == "cb":
+                _, _rank, idx, blob = msg
+                callbacks[idx].fn(*pickle.loads(blob))
+            elif kind == "done":
+                done[msg[1]] = msg[2:]
+            else:
+                errors[msg[1]] = msg[2]
+            continue
+        if all(not w.is_alive() for w in workers):
+            # dead workers flush their queues before exiting: one more
+            # non-blocking sweep picks up anything already in the pipe
+            try:
+                while True:
+                    msg = results_q.get_nowait()
+                    if msg[0] == "cb":
+                        callbacks[msg[2]].fn(*pickle.loads(msg[3]))
+                    elif msg[0] == "done":
+                        done[msg[1]] = msg[2:]
+                    else:
+                        errors[msg[1]] = msg[2]
+            except _queue.Empty:
+                pass
+            break
+        if time.monotonic() >= deadline:
+            failed.set()
+            break
+
+    failures: dict[int, BaseException] = {}
+    for rank, blob in errors.items():
+        try:
+            failures[rank] = pickle.loads(blob)
+        except Exception as exc:  # unpicklable worker exception
+            failures[rank] = RuntimeError(
+                f"rank {rank}: worker failed (exception did not "
+                f"unpickle: {exc!r})"
+            )
+
+    for w in workers:
+        w.join(timeout=2.0)
+    for rank, w in enumerate(workers):
+        if w.is_alive():
+            w.terminate()
+            w.join(timeout=5.0)
+        if rank in done or rank in failures:
+            continue
+        if w.exitcode not in (0, None):
+            failures[rank] = RankCrashError(
+                f"rank {rank}: worker process (pid {w.pid}) died with "
+                f"exit code {w.exitcode} before reporting a result"
+            ).with_context(rank=rank, pid=w.pid, exitcode=w.exitcode)
+        else:
+            failures[rank] = HangError(
+                f"rank {rank}: worker process (pid {w.pid}) produced no "
+                f"result within the parent deadline "
+                f"({timeout * 1.25 + 15.0:.1f}s) and was terminated",
+                kind="timeout",
+                dump={rank: {
+                    "rank": rank, "pid": w.pid, "op": "(outside comm)",
+                    "tag": None, "pending": [],
+                    "blocked_s": round(timeout * 1.25 + 15.0, 3),
+                }},
+            ).with_context(rank=rank, pid=w.pid)
+
+    # the run is over and every worker joined: nothing can attach now
+    swept = sweep_segments(run_id)
+    for q in (*inboxes, results_q):
+        try:
+            q.close()
+            q.cancel_join_thread()
+        except Exception:
+            pass
+
+    results: list[Any] = [None] * nprocs
+    stats_rows = []
+    for rank in sorted(done):
+        vblob, evblob, stats = done[rank]
+        if rank not in failures:
+            results[rank] = pickle.loads(vblob)
+        if tracker is not None:
+            tracker.extend(pickle.loads(evblob))
+        stats_rows.append(stats)
+
+    if isinstance(world_info, dict):
+        world_info.update({
+            "world": "processes",
+            "transport": transport,
+            "ranks_reporting": len(stats_rows),
+            "shm_segments": sum(s["shm_segments"] for s in stats_rows),
+            "shm_bytes": sum(s["shm_bytes"] for s in stats_rows),
+            "naive_msgs": sum(s["naive_msgs"] for s in stats_rows),
+            "naive_bytes": sum(s["naive_bytes"] for s in stats_rows),
+            "swept_segments": swept,
+        })
+
+    if failures:
+        genuine = {
+            r: e for r, e in failures.items() if not isinstance(e, CommError)
+        }
+        raise SpmdError(genuine or failures)
+    return results

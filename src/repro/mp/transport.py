@@ -1,0 +1,220 @@
+"""Transport registry for the process-backed world (ChainerMN-style).
+
+A transport decides how one payload crosses a process boundary:
+
+``naive``
+    Pickle everything through the per-rank queue — simple, correct,
+    one full copy per hop.
+``shm``
+    Every ndarray buffer (including the three arrays of a
+    :class:`~repro.sparse.SparseMatrix` and anything inside an
+    :class:`~repro.simmpi.serialization.Envelope`) is packed into one
+    shared-memory segment; only a small descriptor travels through the
+    queue, and the receiver maps the segment zero-copy.
+``auto``
+    ``shm`` for buffers of at least :data:`AUTO_THRESHOLD` bytes,
+    ``naive`` inline for anything smaller — the payload-size heuristic
+    real communicators use to trade mapping overhead against copies.
+
+Transports are symmetric: every rank of a run uses the same one, chosen
+by the ``transport=`` knob on :func:`repro.simmpi.engine.run_spmd`.
+Decoded arrays are **read-only** views of the segment — the process
+world enforces the "received payloads are read-only" contract the
+threaded world can only document.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simmpi.serialization import Envelope, payload_nbytes
+from ..sparse.matrix import SparseMatrix
+from .shm import ALIGN, SegmentRegistry
+
+#: registered transport names, in documentation order.
+TRANSPORTS = ("naive", "shm", "auto")
+
+#: ``auto``: buffers at least this large travel via shared memory.
+AUTO_THRESHOLD = 32 * 1024
+
+
+def _safe_nbytes(obj) -> int:
+    try:
+        return payload_nbytes(obj)
+    except TypeError:
+        return 0
+
+
+class Transport:
+    """Base transport: wire encode/decode plus traffic statistics."""
+
+    name = "?"
+    #: minimum array nbytes for shared-memory packing; None = never.
+    threshold: int | None = None
+
+    def __init__(self, registry: SegmentRegistry, post_ack=None) -> None:
+        self.segments = registry
+        #: ``post_ack(creator_rank, name)`` — installed by the world.
+        self.post_ack = post_ack
+        self.naive_msgs = 0
+        self.naive_bytes = 0
+
+    def stats(self) -> dict:
+        return {
+            "transport": self.name,
+            "shm_segments": self.segments.segments,
+            "shm_bytes": self.segments.shm_bytes,
+            "naive_msgs": self.naive_msgs,
+            "naive_bytes": self.naive_bytes,
+        }
+
+    # -------------------------------------------------------------- #
+    # encode
+    # -------------------------------------------------------------- #
+
+    def encode(self, obj, receivers: int = 1):
+        """Build the wire form of ``obj`` for ``receivers`` recipients."""
+        if self.threshold is None:
+            self.naive_msgs += 1
+            self.naive_bytes += _safe_nbytes(obj)
+            return ("py", obj)
+        bufs: list[np.ndarray] = []
+        spec = self._spec(obj, bufs)
+        if not bufs:
+            self.naive_msgs += 1
+            self.naive_bytes += _safe_nbytes(obj)
+            return ("py", obj)
+        offsets, total = _layout(bufs)
+        seg = self.segments.create(total)
+        for arr, off in zip(bufs, offsets):
+            flat = np.ascontiguousarray(arr).reshape(-1)
+            np.copyto(
+                np.frombuffer(seg.buf, dtype=arr.dtype, count=arr.size,
+                              offset=off),
+                flat,
+            )
+        name = seg.name
+        self.segments.sent(name, receivers)
+        return ("shm", name, self.segments.rank, receivers > 1,
+                tuple(offsets), spec)
+
+    def _spec(self, obj, bufs: list):
+        if (
+            isinstance(obj, np.ndarray)
+            and not obj.dtype.hasobject
+            and obj.size > 0
+            and obj.nbytes >= self.threshold
+        ):
+            idx = len(bufs)
+            bufs.append(obj)
+            return ("nd", idx, obj.dtype.str, obj.shape)
+        if isinstance(obj, SparseMatrix):
+            return (
+                "sm", obj.nrows, obj.ncols, bool(obj.sorted_within_columns),
+                self._spec(obj.indptr, bufs),
+                self._spec(obj.rowidx, bufs),
+                self._spec(obj.values, bufs),
+            )
+        if isinstance(obj, Envelope):
+            return ("env", obj.crc, self._spec(obj.payload, bufs))
+        if isinstance(obj, list):
+            return ("L", [self._spec(x, bufs) for x in obj])
+        if isinstance(obj, tuple):
+            return ("T", [self._spec(x, bufs) for x in obj])
+        if isinstance(obj, dict):
+            return ("D", [(k, self._spec(v, bufs)) for k, v in obj.items()])
+        return ("o", obj)
+
+    # -------------------------------------------------------------- #
+    # decode
+    # -------------------------------------------------------------- #
+
+    def decode(self, wire):
+        kind = wire[0]
+        if kind == "py":
+            return wire[1]
+        _, name, creator, ack_needed, offsets, spec = wire
+        self.segments.adopt(name, owned=not ack_needed)
+        if ack_needed and self.post_ack is not None:
+            self.post_ack(creator, name)
+        return self._build(spec, name, offsets)
+
+    def _build(self, spec, name: str, offsets):
+        tag = spec[0]
+        if tag == "o":
+            return spec[1]
+        if tag == "nd":
+            _, idx, dstr, shape = spec
+            dtype = np.dtype(dstr)
+            count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            rec = self.segments.adopted[name]
+            arr = np.frombuffer(
+                rec.shm.buf, dtype=dtype, count=count, offset=offsets[idx]
+            )
+            if tuple(shape) != (count,):
+                arr = arr.reshape(shape)
+            arr.flags.writeable = False
+            self.segments.view(name, arr)
+            return arr
+        if tag == "sm":
+            _, nrows, ncols, swc, s_indptr, s_rowidx, s_values = spec
+            return SparseMatrix(
+                nrows, ncols,
+                self._build(s_indptr, name, offsets),
+                self._build(s_rowidx, name, offsets),
+                self._build(s_values, name, offsets),
+                sorted_within_columns=swc, validate=False,
+            )
+        if tag == "env":
+            _, crc, sub = spec
+            return Envelope(self._build(sub, name, offsets), crc)
+        if tag == "L":
+            return [self._build(s, name, offsets) for s in spec[1]]
+        if tag == "T":
+            return tuple(self._build(s, name, offsets) for s in spec[1])
+        if tag == "D":
+            return {k: self._build(s, name, offsets) for k, s in spec[1]}
+        raise ValueError(f"unknown wire spec tag {tag!r}")
+
+
+class NaiveTransport(Transport):
+    name = "naive"
+    threshold = None
+
+
+class ShmTransport(Transport):
+    name = "shm"
+    threshold = 1
+
+
+class AutoTransport(Transport):
+    name = "auto"
+    threshold = AUTO_THRESHOLD
+
+
+_REGISTRY = {
+    "naive": NaiveTransport,
+    "shm": ShmTransport,
+    "auto": AutoTransport,
+}
+
+
+def get_transport(name: str) -> type[Transport]:
+    """Resolve a transport class by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown transport {name!r}; expected one of {TRANSPORTS}"
+        ) from None
+
+
+def _layout(bufs: list) -> tuple[list[int], int]:
+    """Aligned packing offsets for a list of array buffers."""
+    offsets: list[int] = []
+    pos = 0
+    for arr in bufs:
+        pos = (pos + ALIGN - 1) // ALIGN * ALIGN
+        offsets.append(pos)
+        pos += int(arr.nbytes)
+    return offsets, max(pos, 1)

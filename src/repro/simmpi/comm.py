@@ -722,28 +722,7 @@ class SimComm:
         and the event op is ``"alltoallv"`` so the α–β model can apply
         variable-size costs.
         """
-        if counts is not None:
-            counts = [int(c) for c in counts]
-            if len(counts) != self.size:
-                raise CommError(
-                    f"alltoallv needs {self.size} counts, got {len(counts)}"
-                )
-            flat = list(sendlist)
-            if sum(counts) != len(flat):
-                raise CommError(
-                    f"alltoallv counts sum to {sum(counts)} but "
-                    f"{len(flat)} items were supplied"
-                )
-            bounds = np.concatenate(([0], np.cumsum(counts)))
-            sendlist = [
-                flat[int(bounds[j]) : int(bounds[j + 1])] for j in range(self.size)
-            ]
-        else:
-            sendlist = list(sendlist)
-            if len(sendlist) != self.size:
-                raise CommError(
-                    f"alltoallv needs {self.size} payloads, got {len(sendlist)}"
-                )
+        sendlist = _normalize_alltoallv(sendlist, counts, self.size)
         self._inject("alltoallv")
         contrib, last = self._exchange([self._wrap(x) for x in sendlist], "alltoallv")
         if last:
@@ -775,7 +754,8 @@ class SimComm:
         members = tuple(self.members[r] for r in local_ranks)
         new_rank = local_ranks.index(self.rank)
         comm_id = (*self.comm_id, op_marker, mine[0])
-        return SimComm(self.world, comm_id, members, new_rank, epoch=self.epoch)
+        # type(self) so process-world subclasses split into their own kind
+        return type(self)(self.world, comm_id, members, new_rank, epoch=self.epoch)
 
     def dup(self) -> "SimComm":
         """Duplicate the communicator (fresh collective sequence space)."""
@@ -988,3 +968,32 @@ def _reduce(values: list, op: str):
         if op == "min":
             return min(values)
     raise CommError(f"unknown reduction op {op!r}")
+
+
+def _normalize_alltoallv(sendlist, counts, size: int) -> list:
+    """Normalise the two ``alltoallv`` calling conventions to one
+    per-destination payload list of length ``size`` (shared between the
+    threaded and process-backed communicators so validation and
+    count-splitting behave identically)."""
+    if counts is not None:
+        counts = [int(c) for c in counts]
+        if len(counts) != size:
+            raise CommError(
+                f"alltoallv needs {size} counts, got {len(counts)}"
+            )
+        flat = list(sendlist)
+        if sum(counts) != len(flat):
+            raise CommError(
+                f"alltoallv counts sum to {sum(counts)} but "
+                f"{len(flat)} items were supplied"
+            )
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        return [
+            flat[int(bounds[j]) : int(bounds[j + 1])] for j in range(size)
+        ]
+    sendlist = list(sendlist)
+    if len(sendlist) != size:
+        raise CommError(
+            f"alltoallv needs {size} payloads, got {len(sendlist)}"
+        )
+    return sendlist

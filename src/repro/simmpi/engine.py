@@ -30,6 +30,10 @@ from .faults import FaultInjector
 from .membership import Membership
 from .tracker import CommTracker
 
+#: available execution worlds: ``threads`` is the deterministic
+#: reference simulator, ``processes`` the multicore performance world.
+WORLDS = ("threads", "processes")
+
 
 def run_spmd(
     nprocs: int,
@@ -41,6 +45,9 @@ def run_spmd(
     checksums: bool | None = None,
     world_spares: int = 0,
     heal=None,
+    world: str = "threads",
+    transport: str = "auto",
+    world_info: dict | None = None,
     **kwargs,
 ) -> list:
     """Execute ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks.
@@ -74,6 +81,19 @@ def run_spmd(
         ``fn`` must be a healing body (it registers itself with the
         world's membership so spares/respawns can run it too) and rank
         crashes are repaired online instead of aborting.
+    world:
+        ``"threads"`` (default) runs ranks as threads in this process —
+        the deterministic reference with the full fault/heal/watchdog
+        feature set.  ``"processes"`` runs one worker process per rank
+        (:func:`repro.mp.engine.run_spmd_processes`) for real multicore
+        speedup; products are bit-identical to the threaded world.
+    transport:
+        Payload wire format for ``world="processes"`` (one of
+        :data:`repro.mp.transport.TRANSPORTS`); ignored by the threaded
+        world, which shares payloads by reference.
+    world_info:
+        Optional dict that receives world/transport statistics (shm
+        bytes, naive-pickle traffic, swept segments) after the run.
 
     Returns
     -------
@@ -86,6 +106,30 @@ def run_spmd(
         raise ValueError(f"nprocs must be positive, got {nprocs}")
     if world_spares < 0:
         raise ValueError(f"world_spares must be >= 0, got {world_spares}")
+    if world not in WORLDS:
+        raise ValueError(f"unknown world {world!r}; expected one of {WORLDS}")
+    if world == "processes":
+        if faults is not None:
+            raise NotImplementedError(
+                "fault injection is thread-world-only for now: "
+                "run_spmd(world='processes', faults=...) is not supported. "
+                "Use world='threads' (the deterministic reference) for "
+                "fault-injection runs."
+            )
+        if heal is not None or world_spares:
+            raise NotImplementedError(
+                "online healing and spare ranks are thread-world-only for "
+                "now: use world='threads' with heal=/world_spares=."
+            )
+        from ..mp.engine import run_spmd_processes
+
+        return run_spmd_processes(
+            nprocs, fn, *args, tracker=tracker, timeout=timeout,
+            checksums=checksums, transport=transport,
+            world_info=world_info, **kwargs,
+        )
+    if isinstance(world_info, dict):
+        world_info.update({"world": "threads", "transport": None})
     injector = None
     if faults is not None:
         injector = (

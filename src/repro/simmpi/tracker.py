@@ -107,6 +107,12 @@ class CommTracker:
         with self._lock:
             self._events.clear()
 
+    def extend(self, events) -> None:
+        """Merge already-recorded events (e.g. shipped back from worker
+        processes) into this tracker."""
+        with self._lock:
+            self._events.extend(events)
+
     # ------------------------------------------------------------------ #
     # aggregation
     # ------------------------------------------------------------------ #

@@ -18,6 +18,7 @@ from ..grid.distribution import extract_a_tile, extract_b_tile, gather_tiles
 from ..grid.grid3d import ProcGrid3D
 from ..mem import ENFORCE_MODES, MemoryLedger, resolve_budget
 from ..model.memory import predict_memory
+from ..mp.bridge import DriverCallback
 from ..resilience import HEAL_MODES, CheckpointManager, HealContext, HealingBody
 from ..resilience import run_key as _checkpoint_run_key
 from ..simmpi.comm import DEFAULT_TIMEOUT
@@ -116,6 +117,8 @@ def batched_summa3d(
     checkpoint_keep_last: int | None = None,
     heal: str | None = None,
     world_spares: int = 0,
+    world: str = "threads",
+    transport: str = "auto",
 ) -> SummaResult:
     """Multiply ``C = A @ B`` with the memory-constrained, communication-
     avoiding BatchedSUMMA3D algorithm.
@@ -248,6 +251,17 @@ def batched_summa3d(
         ``info["resilience"]["heal"]``.
     world_spares:
         Number of spare ranks to pre-allocate for ``heal="spare"``.
+    world:
+        Execution world for the SPMD region: ``"threads"`` (default,
+        deterministic reference) or ``"processes"`` (one OS process per
+        rank for real multicore speedup — see :mod:`repro.mp`).
+        Products are bit-identical between the two; fault injection and
+        online healing are thread-world-only.
+    transport:
+        Payload wire format for ``world="processes"``: ``"naive"``
+        (pickle everything), ``"shm"`` (zero-copy shared memory) or
+        ``"auto"`` (shm above a size threshold).  Ignored by the
+        threaded world.
 
     Returns
     -------
@@ -354,6 +368,7 @@ def batched_summa3d(
                     memory_budget=memory_budget,
                     bytes_per_nonzero=bytes_per_nonzero,
                     tracker=tracker, timeout=timeout,
+                    world=world, transport=transport,
                 )
                 batches = sym.batches
                 sym_prepass = {
@@ -384,7 +399,15 @@ def batched_summa3d(
     collector = make_collector()
     rebatched: list[dict] = []
     heal_ctx = None
+    world_info: dict = {}
     while True:
+        # Under the process world the collector's sink must run in the
+        # driver (it feeds gather/checkpoint state workers cannot see);
+        # the DriverCallback wrapper ships each piece back through the
+        # engine's results queue.
+        sink = collector.sink if collector is not None else None
+        if sink is not None and world == "processes":
+            sink = DriverCallback(sink)
         spmd_kwargs = dict(
             batches=batches,
             memory_budget=memory_budget,
@@ -399,7 +422,7 @@ def batched_summa3d(
             merge_policy=merge_policy,
             comm_backend=comm_backend,
             overlap=overlap,
-            piece_sink=collector.sink if collector is not None else None,
+            piece_sink=sink,
             max_retries=max_retries,
             batch_barrier=ckpt is not None,
         )
@@ -417,6 +440,9 @@ def batched_summa3d(
                     timeout=timeout,
                     faults=injector,
                     checksums=checksums,
+                    world=world,
+                    transport=transport,
+                    world_info=world_info,
                 )
             else:
                 # Online healing: each rank runs a HealingBody that
@@ -449,6 +475,7 @@ def batched_summa3d(
                     checksums=checksums,
                     world_spares=world_spares,
                     heal=heal_ctx,
+                    world=world,
                 )
             break
         except SpmdError as err:
@@ -491,6 +518,7 @@ def batched_summa3d(
         layers=layers,
         nprocs=nprocs,
     )
+    info["world"] = dict(world_info) if world_info else {"world": world}
 
     # Uniform memory report: per-rank ledger marks merged into one block,
     # plus the driver-side checkpoint category and — when symbolic matrix
@@ -699,6 +727,8 @@ def batched_summa3d_rows(
     checkpoint_keep_last: int | None = None,
     heal: str | None = None,
     world_spares: int = 0,
+    world: str = "threads",
+    transport: str = "auto",
 ) -> SummaResult:
     """Row-wise batched SpGEMM: each batch computes ``nrows / b`` *rows*
     of ``C`` (paper Sec. IV-B).
@@ -769,6 +799,8 @@ def batched_summa3d_rows(
         checkpoint_keep_last=checkpoint_keep_last,
         heal=heal,
         world_spares=world_spares,
+        world=world,
+        transport=transport,
     )
     if result.matrix is not None:
         result.matrix = transpose(result.matrix)

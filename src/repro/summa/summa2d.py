@@ -28,6 +28,8 @@ def summa2d(
     enforce: str = "off",
     tracker: CommTracker | None = None,
     timeout: float = DEFAULT_TIMEOUT,
+    world: str = "threads",
+    transport: str = "auto",
 ) -> SummaResult:
     """Multiply ``C = A @ B`` on a square 2D process grid.
 
@@ -53,4 +55,6 @@ def summa2d(
         enforce=enforce,
         tracker=tracker,
         timeout=timeout,
+        world=world,
+        transport=transport,
     )

@@ -29,6 +29,8 @@ def summa3d(
     enforce: str = "off",
     tracker: CommTracker | None = None,
     timeout: float = DEFAULT_TIMEOUT,
+    world: str = "threads",
+    transport: str = "auto",
 ) -> SummaResult:
     """Multiply ``C = A @ B`` on a ``sqrt(p/l) x sqrt(p/l) x l`` grid.
 
@@ -54,4 +56,6 @@ def summa3d(
         enforce=enforce,
         tracker=tracker,
         timeout=timeout,
+        world=world,
+        transport=transport,
     )

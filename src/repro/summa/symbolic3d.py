@@ -47,6 +47,8 @@ def symbolic3d(
     bytes_per_nonzero: int = BYTES_PER_NONZERO,
     tracker: CommTracker | None = None,
     timeout: float = DEFAULT_TIMEOUT,
+    world: str = "threads",
+    transport: str = "auto",
 ) -> SymbolicResult:
     """Compute the exact number of batches a memory budget requires.
 
@@ -84,6 +86,8 @@ def symbolic3d(
         bytes_per_nonzero,
         tracker=tracker,
         timeout=timeout,
+        world=world,
+        transport=transport,
     )
     first = per_rank[0]
     return SymbolicResult(

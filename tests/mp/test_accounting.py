@@ -1,0 +1,60 @@
+"""Zero-copy receive accounting: a payload that crosses a process
+boundary through shared memory is charged exactly once, to the
+receiver's ``recv_buffer`` category, priced identically to an owned
+copy.  Double counting would make the process world *appear* to need
+more memory than the threaded reference it must reproduce.
+"""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.mem import nbytes_of
+from repro.mp.shm import SegmentRegistry, leaked_segments
+from repro.mp.transport import ShmTransport
+from repro.sparse import random_sparse
+from repro.summa import batched_summa3d
+
+
+class TestNbytesOf:
+    def test_shm_view_prices_like_an_owned_array(self):
+        reg = SegmentRegistry("repro-test-acct", rank=0)
+        try:
+            t = ShmTransport(reg)
+            arr = np.arange(5000, dtype=np.float64)
+            out = t.decode(t.encode(arr))
+            # a zero-copy view reports its mapped extent, same as a copy
+            assert nbytes_of(out) == nbytes_of(arr) == arr.nbytes
+            del out
+        finally:
+            gc.collect()
+            reg.reap()
+            reg.abandon()
+        assert leaked_segments("repro-test-acct") == []
+
+    def test_memoryview_reports_mapped_bytes(self):
+        buf = memoryview(bytearray(1024))
+        assert nbytes_of(buf) == 1024
+
+    def test_containers_of_views_sum_once(self):
+        a = np.ones(10, dtype=np.float64)
+        assert nbytes_of([a, a[:5]]) == 80 + 40
+
+
+class TestRecvBufferParity:
+    @pytest.mark.parametrize("transport", ["naive", "shm", "auto"])
+    def test_recv_buffer_high_water_matches_threads(self, transport):
+        """The receive-side charge happens at delivery (once), never in
+        transport decode — so every transport meters exactly what the
+        threaded world meters."""
+        a = random_sparse(80, 80, nnz=2000, seed=17)
+        kw = dict(nprocs=4, batches=2, memory_budget_per_rank=10**7)
+        ref = batched_summa3d(a, a, **kw)
+        run = batched_summa3d(a, a, world="processes",
+                              transport=transport, **kw)
+        cat_ref = ref.memory["categories"]["recv_buffer"]
+        cat_run = run.memory["categories"]["recv_buffer"]
+        assert cat_run["high_water"] == cat_ref["high_water"]
+        assert run.memory["high_water_total"] == \
+            ref.memory["high_water_total"]

@@ -1,0 +1,133 @@
+"""Guardrails of the process world: explicit gates for the features that
+stay thread-world-only, a watchdog that names the stuck *process*, and
+no shared-memory litter under either exit path.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import HangError, SpmdError
+from repro.mp.shm import SHM_DIR
+from repro.simmpi import run_spmd
+from repro.sparse import random_sparse
+from repro.summa import batched_summa3d
+
+
+def _noop(comm):
+    return comm.rank
+
+
+def _shm_names():
+    return set(os.listdir(SHM_DIR)) if os.path.isdir(SHM_DIR) else set()
+
+
+class TestThreadOnlyGates:
+    def test_faults_raise_not_implemented(self):
+        with pytest.raises(NotImplementedError, match="thread-world-only"):
+            run_spmd(2, _noop, world="processes",
+                     faults=["crash:rank=1,batch=0"])
+
+    def test_faults_gate_names_the_reference_world(self):
+        with pytest.raises(NotImplementedError, match="world='threads'"):
+            run_spmd(2, _noop, world="processes", faults=["x"])
+
+    def test_heal_and_spares_raise_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            run_spmd(2, _noop, world="processes", heal="spare",
+                     world_spares=1)
+        with pytest.raises(NotImplementedError):
+            run_spmd(2, _noop, world="processes", world_spares=2)
+
+    def test_driver_forwards_the_gate(self):
+        a = random_sparse(30, 30, nnz=100, seed=1)
+        with pytest.raises(NotImplementedError, match="thread-world-only"):
+            batched_summa3d(a, a, nprocs=4, world="processes",
+                            faults=["crash:rank=1,batch=0"])
+
+    def test_unknown_world_rejected(self):
+        with pytest.raises(ValueError, match="threads.*processes"):
+            run_spmd(2, _noop, world="ranks")
+
+
+class TestWatchdog:
+    def test_hang_dump_names_the_stuck_process_pid(self):
+        """A receiver whose sender never shows up must time out with a
+        per-rank dump carrying the worker's real OS pid."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                return comm.recv(source=1, tag=3)
+            return None  # rank 1 exits without sending
+
+        parent_pid = os.getpid()
+        with pytest.raises(SpmdError) as info:
+            run_spmd(2, prog, world="processes", timeout=2.0)
+        hangs = {r: e for r, e in info.value.failures.items()
+                 if isinstance(e, HangError)}
+        assert hangs, f"no HangError among {info.value.failures!r}"
+        err = next(iter(hangs.values()))
+        assert err.kind == "timeout"
+        state = err.dump[0]
+        assert state["op"] == "recv"
+        assert state["tag"] == 3
+        assert state["pending"] == [1]
+        assert state["blocked_s"] >= 0
+        # the pid is a real child process, named in dump and message
+        assert state["pid"] != parent_pid
+        assert str(state["pid"]) in str(err)
+
+    def test_hang_leaves_no_segments_behind(self):
+        def prog(comm):
+            import numpy as np
+            payload = np.arange(200_000, dtype=np.float64)
+            if comm.rank == 0:
+                comm.send(payload, dest=1, tag=0)
+                return comm.recv(source=1, tag=9)  # never sent
+            comm.recv(source=0, tag=0)
+            return None
+
+        before = _shm_names()
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog, world="processes", timeout=2.0,
+                     transport="shm")
+        assert _shm_names() <= before
+
+
+class TestShmCleanliness:
+    def test_normal_exit_leaves_dev_shm_clean(self):
+        import numpy as np
+
+        def prog(comm):
+            data = comm.bcast(np.arange(100_000, dtype=np.float64), root=0)
+            return float(data.sum())
+
+        before = _shm_names()
+        out = run_spmd(4, prog, world="processes", transport="shm")
+        assert len(set(out)) == 1
+        assert _shm_names() <= before
+
+    def test_raising_worker_leaves_dev_shm_clean(self):
+        import numpy as np
+
+        def prog(comm):
+            comm.bcast(np.arange(100_000, dtype=np.float64), root=0)
+            if comm.rank == 2:
+                raise RuntimeError("boom in worker")
+            comm.barrier()
+            return comm.rank
+
+        before = _shm_names()
+        with pytest.raises(SpmdError) as info:
+            run_spmd(4, prog, world="processes", transport="shm")
+        assert isinstance(info.value.failures[2], RuntimeError)
+        assert "boom in worker" in str(info.value.failures[2])
+        assert _shm_names() <= before
+
+    def test_driver_run_leaves_dev_shm_clean(self):
+        a = random_sparse(200, 200, nnz=15_000, seed=9)
+        before = _shm_names()
+        result = batched_summa3d(a, a, nprocs=4, batches=2,
+                                 world="processes", transport="shm")
+        assert result.info["world"]["shm_segments"] > 0
+        assert _shm_names() <= before
