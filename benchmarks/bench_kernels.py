@@ -1,0 +1,164 @@
+"""Local-kernel family head-to-head — SpGEMM vs SpMM vs SDDMM vs masked
+SpGEMM through the identical batched 3D schedule.
+
+One communication-avoiding dataflow, four workloads: this bench runs
+each registered kernel over ``p`` in {1, 4} and both communication
+backends on one problem family (sparse operator, dense factor panels,
+shared sampling pattern), verifies every result against its dense-numpy
+reference, and prints wall clock, measured memory high water, and the
+kernel's own ``predict_memory`` estimate side by side.
+
+The model assertion is the ISSUE acceptance criterion: for the dense
+kernels (``spmm``, ``sddmm``) — whose footprint model is closed-form
+geometry, no symbolic pass — the prediction must land within
+``MODEL_BAND`` (1.3x) of the measured high water in both directions.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_kernels.py`` — the normal harness; or
+* ``python benchmarks/bench_kernels.py --smoke`` — the CI kernels step:
+  CI-sized operands, exit code 1 on any mismatch.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.kernels import available_kernels
+from repro.sparse import random_sparse
+from repro.summa import batched_summa3d
+
+#: (nprocs, layers) sweep points
+SWEEP = ((1, 1), (4, 1))
+BACKENDS = ("dense", "sparse")
+
+#: acceptance band for predicted vs measured high water (dense kernels)
+MODEL_BAND = 1.3
+
+#: kernels whose memory model is exact geometry (assertable); sparse
+#: kernels defer to the symbolic Table III form, checked elsewhere
+DENSE_MODEL_KERNELS = ("spmm", "sddmm")
+
+
+def _print_series(title, header, rows):
+    try:
+        from _helpers import print_series
+    except ImportError:  # running as a script from anywhere
+        sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+        from _helpers import print_series
+    print_series(title, header, rows)
+
+
+def _problem(n, nnz, rank, seed=7):
+    """One shared problem family for all four kernels."""
+    rng = np.random.default_rng(seed)
+    a = random_sparse(n, n, nnz=nnz, seed=seed)
+    b = random_sparse(n, n, nnz=nnz, seed=seed + 1)
+    u = np.ascontiguousarray(rng.standard_normal((n, rank)))
+    vt = np.ascontiguousarray(rng.standard_normal((rank, n)))
+    panel = np.ascontiguousarray(rng.standard_normal((n, rank)))
+    sample = random_sparse(n, n, nnz=nnz // 2, seed=seed + 2)
+    mask = random_sparse(n, n, nnz=nnz, seed=seed + 3)
+    return {
+        "spgemm": (a, b, {}),
+        "spmm": (a, panel, {}),
+        "sddmm": (u, vt, {"sample": sample}),
+        "masked_spgemm": (a, b, {"mask": mask}),
+    }
+
+
+def _reference(kernel, a, b, extra):
+    dense = (lambda x: x.to_dense() if hasattr(x, "to_dense") else x)
+    product = dense(a) @ dense(b)
+    if kernel == "sddmm":
+        return product * extra["sample"].to_dense()
+    if kernel == "masked_spgemm":
+        return product * (extra["mask"].to_dense() != 0)
+    return product
+
+
+def run_sweep(*, n=256, nnz=8000, rank=16, batches=2, seed=7):
+    """Every kernel x SWEEP x BACKENDS.
+
+    Returns printable rows
+    ``[kernel, backend, p, l, wall_s, measured_MB, model_MB, ratio]``
+    (``ratio`` is model/measured; ``-`` when the kernel defers to the
+    symbolic model and no closed form is attached).
+    """
+    problems = _problem(n, nnz, rank, seed)
+    rows = []
+    for kernel in available_kernels():
+        a, b, extra = problems[kernel]
+        expected = _reference(kernel, a, b, extra)
+        for backend in BACKENDS:
+            for p, layers in SWEEP:
+                t0 = time.perf_counter()
+                r = batched_summa3d(
+                    a, b, nprocs=p, layers=layers, batches=batches,
+                    comm_backend=backend, kernel=kernel, **extra,
+                )
+                wall = time.perf_counter() - t0
+                out = (
+                    r.matrix.to_dense()
+                    if hasattr(r.matrix, "to_dense") else r.matrix
+                )
+                assert np.allclose(out, expected), (
+                    f"{kernel} diverges from reference at "
+                    f"backend={backend} p={p}"
+                )
+                measured = r.memory["high_water_total"]
+                model = r.memory.get("model", {}).get("high_water_total")
+                ratio = model / measured if model and measured else None
+                if kernel in DENSE_MODEL_KERNELS:
+                    assert model is not None, (
+                        f"{kernel} must attach its closed-form memory model"
+                    )
+                    assert 1 / MODEL_BAND <= ratio <= MODEL_BAND, (
+                        f"{kernel} model off by {ratio:.2f}x at "
+                        f"backend={backend} p={p} "
+                        f"(model {model}, measured {measured})"
+                    )
+                rows.append([
+                    kernel, backend, p, layers, wall,
+                    measured / 1e6,
+                    model / 1e6 if model else float("nan"),
+                    f"{ratio:.2f}" if ratio else "-",
+                ])
+    return rows
+
+
+def print_rows(rows):
+    _print_series(
+        "Kernel family: wall clock and memory model fidelity",
+        ["kernel", "backend", "p", "l", "wall_s", "meas_MB",
+         "model_MB", "model/meas"],
+        rows,
+    )
+
+
+def test_kernel_sweep():
+    print_rows(run_sweep())
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized operands; exit 1 on any reference or model mismatch",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        rows = run_sweep(n=128, nnz=3000, rank=8)
+    else:
+        rows = run_sweep()
+    print_rows(rows)
+    print("kernel family OK "
+          f"({len(rows)} configurations, model band {MODEL_BAND}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

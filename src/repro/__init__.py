@@ -64,6 +64,7 @@ from .sparse import (
     triu,
     zeros,
 )
+from .kernels import LocalKernel, available_kernels, get_kernel
 from .sparse.semiring import MAX_MIN, MIN_PLUS, OR_AND, PLUS_TIMES, Semiring, get_semiring
 
 __version__ = "1.0.0"
@@ -116,6 +117,10 @@ __all__ = [
     "load_matrix",
     "save_matrix_market",
     "load_matrix_market",
+    # local kernels
+    "LocalKernel",
+    "get_kernel",
+    "available_kernels",
     # semirings
     "Semiring",
     "get_semiring",
@@ -145,4 +150,4 @@ from .summa import (  # noqa: E402
 )
 
 # subpackages exposed for attribute access (repro.apps.markov_cluster, ...)
-from . import apps, comm, data, mem, model, simmpi, sparse, summa, grid, utils  # noqa: E402,F401
+from . import apps, comm, data, kernels, mem, model, simmpi, sparse, summa, grid, utils  # noqa: E402,F401

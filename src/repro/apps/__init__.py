@@ -12,10 +12,16 @@ exist in memory:
 * :mod:`matching` — Zoltan-style heavy-connectivity matching for
   hypergraph coarsening via batched ``A @ Aᵀ``;
 * :mod:`jaccard` — communication-efficient all-pairs Jaccard similarity
-  ([14] in the paper).
+  ([14] in the paper);
+* :mod:`gnn_propagate` — SGC-style k-hop feature propagation, iterated
+  distributed SpMM against a resident normalised adjacency;
+* :mod:`als` — ALS-style rating prediction, distributed SDDMM on the
+  observed-rating pattern.
 """
 
+from .als import AlsResidual, als_residual, predict_ratings
 from .components import connected_components
+from .gnn_propagate import PropagateResult, gnn_propagate, normalize_adjacency
 from .jaccard import JaccardResult, jaccard_similarity
 from .mcl import MCLResult, markov_cluster, markov_cluster_resident
 from .triangles import count_triangles, clustering_coefficients
@@ -36,4 +42,10 @@ __all__ = [
     "JaccardResult",
     "connected_components",
     "pagerank",
+    "gnn_propagate",
+    "normalize_adjacency",
+    "PropagateResult",
+    "predict_ratings",
+    "als_residual",
+    "AlsResidual",
 ]

@@ -1,0 +1,127 @@
+"""ALS-style rating prediction via distributed SDDMM.
+
+Matrix-factorisation recommenders hold two dense factor panels ``U``
+(users × rank) and ``V`` (items × rank) and repeatedly need the model's
+predictions *only at the observed ratings* — computing the full dense
+``U Vᵀ`` is both wasteful and, at scale, impossible.  That is exactly the
+sampled dense-dense product ``S ∘ (U Vᵀ)`` the ``kernel="sddmm"`` path
+computes: the sparse rating pattern ``S`` is distributed like the output,
+both factor panels ride collectives, and only the observed coordinates
+are ever materialised.
+
+:func:`predict_ratings` is the one-shot primitive (predictions on the
+pattern), :func:`als_residual` the training-loop quantity built from it
+(observed minus predicted, plus RMSE) — each one distributed SDDMM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..sparse.matrix import SparseMatrix
+from ..summa.batched import batched_summa3d
+
+
+def _pattern(ratings: SparseMatrix) -> SparseMatrix:
+    """The all-ones sampling pattern of the observed ratings."""
+    return SparseMatrix(
+        ratings.nrows, ratings.ncols, ratings.indptr, ratings.rowidx,
+        np.ones(ratings.nnz),
+        sorted_within_columns=ratings.sorted_within_columns,
+        validate=False,
+    )
+
+
+@dataclass
+class AlsResidual:
+    """Observed-vs-model comparison at the observed ratings.
+
+    ``predicted`` and ``residual`` share the rating pattern; ``rmse`` is
+    the root-mean-square of the residual values (the ALS objective
+    without regularisation).
+    """
+
+    predicted: SparseMatrix
+    residual: SparseMatrix
+    rmse: float
+
+
+def predict_ratings(
+    users: np.ndarray,
+    items: np.ndarray,
+    ratings: SparseMatrix,
+    *,
+    nprocs: int = 4,
+    layers: int = 1,
+    batches: int | None = 1,
+    memory_budget: int | None = None,
+    world: str = "threads",
+    transport: str = "auto",
+) -> SparseMatrix:
+    """Model predictions ``(U Vᵀ) ∘ pattern(R)`` at the observed ratings.
+
+    ``users`` is ``(n_users, rank)``, ``items`` ``(n_items, rank)``;
+    ``ratings`` supplies the sampling pattern (its values are ignored
+    here — the pattern is normalised to ones so the SDDMM scaling is a
+    pure sample).  Returns a sparse matrix on the rating pattern holding
+    the model scores.
+    """
+    u = np.ascontiguousarray(users, dtype=float)
+    v = np.ascontiguousarray(items, dtype=float)
+    if u.ndim != 2 or v.ndim != 2 or u.shape[1] != v.shape[1]:
+        raise ShapeError(
+            f"factor panels must share the rank dimension, got "
+            f"{u.shape} and {v.shape}"
+        )
+    if ratings.shape != (u.shape[0], v.shape[0]):
+        raise ShapeError(
+            f"ratings {ratings.shape} != (users, items) "
+            f"{(u.shape[0], v.shape[0])}"
+        )
+    result = batched_summa3d(
+        u,
+        np.ascontiguousarray(v.T),
+        nprocs=nprocs,
+        layers=layers,
+        batches=batches,
+        memory_budget=memory_budget,
+        kernel="sddmm",
+        sample=_pattern(ratings),
+        world=world,
+        transport=transport,
+    )
+    return result.matrix
+
+
+def als_residual(
+    users: np.ndarray,
+    items: np.ndarray,
+    ratings: SparseMatrix,
+    **kwargs,
+) -> AlsResidual:
+    """One ALS evaluation step: predictions, residual and RMSE on the
+    observed ratings (keyword arguments forward to
+    :func:`predict_ratings`)."""
+    # canonicalise the ratings so their entry order matches the gathered
+    # SDDMM output (both column-major sorted), making the residual a
+    # plain value subtraction over identical patterns
+    ratings = SparseMatrix.from_coo(
+        ratings.nrows, ratings.ncols, ratings.rowidx, ratings.col_indices(),
+        ratings.values,
+    )
+    predicted = predict_ratings(users, items, ratings, **kwargs)
+    residual = SparseMatrix(
+        ratings.nrows, ratings.ncols, predicted.indptr, predicted.rowidx,
+        ratings.values - predicted.values,
+        sorted_within_columns=predicted.sorted_within_columns,
+        validate=False,
+    )
+    rmse = (
+        float(np.sqrt(np.mean(residual.values**2)))
+        if residual.nnz
+        else 0.0
+    )
+    return AlsResidual(predicted=predicted, residual=residual, rmse=rmse)

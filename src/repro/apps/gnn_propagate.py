@@ -1,0 +1,123 @@
+"""GNN feature propagation: iterated distributed SpMM (SGC/LightGCN-style).
+
+Propagation-only graph networks precompute ``X_k = Â^k X`` — ``k`` hops of
+feature smoothing over the normalised adjacency — and fit a plain linear
+model on the result.  The expensive part is exactly the distributed
+sparse-times-dense-panel product this library's ``kernel="spmm"`` path
+provides: the adjacency is distributed once as a resident ``"A"`` handle,
+and each hop is one :meth:`~repro.dist.DistContext.spmm` with the dense
+feature panel riding collectives between ranks.
+
+This is the paper family's dense-kernel counterpart of HipMCL: where MCL
+iterates *sparse* squaring, propagation iterates *dense-panel* products
+against a fixed sparse operand, so the batching and communication-avoiding
+machinery is exercised with a dense output that cannot be compressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dist import DistContext
+from ..errors import ShapeError
+from ..sparse.matrix import SparseMatrix
+from ..sparse.ops import scale_rows
+
+
+@dataclass
+class PropagateResult:
+    """Outcome of :func:`gnn_propagate`.
+
+    ``features`` is the final propagated panel ``Â^k X``; ``hops`` holds
+    every intermediate panel when ``keep_history`` was requested (SGC
+    concatenates them).  ``per_hop`` carries each hop's
+    :class:`~repro.summa.SummaResult` for metering.
+    """
+
+    features: np.ndarray
+    hops: list = field(default_factory=list)
+    per_hop: list = field(default_factory=list)
+
+
+def normalize_adjacency(adjacency: SparseMatrix, *, add_self_loops: bool = True) -> SparseMatrix:
+    """Row-normalised propagation operator ``Â = D^-1 (A + I)``.
+
+    Row-stochastic mean aggregation: each vertex averages its (self-
+    inclusive) neighbourhood.  Vertices without edges keep zero rows, so
+    their features decay to zero rather than propagate garbage.
+    """
+    if adjacency.nrows != adjacency.ncols:
+        raise ShapeError(f"adjacency must be square, got {adjacency.shape}")
+    a = adjacency
+    if add_self_loops:
+        n = a.nrows
+        diag = np.arange(n)
+        a = SparseMatrix.from_coo(
+            n, n,
+            np.concatenate([a.rowidx, diag]),
+            np.concatenate([a.col_indices(), diag]),
+            np.concatenate([a.values, np.ones(n)]),
+        )
+    # row sums = column sums of the transpose; avoid materialising Aᵀ by
+    # accumulating over the row indices directly
+    deg = np.zeros(a.nrows)
+    np.add.at(deg, a.rowidx, a.values)
+    inv = np.divide(1.0, deg, out=np.zeros_like(deg), where=deg != 0)
+    return scale_rows(a, inv)
+
+
+def gnn_propagate(
+    adjacency: SparseMatrix,
+    features: np.ndarray,
+    *,
+    hops: int = 2,
+    nprocs: int = 4,
+    layers: int = 1,
+    batches: int | None = 1,
+    memory_budget: int | None = None,
+    normalize: bool = True,
+    keep_history: bool = False,
+    world: str = "threads",
+    transport: str = "auto",
+    context: DistContext | None = None,
+) -> PropagateResult:
+    """Propagate a feature panel ``k`` hops over a graph: ``Â^k X``.
+
+    The adjacency is distributed once (one resident handle on the grid)
+    and each hop runs one distributed SpMM; the panel returns to the
+    driver between hops, exactly the bulk-synchronous pattern of
+    precomputed-propagation GNNs.  Runs under any execution world —
+    ``world="processes"`` with ``transport="shm"`` gives true multicore
+    parallelism with bit-identical panels.
+    """
+    if hops < 1:
+        raise ValueError(f"hops must be >= 1, got {hops}")
+    x = np.ascontiguousarray(features, dtype=float)
+    if x.ndim == 1:
+        x = x[:, None]
+    if x.shape[0] != adjacency.nrows:
+        raise ShapeError(
+            f"features for {adjacency.nrows} vertices, got panel {x.shape}"
+        )
+    operator = (
+        normalize_adjacency(adjacency) if normalize else adjacency
+    )
+    ctx = context if context is not None else DistContext(
+        nprocs=nprocs, layers=layers, world=world, transport=transport
+    )
+    ha = ctx.distribute(operator, layout="A")
+    result = PropagateResult(features=x)
+    try:
+        for _ in range(hops):
+            x, hop_result = ctx.spmm(
+                ha, x, batches=batches, memory_budget=memory_budget
+            )
+            result.per_hop.append(hop_result)
+            if keep_history:
+                result.hops.append(x)
+    finally:
+        ctx.free(ha)
+    result.features = x
+    return result

@@ -167,11 +167,14 @@ def cmd_multiply(args) -> int:
 
 
 def _run_multiply(args, a, b, tracker):
+    mask = _load(args.mask) if getattr(args, "mask", None) else None
     return batched_summa3d(
         a,
         b,
         nprocs=args.nprocs,
         layers=args.layers,
+        kernel=args.kernel,
+        mask=mask,
         batches=args.batches,
         memory_budget=args.memory_budget,
         memory_budget_per_rank=args.memory_budget_per_rank,
@@ -432,6 +435,15 @@ def build_parser() -> argparse.ArgumentParser:
                    "(strict re-batches to 2b via graceful degradation)")
     p.add_argument("--suite", default="esc",
                    choices=["esc", "unsorted-hash", "sorted-heap", "hybrid", "spa"])
+    p.add_argument("--kernel", default="spgemm",
+                   choices=["spgemm", "masked_spgemm"],
+                   help="local kernel: plain SpGEMM, or SpGEMM restricted "
+                   "to a mask inside the local multiply (--mask supplies "
+                   "the pattern; without it the symbolic product pattern "
+                   "is synthesised as the mask prologue)")
+    p.add_argument("--mask", default=None, metavar="PATH",
+                   help="sparse output mask (.npz/.mtx or dataset:<name>) "
+                   "for --kernel masked_spgemm")
     p.add_argument("--comm-backend", default="dense",
                    choices=["dense", "sparse", "auto"],
                    help="operand exchange: dense collectives, SpComm3D-style "

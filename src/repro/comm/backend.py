@@ -115,6 +115,25 @@ class CommBackend(ABC):
     def prepare_batch(self, comms, a_tile: SparseMatrix, b_batch: SparseMatrix) -> None:
         """Per-batch prologue; default no-op."""
 
+    def _ibcast(self, comm, obj, stage: int) -> Request:
+        """Nonblocking ``ibcast``-shaped fan-out with retry applied to
+        each individual ``isend`` — never to the fan-out as a whole,
+        which would re-send to peers that already got their copy and
+        leave a stale duplicate for a later stage's tag to match.
+
+        Shared across backends: the dense backend prefetches every
+        operand this way, and the sparse backend falls back to it for
+        *dense* operands (a dense panel has no nonzero structure to
+        thin, so collectives are the right path on any backend)."""
+        if comm.rank == stage:
+            for t in range(comm.size):
+                if t != stage:
+                    self._call(
+                        comm, "send", lambda t=t: comm.isend(obj, t, tag=stage)
+                    )
+            return Request(ready=True, value=obj)
+        return self._guard(comm, "recv", comm.irecv(stage, tag=stage))
+
     def revoke(self) -> None:
         """Discard all cached per-run plan state.
 
@@ -202,20 +221,6 @@ class DenseCollective(CommBackend):
             )
         self._charge_recv(received)
         return received
-
-    def _ibcast(self, comm, obj, stage: int) -> Request:
-        """The :meth:`SimComm.ibcast` fan-out with retry applied to each
-        individual ``isend`` — never to the fan-out as a whole, which
-        would re-send to peers that already got their copy and leave a
-        stale duplicate for a later stage's tag to match."""
-        if comm.rank == stage:
-            for t in range(comm.size):
-                if t != stage:
-                    self._call(
-                        comm, "send", lambda t=t: comm.isend(obj, t, tag=stage)
-                    )
-            return Request(ready=True, value=obj)
-        return self._guard(comm, "recv", comm.irecv(stage, tag=stage))
 
     def prefetch_stage(
         self, comms, a_tile: SparseMatrix, b_batch: SparseMatrix, stage: int

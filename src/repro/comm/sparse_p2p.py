@@ -22,11 +22,28 @@ exactly this trade-off, which is how ``backend="auto"`` chooses.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..simmpi.comm import Request
 from ..sparse.matrix import SparseMatrix
 from ..sparse.ops import mask_columns, mask_rows, nonempty_columns, nonempty_rows
 from .backend import CommBackend, StagePrefetch
 from .plan import CommPlan, pack_mask, unpack_mask
+
+
+def _occupied_columns(tile) -> np.ndarray:
+    """Column-occupancy mask; dense panels are fully occupied (no
+    nonzero structure to thin — every column is needed)."""
+    if isinstance(tile, SparseMatrix):
+        return nonempty_columns(tile)
+    return np.ones(tile.shape[1], dtype=bool)
+
+
+def _occupied_rows(tile) -> np.ndarray:
+    """Row-occupancy mask; dense panels are fully occupied."""
+    if isinstance(tile, SparseMatrix):
+        return nonempty_rows(tile)
+    return np.ones(tile.shape[0], dtype=bool)
 
 
 class SparseP2P(CommBackend):
@@ -57,15 +74,27 @@ class SparseP2P(CommBackend):
     # ------------------------------------------------------------------ #
 
     def prepare_batch(self, comms, a_tile: SparseMatrix, b_batch: SparseMatrix) -> None:
+        if not isinstance(a_tile, SparseMatrix) and not isinstance(
+            b_batch, SparseMatrix
+        ):
+            # both operands dense (SDDMM): nothing to thin, no plan to
+            # build — every bcast takes the collective fallback.  Skipped
+            # identically on every rank, so the prologue collectives
+            # simply never happen.
+            self.plan = None
+            return
         row, col = comms.row, comms.col
         with comms.world.backend_scope(self.name):
             if self._a_col_masks is None:
                 # static half: A-tile occupancy along the row comm, then
                 # tell col-peer t which of its B rows this rank needs
-                # (the nonempty columns of row-peer t's A tile).
+                # (the nonempty columns of row-peer t's A tile).  A dense
+                # operand reports full occupancy, so the counterpart is
+                # shipped whole — correct, and the plan collectives stay
+                # in lockstep across ranks.
                 packed = self._call(
                     row, "allgather",
-                    lambda: row.allgather(pack_mask(nonempty_columns(a_tile))),
+                    lambda: row.allgather(pack_mask(_occupied_columns(a_tile))),
                 )
                 self._a_col_masks = [unpack_mask(p) for p in packed]
                 received = self._call(
@@ -81,7 +110,7 @@ class SparseP2P(CommBackend):
             # (the nonempty rows of col-peer t's B batch).
             packed = self._call(
                 col, "allgather",
-                lambda: col.allgather(pack_mask(nonempty_rows(b_batch))),
+                lambda: col.allgather(pack_mask(_occupied_rows(b_batch))),
             )
             b_row_masks = [unpack_mask(p) for p in packed]
             received = self._call(
@@ -106,6 +135,15 @@ class SparseP2P(CommBackend):
 
     def bcast_a(self, comms, a_tile: SparseMatrix, stage: int) -> SparseMatrix:
         row = comms.row
+        if not isinstance(a_tile, SparseMatrix):
+            # dense operands ride collectives even on the sparse backend
+            with row.backend_scope(self.name):
+                recv = self._call(
+                    row, "bcast", lambda: row.bcast(a_tile, root=stage)
+                )
+            if row.rank != stage:
+                self._charge_recv(recv)
+            return recv
         with row.backend_scope(self.name):
             if row.rank == stage:
                 for t in range(row.size):
@@ -125,6 +163,14 @@ class SparseP2P(CommBackend):
 
     def bcast_b(self, comms, b_batch: SparseMatrix, stage: int) -> SparseMatrix:
         col = comms.col
+        if not isinstance(b_batch, SparseMatrix):
+            with col.backend_scope(self.name):
+                recv = self._call(
+                    col, "bcast", lambda: col.bcast(b_batch, root=stage)
+                )
+            if col.rank != stage:
+                self._charge_recv(recv)
+            return recv
         with col.backend_scope(self.name):
             if col.rank == stage:
                 for t in range(col.size):
@@ -164,7 +210,10 @@ class SparseP2P(CommBackend):
 
         row, col = comms.row, comms.col
         with row.step(STEP_A_BCAST), row.backend_scope(self.name):
-            if row.rank == stage:
+            if not isinstance(a_tile, SparseMatrix):
+                # dense operand: nonblocking collective-shaped fan-out
+                a_req = self._ibcast(row, a_tile, stage)
+            elif row.rank == stage:
                 for t in range(row.size):
                     if t != stage:
                         self._call(row, "send", lambda t=t: row.isend(
@@ -175,7 +224,9 @@ class SparseP2P(CommBackend):
             else:
                 a_req = self._guard(row, "recv", row.irecv(stage, tag=stage))
         with col.step(STEP_B_BCAST), col.backend_scope(self.name):
-            if col.rank == stage:
+            if not isinstance(b_batch, SparseMatrix):
+                b_req = self._ibcast(col, b_batch, stage)
+            elif col.rank == stage:
                 for t in range(col.size):
                     if t != stage:
                         self._call(col, "send", lambda t=t: col.isend(

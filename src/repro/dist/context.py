@@ -24,8 +24,15 @@ from __future__ import annotations
 
 import itertools
 
+import numpy as np
+
 from ..errors import DistributionError, ShapeError
-from ..grid.distribution import a_tile_range, b_tile_range, gather_tiles
+from ..grid.distribution import (
+    a_tile_range,
+    b_tile_range,
+    gather_dense_tiles,
+    gather_tiles,
+)
 from ..grid.grid3d import ProcGrid3D
 from ..simmpi.comm import DEFAULT_TIMEOUT, SimComm
 from ..simmpi.engine import run_spmd
@@ -266,6 +273,9 @@ class DistContext:
         memory_budget: int | None = None,
         suite="esc",
         semiring="plus_times",
+        kernel="spgemm",
+        mask: SparseMatrix | None = None,
+        mask_complement: bool = False,
         postprocess=None,
         faults=None,
         checksums: bool | None = None,
@@ -291,7 +301,35 @@ class DistContext:
         every blocking rendezvous is watched by the wait-for-graph hang
         watchdog either way, so a wedged resident-matrix pipeline raises a
         classified :class:`~repro.errors.HangError` instead of hanging.
+
+        ``kernel`` may be ``"spgemm"`` (default) or ``"masked_spgemm"``
+        (with a *global* ``mask=`` pattern, applied inside the local
+        multiply; ``mask_complement=True`` keeps the unmasked positions).
+        Dense-output kernels don't fit resident sparse handles — use
+        :meth:`spmm` for ``A @ X`` with dense ``X``.
         """
+        from ..kernels import MaskedSpgemmKernel, get_kernel
+
+        kern = get_kernel(kernel)
+        if kern.name not in ("spgemm", "masked_spgemm"):
+            raise DistributionError(
+                f"resident multiply supports sparse-output SpGEMM kernels "
+                f"(got {kern.name!r}); use DistContext.spmm for dense output"
+            )
+        aux = None
+        if kern.name == "masked_spgemm":
+            if mask is None:
+                raise DistributionError(
+                    'kernel="masked_spgemm" needs mask= (a global sparse '
+                    "pattern shaped like the product)"
+                )
+            if isinstance(kernel, str) and mask_complement:
+                kern = MaskedSpgemmKernel(complement=True)
+            aux = mask
+        elif mask is not None:
+            raise DistributionError(
+                'mask= requires kernel="masked_spgemm" on resident handles'
+            )
         self._check(ha)
         self._check(hb)
         if ha.layout != "A":
@@ -320,6 +358,8 @@ class DistContext:
             memory_budget=memory_budget,
             suite=suite,
             semiring=semiring,
+            kernel=kern,
+            aux=aux,
             keep_pieces=True,
             postprocess=postprocess,
             max_retries=max_retries,
@@ -363,6 +403,88 @@ class DistContext:
             info=info,
         )
         return handle, result
+
+    def spmm(
+        self,
+        ha: DistMatrixHandle,
+        x,
+        *,
+        batches: int | None = 1,
+        memory_budget: int | None = None,
+        semiring="plus_times",
+        comm_backend="dense",
+        overlap: str = "off",
+        max_retries: int | None = 3,
+    ) -> tuple[np.ndarray, SummaResult]:
+        """``Y = A @ X`` with a resident sparse ``A`` and dense feature
+        panel ``X`` — the GNN-propagation primitive.
+
+        ``ha`` must be a standard ``"A"``-layout handle; ``x`` is a global
+        dense ``(ha.ncols, f)`` array (feature panels are small relative
+        to the matrix, so they travel to the ranks whole and each rank
+        slices its block — dense panels ride collectives on either
+        backend).  Returns ``(y, result)`` with ``y`` the assembled dense
+        ``(ha.nrows, f)`` product; the panel is *not* registered as a
+        handle (handles hold sparse tiles).
+        """
+        from ..kernels import SpmmKernel
+
+        self._check(ha)
+        if ha.layout != "A":
+            raise DistributionError(
+                "spmm needs a standard 'A'-layout left operand "
+                f"(got {ha.layout!r}; redistribute first)"
+            )
+        x = np.ascontiguousarray(x)
+        if x.ndim != 2 or x.shape[0] != ha.ncols:
+            raise ShapeError(
+                f"feature panel shape {x.shape} does not match "
+                f"A with {ha.ncols} columns"
+            )
+        a_src = TileSource(ha.nrows, ha.ncols, lambda r: self._tiles[ha.key][r])
+        per_rank = run_spmd(
+            self.grid.nprocs,
+            spmd_batched_summa3d,
+            a_src,
+            x,
+            self.grid,
+            batches=batches,
+            memory_budget=memory_budget,
+            semiring=semiring,
+            kernel=SpmmKernel(),
+            comm_backend=comm_backend,
+            overlap=overlap,
+            keep_pieces=True,
+            max_retries=max_retries,
+            tracker=self.tracker,
+            timeout=self.timeout,
+            world=self.world,
+            transport=self.transport,
+        )
+        ran_batches = per_rank[0]["batches"]
+        pieces = [
+            (r0, c0, tile)
+            for r in per_rank
+            for (_batch, r0, c0, tile) in r["pieces"]
+        ]
+        y = gather_dense_tiles(ha.nrows, x.shape[1], pieces)
+        from ..mem import MemoryLedger
+
+        info = dict(per_rank[0]["info"], resident=True)
+        info["memory"] = MemoryLedger.merge_reports(
+            [r["info"]["memory"] for r in per_rank]
+        )
+        result = SummaResult(
+            matrix=None,
+            grid=self.grid,
+            batches=ran_batches,
+            step_times=StepTimes.critical_path(r["times"] for r in per_rank),
+            per_rank_times=[r["times"] for r in per_rank],
+            tracker=self.tracker,
+            max_local_bytes=max(r["max_local_bytes"] for r in per_rank),
+            info=info,
+        )
+        return y, result
 
     # ------------------------------------------------------------------ #
 

@@ -169,3 +169,22 @@ def gather_tiles(
         )
     except Exception as exc:
         raise DistributionError(f"overlapping or invalid tiles in gather: {exc}") from exc
+
+
+def gather_dense_tiles(nrows: int, ncols: int, pieces) -> np.ndarray:
+    """Assemble a dense matrix from ``(row_offset, col_offset, block)``
+    triples of 2-D ndarrays — the dense-output analogue of
+    :func:`gather_tiles` used by kernels whose C is dense (SpMM).
+    Blocks must tile disjoint regions; anything uncovered stays zero."""
+    out = np.zeros((nrows, ncols))
+    for r0, c0, block in pieces:
+        block = np.asarray(block)
+        r1 = r0 + block.shape[0]
+        c1 = c0 + block.shape[1]
+        if r1 > nrows or c1 > ncols:
+            raise DistributionError(
+                f"dense tile at ({r0}, {c0}) of shape {block.shape} exceeds "
+                f"the {nrows}x{ncols} output"
+            )
+        out[r0:r1, c0:c1] = block
+    return out

@@ -1,0 +1,49 @@
+"""Pluggable local-kernel family for the batched 3D SUMMA dataflow.
+
+The execution plan (:mod:`repro.summa.exec`) is kernel-agnostic: what
+happens at a stage — operand kinds, local compute, merge rule, memory
+footprint — is declared by a :class:`LocalKernel` from this registry:
+
+======================  =========  =========  =========  =========
+kernel                  A          B          aux        output
+======================  =========  =========  =========  =========
+``spgemm`` (default)    sparse     sparse     —          sparse
+``spmm``                sparse     dense      —          dense
+``sddmm``               dense      dense      sparse S   sparse
+``masked_spgemm``       sparse     sparse     sparse M   sparse
+======================  =========  =========  =========  =========
+
+Select one with the ``kernel=`` knob on every SUMMA driver
+(:func:`repro.summa.batched_summa3d`, ``summa2d``/``summa3d``,
+:meth:`repro.dist.DistContext.multiply` and the dedicated
+:meth:`~repro.dist.DistContext.spmm`) or ``--kernel`` on the CLI.
+"""
+
+from .base import (
+    OPERAND_KINDS,
+    LocalKernel,
+    TileSource,
+    available_kernels,
+    get_kernel,
+    operand_shape,
+    resolve_tile,
+)
+from .sddmm import SddmmKernel, sddmm_local
+from .spgemm import MaskedSpgemmKernel, SpgemmKernel
+from .spmm import SpmmKernel, spmm_local
+
+__all__ = [
+    "OPERAND_KINDS",
+    "LocalKernel",
+    "MaskedSpgemmKernel",
+    "SddmmKernel",
+    "SpgemmKernel",
+    "SpmmKernel",
+    "TileSource",
+    "available_kernels",
+    "get_kernel",
+    "operand_shape",
+    "resolve_tile",
+    "sddmm_local",
+    "spmm_local",
+]

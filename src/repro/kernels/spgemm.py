@@ -1,0 +1,64 @@
+"""SpGEMM kernels: the paper's workload, plus the output-masked variant.
+
+:class:`SpgemmKernel` is the default and reproduces the pre-seam
+behaviour bit-for-bit: stage products via the configured
+:class:`~repro.sparse.spgemm.suite.KernelSuite` and merges via the
+suite's merge routine — the exact calls the execution plan used to make
+inline.
+
+:class:`MaskedSpgemmKernel` computes ``mask ∘ (A ⊗ B)`` by running
+:func:`repro.sparse.spgemm.masked.spgemm_masked` at every stage against
+the batch's block of the mask (the aux operand, distributed like the
+output).  Stage partials then carry only masked entries, so the merge
+(plain suite merge — duplicate column/row keys sum under the semiring's
+add) never materialises unmasked intermediates: the memory win of masked
+SpGEMM survives distribution.  When no mask is supplied the driver
+synthesises one from the symbolic pass — ``symbolic3d``'s structure
+prediction becomes the mask-producing prologue
+(:func:`repro.sparse.spgemm.symbolic.symbolic_pattern`).
+"""
+
+from __future__ import annotations
+
+from ..sparse.spgemm.masked import spgemm_masked
+from .base import LocalKernel
+
+__all__ = ["MaskedSpgemmKernel", "SpgemmKernel"]
+
+
+class SpgemmKernel(LocalKernel):
+    """Sparse × sparse → sparse (the paper's Alg. 4 local kernel)."""
+
+    name = "spgemm"
+
+    def stage_multiply(self, state):
+        return state.suite.local_multiply(state.a_recv, state.b_recv, state.semiring)
+
+    def merge(self, parts, state):
+        return state.suite.merge(parts, state.semiring)
+
+
+class MaskedSpgemmKernel(SpgemmKernel):
+    """Sparse × sparse → sparse, restricted to a sparse output mask.
+
+    ``complement=True`` keeps entries *outside* the mask instead (the
+    anti-mask form used by e.g. triangle-free fill-in analysis).
+    """
+
+    name = "masked_spgemm"
+    aux_kind = "sparse"
+    # the driver may synthesise the mask from the symbolic pass when the
+    # caller does not supply one.
+    aux_mode = "optional"
+
+    def __init__(self, complement: bool = False) -> None:
+        self.complement = bool(complement)
+
+    def stage_multiply(self, state):
+        return spgemm_masked(
+            state.a_recv,
+            state.b_recv,
+            state.aux_batch,
+            state.semiring,
+            complement=self.complement,
+        )

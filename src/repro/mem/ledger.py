@@ -95,6 +95,13 @@ def nbytes_of(obj) -> int:
         return int(nbytes)
     if isinstance(obj, (list, tuple)):
         return sum(nbytes_of(x) for x in obj)
+    if hasattr(obj, "payload") and hasattr(obj, "crc"):
+        # a transit Envelope (checksummed payload): priced as its payload
+        # plus the 8-byte checksum word.  Duck-typed so the memory layer
+        # never imports the simmpi wire format; Envelope has __slots__
+        # and no nbytes attribute, so without this branch a checksummed
+        # delivery would price as zero.
+        return nbytes_of(obj.payload) + 8
     return 0
 
 

@@ -41,6 +41,7 @@ from .memory import (
     batches_for_budget,
     estimate_max_tile_stats,
     fit_memory_model,
+    predict_kernel_memory,
     predict_memory,
 )
 
@@ -60,6 +61,7 @@ __all__ = [
     "parallel_efficiency",
     "strong_scaling_series",
     "ScalePoint",
+    "predict_kernel_memory",
     "predict_memory",
     "batches_for_budget",
     "estimate_max_tile_stats",

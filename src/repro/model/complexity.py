@@ -47,6 +47,10 @@ def comm_complexity(
     bytes_per_nonzero: int = BYTES_PER_NONZERO,
     backend: str = "dense",
     inner_dim: int | None = None,
+    kernel: str = "spgemm",
+    dense_a_bytes: int | None = None,
+    dense_b_bytes: int | None = None,
+    dense_c_bytes: int | None = None,
 ) -> dict[str, dict[str, float]]:
     """Table II: per-step total latency hops and bandwidth bytes.
 
@@ -64,12 +68,26 @@ def comm_complexity(
     fraction of each tile, latency grows from tree depth to
     ``sqrt(p/l) - 1`` individual messages per stage, and a ``Comm-Plan``
     step pays for the bit-packed occupancy masks.
+
+    Dense-operand kernels reshape the table: pass the *global* dense
+    operand sizes and the kernel name.  ``dense_a_bytes`` /
+    ``dense_b_bytes`` replace the corresponding broadcast bandwidth with
+    dense-panel volume (``b * bytes_A / sqrt(p*l)`` and
+    ``bytes_B / sqrt(p*l)``); ``dense_c_bytes`` replaces the fiber
+    exchange with dense-partial volume (``l * bytes_C / p``, each layer
+    holding a full accumulator of its block).  A dense operand rides
+    collectives even under ``backend="sparse"``, so its step keeps the
+    tree-shaped latency, the *counterpart's* needed fraction becomes 1
+    (dense panels occupy every segment), and kernels without a symbolic
+    pass (``"spmm"``, ``"sddmm"``) zero the Symbolic row.
     """
     p, l, b = nprocs, layers, batches
     r = bytes_per_nonzero
     sqrt_pl = math.sqrt(p / l)
     stages = round(sqrt_pl)
     intermediate = flops if dk_nnz_total is None else dk_nnz_total
+    a_dense = dense_a_bytes is not None
+    b_dense = dense_b_bytes is not None
 
     out = {
         "A-Broadcast": {
@@ -98,32 +116,58 @@ def comm_complexity(
             "comm_size": sqrt_pl,
         },
     }
+    if a_dense:
+        out["A-Broadcast"]["bytes"] = b * dense_a_bytes / math.sqrt(p * l)
+    if b_dense:
+        out["B-Broadcast"]["bytes"] = dense_b_bytes / math.sqrt(p * l)
+    if dense_c_bytes is not None:
+        # each layer holds a full dense accumulator of its output block,
+        # so the fiber exchange ships dense partials, not sparse entries
+        out["AllToAll-Fiber"]["bytes"] = (
+            l * dense_c_bytes / p if l > 1 else 0.0
+        )
+    if kernel in ("spmm", "sddmm"):
+        # no symbolic pass: batch counts come from the kernel's
+        # geometry-exact footprint model, not Alg. 3
+        out["Symbolic"] = {
+            "latency_hops": 0.0, "bytes": 0.0, "messages": 0,
+            "comm_size": sqrt_pl,
+        }
     if backend == "dense":
         return out
     if backend != "sparse":
         raise ValueError(f"unknown communication backend {backend!r}")
+    if a_dense and b_dense:
+        # both operands dense (SDDMM): every movement is a collective and
+        # the symbolic prologue is skipped — the sparse backend degenerates
+        # to the dense table with no Comm-Plan row.
+        return out
     if inner_dim is None:
         raise ValueError("backend='sparse' needs inner_dim (= a.ncols)")
 
     # occupancy: tiles of the shared dimension hold inner_dim/(sqrt(p/l)*l)
     # segments; a B batch piece carries nnz_b/(p*b) nonzeros, an A tile
-    # nnz_a/p.  The needed fractions scale the dense bandwidth terms.
+    # nnz_a/p.  The needed fractions scale the dense bandwidth terms; a
+    # dense counterpart occupies every segment, so the fraction is 1.
     m = inner_dim / max(stages * l, 1)
-    f_a = needed_fraction(nnz_b / (p * b), m)
-    f_b = needed_fraction(nnz_a / p, m)
+    f_a = 1.0 if b_dense else needed_fraction(nnz_b / (p * b), m)
+    f_b = 1.0 if a_dense else needed_fraction(nnz_a / p, m)
     p2p_hops = b * stages * max(stages - 1, 0)
-    out["A-Broadcast"].update(
-        latency_hops=p2p_hops,
-        bytes=out["A-Broadcast"]["bytes"] * f_a,
-        messages=b * stages * max(stages - 1, 0),
-        comm_size=2,
-    )
-    out["B-Broadcast"].update(
-        latency_hops=p2p_hops,
-        bytes=out["B-Broadcast"]["bytes"] * f_b,
-        messages=b * stages * max(stages - 1, 0),
-        comm_size=2,
-    )
+    if not a_dense:
+        # dense A panels would ride collectives; only sparse A is thinned
+        out["A-Broadcast"].update(
+            latency_hops=p2p_hops,
+            bytes=out["A-Broadcast"]["bytes"] * f_a,
+            messages=b * stages * max(stages - 1, 0),
+            comm_size=2,
+        )
+    if not b_dense:
+        out["B-Broadcast"].update(
+            latency_hops=p2p_hops,
+            bytes=out["B-Broadcast"]["bytes"] * f_b,
+            messages=b * stages * max(stages - 1, 0),
+            comm_size=2,
+        )
     # per batch: one mask allgather + one request alltoall on each of the
     # row and column communicators, bit-packed (1 bit per segment); the
     # A-side half is static and paid once (the "+1").

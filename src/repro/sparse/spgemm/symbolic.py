@@ -82,6 +82,27 @@ def symbolic_per_column(
     return nnz_per_col, flops_per_col
 
 
+def symbolic_pattern(a: SparseMatrix, b: SparseMatrix) -> SparseMatrix:
+    """The structural pattern of ``A @ B`` as a sparse matrix of ones.
+
+    This is the symbolic pass as a *mask producer*: masked SpGEMM with
+    this pattern keeps every structural nonzero, so it reproduces the
+    unmasked product — and any sparser mask is a subset of it.
+    """
+    _check(a, b)
+    keys = _expanded_keys(a, b)
+    if keys.shape[0] == 0:
+        return SparseMatrix.empty(a.nrows, b.ncols)
+    uniq = np.unique(keys)
+    n = np.int64(max(a.nrows, 1))
+    cols = uniq // n
+    rows = uniq - cols * n
+    return SparseMatrix.from_coo(
+        a.nrows, b.ncols, rows, cols, np.ones(uniq.shape[0]),
+        sum_duplicates=False,
+    )
+
+
 def compression_factor(a: SparseMatrix, b: SparseMatrix) -> float:
     """cf = flops / nnz(C) (paper Sec. II-A); >= 1 whenever C is nonempty."""
     nnz_c = symbolic_nnz(a, b)

@@ -16,6 +16,7 @@ import numpy as np
 from ..errors import MemoryPressureError, ShapeError, SpmdError
 from ..grid.distribution import extract_a_tile, extract_b_tile, gather_tiles
 from ..grid.grid3d import ProcGrid3D
+from ..kernels import MaskedSpgemmKernel, get_kernel
 from ..mem import ENFORCE_MODES, MemoryLedger, resolve_budget
 from ..model.memory import predict_memory
 from ..mp.bridge import DriverCallback
@@ -97,6 +98,8 @@ def batched_summa3d(
     bytes_per_nonzero: int = BYTES_PER_NONZERO,
     suite="esc",
     semiring="plus_times",
+    kernel="spgemm",
+    sample: SparseMatrix | None = None,
     keep_output: bool = True,
     postprocess=None,
     on_batch=None,
@@ -159,6 +162,21 @@ def batched_summa3d(
     suite:
         Kernel suite name (``"esc"``, ``"unsorted-hash"``, ``"sorted-heap"``,
         ``"hybrid"``, ``"spa"``) or a :class:`~repro.sparse.KernelSuite`.
+    kernel:
+        The :class:`~repro.kernels.LocalKernel` run at every stage:
+        ``"spgemm"`` (default, sparse×sparse — the paper's workload,
+        bit-identical to the pre-kernel-seam behaviour), ``"spmm"``
+        (sparse×dense → dense; ``b`` is a 2-D ndarray and
+        ``result.matrix`` is dense), ``"sddmm"`` (dense×dense sampled by
+        the sparse ``sample=`` pattern) or ``"masked_spgemm"``
+        (sparse×sparse restricted to ``mask=``, computed *inside* the
+        local multiply so unmasked intermediates never materialise;
+        without ``mask=`` the symbolic pass's product pattern is used,
+        making ``symbolic3d`` the mask-producing prologue).
+    sample:
+        SDDMM's sampling pattern ``S`` (sparse, shape of the product):
+        only its stored coordinates are computed.  Required for
+        ``kernel="sddmm"``, invalid otherwise.
     semiring:
         Semiring name or instance (default ordinary arithmetic).
     keep_output:
@@ -267,10 +285,59 @@ def batched_summa3d(
     -------
     SummaResult
     """
-    if a.ncols != b.nrows:
-        raise ShapeError(
-            f"cannot multiply {a.nrows}x{a.ncols} by {b.nrows}x{b.ncols}"
+    kern = get_kernel(kernel)
+    aux = None
+    if kern.name == "masked_spgemm":
+        # the mask is the kernel's aux operand; a caller-level name-based
+        # request honours mask_complement= through the kernel constructor
+        if isinstance(kernel, str) and mask_complement:
+            kern = MaskedSpgemmKernel(complement=True)
+        if mask is not None:
+            aux = mask
+        else:
+            # symbolic pass as the mask-producing prologue: the product
+            # pattern keeps every structural nonzero, so this matches the
+            # unmasked product while exercising the masked pipeline.
+            from ..sparse.spgemm.symbolic import symbolic_pattern
+
+            aux = symbolic_pattern(a, b)
+        mask = None  # consumed by the kernel, not the postprocess path
+    elif kern.name == "sddmm":
+        if sample is None:
+            raise ValueError(
+                'kernel="sddmm" requires sample= (the sparse sampling '
+                "pattern S, shaped like the product)"
+            )
+        aux = sample
+    elif sample is not None:
+        raise ValueError(
+            f'sample= only applies to kernel="sddmm", not {kern.name!r}'
         )
+    out_nrows, out_ncols = kern.validate(a, b, aux)
+    if mask is not None and kern.name != "spgemm":
+        raise ValueError(
+            'mask= applies to kernel="spgemm" (postprocess filtering) or '
+            'kernel="masked_spgemm" (in-multiply masking), '
+            f"not {kern.name!r}"
+        )
+    if kern.name != "spgemm" and (
+        checkpoint_dir is not None or resume or heal is not None
+    ):
+        raise NotImplementedError(
+            "checkpoint/resume/heal currently require the default SpGEMM "
+            f"kernel (got kernel={kern.name!r}): run fingerprints and "
+            "batch files do not cover kernel/aux operands yet"
+        )
+    if kern.output_kind != "sparse":
+        for value, name in (
+            (postprocess, "postprocess"), (mask, "mask"),
+            (spill_dir, "spill_dir"), (on_batch, "on_batch"),
+        ):
+            if value is not None:
+                raise ValueError(
+                    f"{name}= requires a sparse-output kernel; "
+                    f"{kern.name!r} produces a dense result"
+                )
     if batches is not None and batches < 1:
         raise ShapeError(f"batches must be >= 1, got {batches}")
     if overlap not in OVERLAP_MODES:
@@ -323,17 +390,24 @@ def batched_summa3d(
             )
 
     if comm_backend == "auto":
-        from .planner import choose_backend
+        if not kern.supports_symbolic:
+            # the α–β chooser needs nonzero statistics of both operands;
+            # dense-operand kernels ship dense panels by collectives on
+            # either backend, so "dense" is the honest default.
+            comm_backend = "dense"
+        else:
+            from .planner import choose_backend
 
-        comm_backend = choose_backend(
-            a, b, nprocs=nprocs, layers=layers, batches=batches or 1,
-            overlap=overlap,
-        )
+            comm_backend = choose_backend(
+                a, b, nprocs=nprocs, layers=layers, batches=batches or 1,
+                overlap=overlap,
+            )
 
     if mask is not None:
-        if mask.shape != (a.nrows, b.ncols):
+        if mask.shape != (out_nrows, out_ncols):
             raise ShapeError(
-                f"mask shape {mask.shape} != product shape {(a.nrows, b.ncols)}"
+                f"mask shape {mask.shape} != product shape "
+                f"{(out_nrows, out_ncols)}"
             )
         postprocess = _compose_mask(mask, mask_complement, postprocess)
 
@@ -390,10 +464,10 @@ def batched_summa3d(
     def make_collector():
         if ckpt is not None:
             return _BatchPieceCollector(
-                nprocs, a.nrows, b.ncols, on_complete=ckpt.write_batch
+                nprocs, out_nrows, out_ncols, on_complete=ckpt.write_batch
             )
         if not keep_output and (on_batch is not None or spill_dir is not None):
-            return _BatchPieceCollector(nprocs, a.nrows, b.ncols)
+            return _BatchPieceCollector(nprocs, out_nrows, out_ncols)
         return None
 
     collector = make_collector()
@@ -409,6 +483,8 @@ def batched_summa3d(
         if sink is not None and world == "processes":
             sink = DriverCallback(sink)
         spmd_kwargs = dict(
+            kernel=kern,
+            aux=aux,
             batches=batches,
             memory_budget=memory_budget,
             memory_budget_per_rank=budget_per_rank,
@@ -492,7 +568,7 @@ def batched_summa3d(
                 cur = next(
                     (e.batches for e in pressures if e.batches), None
                 ) or (batches or 1)
-                new_b = min(cur * 2, max(1, b.ncols))
+                new_b = min(cur * 2, max(1, out_ncols))
                 if new_b <= cur:
                     raise
                 rebatched.append({"from": int(cur), "to": int(new_b)})
@@ -533,6 +609,7 @@ def batched_summa3d(
             "current": ckpt_ledger.current("checkpoint"),
         }
     sym_stats = info.get("symbolic") or sym_prepass
+    predicted = None
     if sym_stats is not None:
         predicted = predict_memory(
             nprocs=nprocs,
@@ -545,6 +622,19 @@ def batched_summa3d(
             overlap=overlap,
             bytes_per_nonzero=bytes_per_nonzero,
         )
+    else:
+        # no symbolic statistics (non-SpGEMM kernels, or SpGEMM without a
+        # budget): the kernel's own geometry-exact footprint model stands
+        # in for the Table III closed form.
+        predicted = kern.predict_memory(
+            a, b, aux,
+            nprocs=nprocs,
+            layers=layers,
+            batches=ran_batches,
+            keep_output=keep_output,
+            overlap=overlap,
+        )
+    if predicted is not None:
         mem_block["model"] = predicted
         if mem_block["high_water_total"]:
             mem_block["model_error"] = (
@@ -608,7 +698,7 @@ def batched_summa3d(
                 batch_matrices.append(batch_matrix)
             if keep_output:
                 matrix = gather_tiles(
-                    a.nrows, b.ncols, [(0, 0, m) for m in batch_matrices]
+                    out_nrows, out_ncols, [(0, 0, m) for m in batch_matrices]
                 )
         else:
             collector.completed.clear()
@@ -628,7 +718,7 @@ def batched_summa3d(
                     for (bt, r0, c0, tile) in r["pieces"]
                     if bt == batch
                 ]
-                batch_matrix = gather_tiles(a.nrows, b.ncols, batch_pieces)
+                batch_matrix = gather_tiles(out_nrows, out_ncols, batch_pieces)
                 spans = sorted({(c0, c0 + t.ncols) for _r0, c0, t in batch_pieces})
                 consume(batch, spans, batch_matrix)
         all_pieces = [
@@ -636,7 +726,9 @@ def batched_summa3d(
             for r in per_rank
             for (_batch, r0, c0, tile) in r["pieces"]
         ]
-        matrix = gather_tiles(a.nrows, b.ncols, all_pieces)
+        # the kernel knows its output representation: sparse kernels
+        # concatenate COO pieces, dense kernels place panels in an ndarray
+        matrix = kern.gather(out_nrows, out_ncols, all_pieces)
 
     return SummaResult(
         matrix=matrix,
@@ -710,6 +802,7 @@ def batched_summa3d_rows(
     bytes_per_nonzero: int = BYTES_PER_NONZERO,
     suite="esc",
     semiring="plus_times",
+    kernel="spgemm",
     keep_output: bool = True,
     on_batch=None,
     batch_scheme: str = "block-cyclic",
@@ -756,6 +849,14 @@ def batched_summa3d_rows(
     transposed operands, so resuming requires this same entry point.
     """
     from ..sparse.ops import transpose
+
+    kern = get_kernel(kernel)
+    if kern.name != "spgemm":
+        raise NotImplementedError(
+            "row batching runs through the transpose identity, which only "
+            "holds for sparse operands on both sides; "
+            f"kernel={kern.name!r} is column-batched only"
+        )
 
     # spilling is handled here, not forwarded: the inner run computes
     # Cᵀ, and files must hold row blocks of C, transposed back.

@@ -32,8 +32,8 @@ section is a stack of these.
 from __future__ import annotations
 
 from ..comm import get_backend
-from ..grid.distribution import extract_a_tile, extract_b_tile
-from ..mem import ENFORCE_MODES, MemoryLedger
+from ..kernels.base import TileSource, get_kernel, resolve_tile
+from ..mem import ENFORCE_MODES, MemoryLedger, nbytes_of
 from ..model.memory import batches_for_budget
 from ..grid.grid3d import GridComms, ProcGrid3D
 from ..resilience import RetryPolicy
@@ -67,33 +67,14 @@ __all__ = [
 ]
 
 
-class TileSource:
-    """An operand whose tiles are already distributed.
-
-    The SPMD core normally extracts each rank's tile from a global matrix
-    (the simulation stand-in for pre-distributed data).  A ``TileSource``
-    instead hands the core per-rank tiles directly — the mechanism behind
-    :class:`repro.dist.DistContext`, where matrices persist across
-    multiplications without re-extraction.
-    """
-
-    __slots__ = ("nrows", "ncols", "_getter")
-
-    def __init__(self, nrows: int, ncols: int, getter) -> None:
-        self.nrows = int(nrows)
-        self.ncols = int(ncols)
-        self._getter = getter
-
-    def tile(self, rank: int) -> SparseMatrix:
-        return self._getter(rank)
+# The operand protocol (TileSource + per-layout tile resolution) lives
+# in the kernel layer now; ``TileSource`` is re-exported from here for
+# compatibility and ``_operand_tile`` is the sparse-kind specialisation
+# the symbolic pass (and older call sites) use.
 
 
 def _operand_tile(operand, grid: ProcGrid3D, rank: int, which: str) -> SparseMatrix:
-    if isinstance(operand, TileSource):
-        return operand.tile(rank)
-    if which == "A":
-        return extract_a_tile(operand, grid, rank)
-    return extract_b_tile(operand, grid, rank)
+    return resolve_tile(operand, grid, rank, which, "sparse")
 
 
 def spmd_symbolic3d(
@@ -186,6 +167,8 @@ def spmd_batched_summa3d(
     max_retries: int | None = 3,
     start_batch: int = 0,
     batch_barrier: bool = False,
+    kernel="spgemm",
+    aux=None,
 ) -> dict:
     """Alg. 4 (BatchedSUMMA3D) as executed by one rank.
 
@@ -252,6 +235,17 @@ def spmd_batched_summa3d(
         Synchronise all ranks at each batch boundary (see
         :func:`~repro.summa.exec.compile_batched_summa3d`) — the
         checkpointing durability guarantee.
+    kernel:
+        The :class:`~repro.kernels.LocalKernel` (name or instance)
+        deciding what a stage computes — ``"spgemm"`` (default,
+        bit-identical to the pre-seam behaviour), ``"spmm"``,
+        ``"sddmm"`` or ``"masked_spgemm"``.  The kernel declares operand
+        kinds (dense operands ride collectives on both comm backends),
+        the merge rule and the memory footprint.
+    aux:
+        The kernel's third operand, distributed like the output: the
+        sampling pattern for ``sddmm``, the mask for ``masked_spgemm``.
+        Must be the *global* matrix; each rank cuts its own blocks.
 
     Returns (per rank)
     ------------------
@@ -272,6 +266,13 @@ def spmd_batched_summa3d(
     suite = get_suite(suite)
     semiring = get_semiring(semiring)
     backend = get_backend(comm_backend)
+    kernel = get_kernel(kernel)
+    if kernel.uses_aux and aux is None:
+        raise ValueError(
+            f"kernel {kernel.name!r} requires its aux operand "
+            "(mask / sampling pattern); the drivers synthesise it when "
+            "they can — pass it explicitly here"
+        )
     retry = RetryPolicy(max_retries) if max_retries is not None else None
     backend.retry = retry
     # Entry hygiene: any cached plan state belongs to a previous grid
@@ -293,19 +294,29 @@ def spmd_batched_summa3d(
     if batches is None:
         if memory_budget is None:
             batches = 1
-        else:
+        elif kernel.supports_symbolic:
             sym = spmd_symbolic3d(
                 comms, a, b, memory_budget, bytes_per_nonzero, tracer,
                 retry=retry,
             )
             batches = sym["batches"]
             info["symbolic"] = sym
+        else:
+            # dense-operand kernels need no symbolic pass: the kernel's
+            # own footprint model is exact geometry, computed identically
+            # (and deterministically) on every rank.
+            batches = kernel.batches_for_budget(
+                a, b, aux, nprocs=grid.nprocs, layers=grid.layers,
+                memory_budget=memory_budget,
+            )
+            info["kernel_batches"] = batches
 
-    a_tile = _operand_tile(a, grid, comm.rank, "A")
-    b_tile = _operand_tile(b, grid, comm.rank, "B")
-    if suite.requires_sorted_inputs:
-        a_tile = a_tile.sort_indices()
-        b_tile = b_tile.sort_indices()
+    a_tile = kernel.a_tile(a, grid, comm.rank)
+    b_tile = kernel.b_tile(b, grid, comm.rank)
+    a_tile, b_tile = kernel.prepare_tiles(a_tile, b_tile, suite)
+
+    a_nrows = kernel.nrows_of(a)
+    b_ncols = kernel.ncols_of(b)
 
     # assemble the per-rank execution state
     state = ExecState()
@@ -314,20 +325,23 @@ def spmd_batched_summa3d(
     state.backend = backend
     state.suite = suite
     state.semiring = semiring
+    state.kernel = kernel
+    state.aux = aux
     state.a_tile = a_tile
     state.b_tile = b_tile
     ledger.batches = batches
     state.ledger = ledger
-    state.mem["a_tile"] = ledger.acquire("a_piece", a_tile.nbytes, "a_tile")
-    state.mem["b_tile"] = ledger.acquire("b_piece", b_tile.nbytes, "b_tile")
+    state.mem["a_tile"] = ledger.acquire("a_piece", nbytes_of(a_tile), "a_tile")
+    state.mem["b_tile"] = ledger.acquire("b_piece", nbytes_of(b_tile), "b_tile")
     state.batches = batches
     state.batch_scheme = batch_scheme
-    state.a_nrows = a.nrows
-    state.b_ncols = b.ncols
-    state.row_bounds = split_bounds(a.nrows, grid.pr)
+    state.a_nrows = a_nrows
+    state.b_ncols = b_ncols
+    state.row_bounds = split_bounds(a_nrows, grid.pr)
     state.r0 = int(state.row_bounds[comms.i])
-    col_super = split_bounds(b.ncols, grid.pc)
-    state.super_w = int(col_super[comms.j + 1]) - int(col_super[comms.j])
+    col_super = split_bounds(b_ncols, grid.pc)
+    state.c0_super = int(col_super[comms.j])
+    state.super_w = int(col_super[comms.j + 1]) - state.c0_super
     state.postprocess = postprocess
     state.keep_pieces = keep_pieces
     state.piece_sink = piece_sink
@@ -339,11 +353,13 @@ def spmd_batched_summa3d(
         has_postprocess=postprocess is not None,
         first_batch=start_batch,
         batch_barrier=batch_barrier,
+        kernel=kernel,
     )
     executor.run(plan, state, tracer)
 
     info["comm_backend"] = backend.name
     info["overlap"] = executor.overlap
+    info["kernel"] = kernel.name
     info["memory"] = ledger.report()
     return {
         "pieces": state.pieces,

@@ -32,14 +32,16 @@ from typing import Any, Callable
 import numpy as np
 
 from ..errors import DistributionError, ExecPlanError
-from ..mem import MemoryLedger
+from ..kernels.spgemm import SpgemmKernel
+from ..mem import MemoryLedger, nbytes_of
 from ..grid.distribution import (
     batch_layer_blocks,
     batch_local_columns,
     c_tile_columns,
     gather_tiles,
 )
-from ..sparse.ops import col_select, col_slice, submatrix
+from ..sparse.matrix import SparseMatrix
+from ..sparse.ops import submatrix
 from .trace import (
     STEP_A_BCAST,
     STEP_ALLTOALL_FIBER,
@@ -105,6 +107,10 @@ class ExecutionPlan:
     ops: list[StageOp] = field(default_factory=list)
     prefetch_issuers: dict[tuple[int, int], Callable] = field(default_factory=dict)
     mem_annotations: dict[tuple[int, int], tuple] = field(default_factory=dict)
+    #: registry name of the local kernel this plan was compiled for —
+    #: recorded so plans are self-describing (the op bodies themselves
+    #: dispatch through ``state.kernel``).
+    kernel: str = "spgemm"
 
     def validate(self) -> None:
         """Check the plan is a DAG consistent with program order: every
@@ -140,11 +146,12 @@ class ExecState:
     """
 
     __slots__ = (
-        "comms", "grid", "backend", "suite", "semiring",
-        "a_tile", "b_tile", "b_batch", "a_recv", "b_recv",
+        "comms", "grid", "backend", "suite", "semiring", "kernel",
+        "a_tile", "b_tile", "b_batch", "aux", "aux_batch",
+        "a_recv", "b_recv",
         "partials", "stage_out", "d_local", "sendlist", "received", "c_tile",
         "pieces", "fiber_piece_nnz", "ledger", "mem", "prefetched",
-        "batches", "batch_scheme", "super_w", "row_bounds", "r0",
+        "batches", "batch_scheme", "super_w", "row_bounds", "r0", "c0_super",
         "a_nrows", "b_ncols", "c0", "c1",
         "postprocess", "keep_pieces", "piece_sink", "info",
     )
@@ -158,6 +165,7 @@ class ExecState:
         self.prefetched = {}
         self.info = {}
         self.mem = {}
+        self.kernel = SpgemmKernel()  # default; core installs the chosen one
         self.ledger = MemoryLedger()  # unlimited unless core installs one
 
 
@@ -169,6 +177,7 @@ def compile_batched_summa3d(
     has_postprocess: bool = False,
     first_batch: int = 0,
     batch_barrier: bool = False,
+    kernel=None,
 ) -> ExecutionPlan:
     """Compile Alg. 4 for ``grid`` into an :class:`ExecutionPlan`.
 
@@ -189,12 +198,23 @@ def compile_batched_summa3d(
     batch's last piece has landed and its checkpoint entry is written.
     Without the barrier a fast rank crashing in batch ``i`` can abort
     slower peers while they are still mid-batch ``i-1``, losing it.
+
+    ``kernel`` is the :class:`~repro.kernels.LocalKernel` the plan is
+    compiled for (default: SpGEMM).  The op *structure* is kernel-
+    agnostic — bodies dispatch through ``state.kernel`` — but kernels
+    with dense accumulators declare :attr:`incremental_only` and force
+    ``merge_policy="incremental"`` here, so the plan never holds one
+    dense partial per stage.
     """
+    if kernel is None:
+        kernel = SpgemmKernel()
+    if kernel.incremental_only:
+        merge_policy = "incremental"
     if not 0 <= first_batch <= batches:
         raise ExecPlanError(
             f"first_batch {first_batch} outside [0, {batches}]"
         )
-    plan = ExecutionPlan()
+    plan = ExecutionPlan(kernel=kernel.name)
     last = -1  # opid of the most recent op (default dependency)
 
     def add(kind, label, run, *, batch=None, stage=None, timed=True, deps=None,
@@ -316,7 +336,21 @@ def _run_col_split(batch):
             state.super_w, state.batches, state.grid.layers, batch,
             state.batch_scheme,
         )
-        state.b_batch = col_select(state.b_tile, local_cols)
+        state.b_batch = state.kernel.select_columns(state.b_tile, local_cols)
+        if state.kernel.uses_aux:
+            # the aux operand (mask / sampling pattern) is distributed
+            # like the output: this rank's row block × the batch's global
+            # columns.  Identical at every stage of the batch, so it is
+            # cut once here and charged next to the input tiles.
+            led = state.ledger
+            led.release(state.mem.pop("aux_batch", None))
+            state.aux_batch = state.kernel.aux_block(
+                state.aux, state.r0, int(state.row_bounds[state.comms.i + 1]),
+                state.c0_super + local_cols,
+            )
+            state.mem["aux_batch"] = led.acquire(
+                "b_piece", nbytes_of(state.aux_batch), "aux_batch"
+            )
     return run
 
 
@@ -378,9 +412,7 @@ def _run_bcast_b(batch, stage):
 
 
 def _run_multiply(state, span):
-    state.stage_out = state.suite.local_multiply(
-        state.a_recv, state.b_recv, state.semiring
-    )
+    state.stage_out = state.kernel.stage_multiply(state)
     state.mem["stage_out"] = state.ledger.acquire(
         "merge_scratch", state.stage_out.nbytes, "stage_out"
     )
@@ -388,8 +420,8 @@ def _run_multiply(state, span):
 
 def _run_merge_stage(state, span):
     led = state.ledger
-    merged = state.suite.merge(
-        [state.partials[0], state.stage_out], state.semiring
+    merged = state.kernel.merge(
+        [state.partials[0], state.stage_out], state
     )
     # release inputs before acquiring the merged result: the ledger's
     # totals stay at the historical stage-boundary value (the merge's
@@ -420,7 +452,7 @@ def _run_merge_layer(state, span):
     led = state.ledger
     partials = state.partials
     state.d_local = (
-        state.suite.merge(partials, state.semiring)
+        state.kernel.merge(partials, state)
         if len(partials) > 1 else partials[0]
     )
     state.partials = []
@@ -448,7 +480,9 @@ def _run_fiber_split(batch):
         ]
         offsets = np.concatenate(([0], np.cumsum(widths)))
         state.sendlist = [
-            col_slice(state.d_local, int(offsets[t]), int(offsets[t + 1]))
+            state.kernel.slice_columns(
+                state.d_local, int(offsets[t]), int(offsets[t + 1])
+            )
             for t in range(state.grid.layers)
         ]
     return run
@@ -466,19 +500,28 @@ def _run_fiber_exchange(state, span):
     )
 
 
+def _piece_count(piece) -> int:
+    """Entry count of an intermediate piece: stored nonzeros for sparse,
+    all elements for dense blocks."""
+    if isinstance(piece, SparseMatrix):
+        return piece.nnz
+    return int(piece.size)
+
+
 def _run_meter_fiber(state, span):
-    state.fiber_piece_nnz.append(sum(p.nnz for p in state.received))
+    state.fiber_piece_nnz.append(sum(_piece_count(p) for p in state.received))
 
 
 def _run_merge_fiber(state, span):
     led = state.ledger
     received = state.received
     c_tile = (
-        state.suite.merge(received, state.semiring)
+        state.kernel.merge(received, state)
         if len(received) > 1 else received[0]
     )
-    # the final output is kept sorted within columns (Sec. IV-D)
-    state.c_tile = c_tile.sort_indices()
+    # the final output is canonicalised (sorted within columns for
+    # sparse, contiguous for dense; Sec. IV-D)
+    state.c_tile = state.kernel.finalize_tile(c_tile)
     state.received = None
     state.d_local = None
     led.release(state.mem.pop("received", None))
@@ -490,7 +533,7 @@ def _run_merge_fiber(state, span):
 
 def _run_sort_output(state, span):
     led = state.ledger
-    state.c_tile = state.d_local.sort_indices()
+    state.c_tile = state.kernel.finalize_tile(state.d_local)
     state.d_local = None
     led.release(state.mem.pop("d_local", None))
     state.mem["c_tile"] = led.acquire(
@@ -508,9 +551,10 @@ def _run_c_range(batch):
             state.grid, state.b_ncols, state.batches, batch,
             state.comms.j, state.comms.k, state.batch_scheme,
         )
-        if state.c1 - state.c0 != state.c_tile.ncols:
+        tile_cols = state.kernel.ncols_of(state.c_tile)
+        if state.c1 - state.c0 != tile_cols:
             raise DistributionError(
-                f"batch {batch}: output tile spans {state.c_tile.ncols} "
+                f"batch {batch}: output tile spans {tile_cols} "
                 f"columns but owns [{state.c0}, {state.c1})"
             )
     return run

@@ -141,6 +141,99 @@ def choose_backend(
     return "sparse" if sparse < dense else "dense"
 
 
+def _auto_config_kernel(
+    kern,
+    a,
+    b,
+    aux,
+    nprocs: int,
+    *,
+    memory_budget: int | None,
+    machine,
+    overlap: str,
+    bytes_per_nonzero: int,
+) -> PlanChoice:
+    """Candidate loop for kernels without a symbolic pass (SpMM, SDDMM).
+
+    Batch requirements come from the kernel's geometry-exact footprint
+    model (:meth:`~repro.kernels.LocalKernel.batches_for_budget`) and the
+    score from :func:`~repro.model.complexity.comm_complexity` with the
+    dense-operand byte terms — there is no flop-based symbolic statistic
+    to price the broadcasts with when an operand is a dense panel.
+    """
+    from ..kernels.base import operand_shape
+    from ..model.complexity import comm_complexity
+    from ..model.machine import CORI_KNL
+
+    machine = machine if machine is not None else CORI_KNL
+    am, ak = operand_shape(a)
+    _, bn = operand_shape(b)
+    a_sparse = kern.a_kind == "sparse"
+    b_sparse = kern.b_kind == "sparse"
+    nnz_a = int(a.nnz) if a_sparse and hasattr(a, "nnz") else 0
+    nnz_b = int(b.nnz) if b_sparse and hasattr(b, "nnz") else 0
+    dense_a = None if a_sparse else int(am) * int(ak) * 8
+    dense_b = None if b_sparse else int(ak) * int(bn) * 8
+    dense_c = int(am) * int(bn) * 8 if kern.output_kind == "dense" else None
+    # fiber volume: dense kernels ship dense partials (dense_c term);
+    # sparse-output ones (SDDMM) ship one aux-patterned partial per layer
+    aux_nnz = int(aux.nnz) if aux is not None and hasattr(aux, "nnz") else 0
+    candidates = []
+    candidate_memory = []
+    for layers in range(1, nprocs + 1):
+        if nprocs % layers:
+            continue
+        if math.isqrt(nprocs // layers) ** 2 != nprocs // layers:
+            continue
+        if memory_budget is None:
+            batches = 1
+        else:
+            batches = kern.batches_for_budget(
+                a, b, aux,
+                nprocs=nprocs, layers=layers, memory_budget=memory_budget,
+            )
+        cand_memory = kern.predict_memory(
+            a, b, aux,
+            nprocs=nprocs, layers=layers, batches=batches,
+            keep_output=True, overlap=overlap,
+        )
+        comm = comm_complexity(
+            nprocs=nprocs,
+            layers=layers,
+            batches=batches,
+            nnz_a=nnz_a,
+            nnz_b=nnz_b,
+            flops=layers * aux_nnz,
+            bytes_per_nonzero=bytes_per_nonzero,
+            kernel=kern.name,
+            dense_a_bytes=dense_a,
+            dense_b_bytes=dense_b,
+            dense_c_bytes=dense_c,
+        )
+        predicted = sum(
+            machine.alpha * c["latency_hops"] + machine.beta * c["bytes"]
+            for step, c in comm.items()
+            if step in ("A-Broadcast", "B-Broadcast", "AllToAll-Fiber")
+        )
+        candidates.append((layers, batches, predicted))
+        candidate_memory.append(cand_memory)
+    if not candidates:
+        raise PlannerError(
+            f"no feasible (layers, batches) configuration for nprocs={nprocs} "
+            f"under budget {memory_budget}"
+        )
+    best_idx = min(range(len(candidates)), key=lambda i: candidates[i][2])
+    best = candidates[best_idx]
+    return PlanChoice(
+        layers=best[0],
+        batches=best[1],
+        predicted_seconds=best[2],
+        candidates=tuple(candidates),
+        backend="dense",
+        predicted_memory=candidate_memory[best_idx],
+    )
+
+
 def auto_config(
     a,
     b,
@@ -152,6 +245,8 @@ def auto_config(
     bytes_per_nonzero: int = BYTES_PER_NONZERO,
     backend: str = "dense",
     overlap: str = "off",
+    kernel="spgemm",
+    sample=None,
 ) -> PlanChoice:
     """Choose layers and batches jointly for one multiplication.
 
@@ -177,9 +272,17 @@ def auto_config(
     two) instead of the plain step sum — overlap rewards stage-heavy
     (low-layer) grids, so the chosen ``l`` can shift.  With ``"off"``
     the score is exactly ``predict_steps(...).total()`` as before.
+
+    ``kernel=`` plans for a non-SpGEMM local kernel: kernels without a
+    symbolic pass (``"spmm"``, ``"sddmm"``) take a dense-aware candidate
+    loop — batch counts from the kernel's own footprint model, scores
+    from the dense-operand communication terms (``sample=`` supplies
+    SDDMM's pattern).  ``"masked_spgemm"`` plans like SpGEMM: the
+    symbolic statistics upper-bound the masked intermediate.
     """
     import math as _math
 
+    from ..kernels import get_kernel
     from ..model.machine import CORI_KNL
     from ..model.predictor import (
         estimate_batches,
@@ -188,6 +291,13 @@ def auto_config(
     )
     from ..sparse.spgemm.symbolic import symbolic_flops, symbolic_nnz
 
+    kern = get_kernel(kernel)
+    if not kern.supports_symbolic:
+        return _auto_config_kernel(
+            kern, a, b, sample, nprocs,
+            memory_budget=memory_budget, machine=machine, overlap=overlap,
+            bytes_per_nonzero=bytes_per_nonzero,
+        )
     machine = machine if machine is not None else CORI_KNL
     if backend not in ("dense", "sparse", "auto"):
         raise PlannerError(f"unknown communication backend {backend!r}")

@@ -22,6 +22,10 @@ def summa3d(
     *,
     suite="esc",
     semiring="plus_times",
+    kernel="spgemm",
+    sample: SparseMatrix | None = None,
+    mask: SparseMatrix | None = None,
+    mask_complement: bool = False,
     comm_backend="dense",
     overlap: str = "off",
     memory_budget: int | None = None,
@@ -49,6 +53,10 @@ def summa3d(
         batches=1,
         suite=suite,
         semiring=semiring,
+        kernel=kernel,
+        sample=sample,
+        mask=mask,
+        mask_complement=mask_complement,
         comm_backend=comm_backend,
         overlap=overlap,
         memory_budget=memory_budget,

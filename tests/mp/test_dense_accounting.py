@@ -1,0 +1,89 @@
+"""Dense-panel accounting parity: SpMM's dense B panels are charged
+exactly once — to ``b_piece`` at col-split and ``recv_buffer`` at
+delivery — with identical high-water marks whether the panel crossed a
+process boundary (naive pickle or zero-copy shared memory) or stayed in
+the threaded world.  The dense-kernel counterpart of
+``tests/mp/test_accounting.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mem import nbytes_of
+from repro.simmpi.serialization import wrap_payload
+from repro.sparse import random_sparse
+from repro.summa import batched_summa3d
+
+
+class TestDenseNbytesOf:
+    def test_dense_panel_prices_buffer_bytes(self):
+        panel = np.zeros((100, 8))
+        assert nbytes_of(panel) == 100 * 8 * 8
+
+    def test_noncontiguous_view_prices_mapped_extent(self):
+        panel = np.zeros((100, 8))
+        # a strided view still reports its mapped bytes — the ledger
+        # charges what the receiver can touch, not the parent buffer
+        assert nbytes_of(panel[:, ::2]) == panel[:, ::2].nbytes
+
+    def test_envelope_prices_payload_plus_checksum_word(self):
+        payload = np.arange(16, dtype=np.float64)
+        env = wrap_payload(payload)
+        assert nbytes_of(env) == payload.nbytes + 8
+
+    def test_envelope_of_none_prices_checksum_only(self):
+        assert nbytes_of(wrap_payload(None)) == 8
+
+    def test_mixed_container_with_envelope(self):
+        arr = np.ones(4)
+        assert nbytes_of([arr, wrap_payload(arr)]) == arr.nbytes * 2 + 8
+
+
+class TestSpmmDenseParity:
+    @pytest.mark.parametrize("transport", ["naive", "shm"])
+    def test_dense_b_piece_charged_once_across_transports(self, transport):
+        """Every category — including the dense panel's ``b_piece`` and
+        the broadcast ``recv_buffer`` — meters identically across the
+        threaded world and both process transports: the panel is priced
+        at delivery, never again in transport decode."""
+        a = random_sparse(64, 64, nnz=1500, seed=11)
+        x = np.asarray(
+            np.random.default_rng(3).standard_normal((64, 6)), order="C"
+        )
+        kw = dict(nprocs=4, batches=2, kernel="spmm")
+        ref = batched_summa3d(a, x, **kw)
+        run = batched_summa3d(
+            a, x, world="processes", transport=transport, **kw
+        )
+        assert np.array_equal(ref.matrix, run.matrix)
+        for cat in ("a_piece", "b_piece", "recv_buffer", "output_batch"):
+            assert (
+                run.memory["categories"][cat]["high_water"]
+                == ref.memory["categories"][cat]["high_water"]
+            ), cat
+        assert (
+            run.memory["high_water_total"] == ref.memory["high_water_total"]
+        )
+
+    def test_dense_panel_charged_once_not_per_batch(self):
+        """The resident dense B tile is charged exactly once: its
+        ``b_piece`` high-water equals the local tile's buffer size
+        regardless of how many batch slices are cut from it, while the
+        in-flight (``recv_buffer``) and scratch terms shrink with the
+        batch count — the dense analogue of the paper's 1/b terms."""
+        a = random_sparse(64, 64, nnz=1500, seed=11)
+        x = np.zeros((64, 12))
+        one = batched_summa3d(a, x, nprocs=4, batches=1, kernel="spmm")
+        four = batched_summa3d(a, x, nprocs=4, batches=4, kernel="spmm")
+        # 2x2 grid: the local tile is 64 rows x 6 cols of float64
+        local_tile_bytes = 64 * (12 // 2) * 8 // 2
+        for run in (one, four):
+            assert (
+                run.memory["categories"]["b_piece"]["high_water"]
+                == local_tile_bytes
+            )
+        for cat in ("recv_buffer", "merge_scratch"):
+            assert (
+                four.memory["categories"][cat]["high_water"]
+                < one.memory["categories"][cat]["high_water"]
+            ), cat
