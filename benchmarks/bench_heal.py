@@ -20,9 +20,17 @@ point.  Restart pays the whole prefix replay machinery again (process
 launch, symbolic step, re-broadcasts from batch ``i``); healing pays one
 agreement round plus re-entry from batch ``i`` — and only the repaired
 position's operand tiles move again.
+
+``python benchmarks/bench_heal.py --smoke [--world processes]`` runs the
+CI-sized version: one crash point, every strategy, in the chosen
+execution world — under ``--world processes`` the injected crash is a
+real ``SIGKILL`` of a forked worker and the heal latency is a genuine
+cross-process agreement round.
 """
 
+import argparse
 import shutil
+import sys
 import tempfile
 
 import numpy as np
@@ -53,13 +61,13 @@ def baseline(operands):
     return tracker.total_bytes(), result
 
 
-def _heal_run(a, b, ckpt_dir, crash_batch, mode, spares):
+def _heal_run(a, b, ckpt_dir, crash_batch, mode, spares, world="threads"):
     tracker = CommTracker()
     result = batched_summa3d(
         a, b, nprocs=NPROCS, batches=BATCHES, tracker=tracker, timeout=30,
         checkpoint_dir=ckpt_dir,
         faults=FaultPlan([f"crash:rank=1,batch={crash_batch}"]),
-        heal=mode, world_spares=spares,
+        heal=mode, world_spares=spares, world=world,
     )
     heal = result.info["resilience"]["heal"]
     assert heal["heals"] == 1
@@ -71,18 +79,19 @@ def _heal_run(a, b, ckpt_dir, crash_batch, mode, spares):
     }
 
 
-def _restart_run(a, b, ckpt_dir, crash_batch):
+def _restart_run(a, b, ckpt_dir, crash_batch, world="threads"):
     crashed = CommTracker()
     with pytest.raises(SpmdError):
         batched_summa3d(
             a, b, nprocs=NPROCS, batches=BATCHES, tracker=crashed, timeout=30,
             checkpoint_dir=ckpt_dir,
             faults=FaultPlan([f"crash:rank=1,batch={crash_batch}"]),
+            world=world,
         )
     resumed = CommTracker()
     result = batched_summa3d(
         a, b, nprocs=NPROCS, tracker=resumed, timeout=30,
-        checkpoint_dir=ckpt_dir, resume=True,
+        checkpoint_dir=ckpt_dir, resume=True, world=world,
     )
     return {
         "bytes": crashed.total_bytes() + resumed.total_bytes(),
@@ -164,3 +173,64 @@ def test_spare_vs_shrink_redistribution_is_tile_sized(operands, baseline):
         finally:
             shutil.rmtree(ckpt_dir, ignore_errors=True)
         assert 0 < run["extra"] < base_bytes / NPROCS
+
+
+def run_smoke(world: str) -> None:
+    """CI-sized sweep: one crash point, every strategy, in ``world``."""
+    a = erdos_renyi(96, avg_degree=6.0, seed=23)
+    base = batched_summa3d(
+        a, a, nprocs=NPROCS, batches=BATCHES, timeout=30, world=world
+    )
+    rows = []
+    for strategy in ("spare", "shrink", "restart"):
+        ckpt_dir = tempfile.mkdtemp()
+        try:
+            if strategy == "restart":
+                run = _restart_run(a, a, ckpt_dir, 2, world=world)
+            else:
+                run = _heal_run(
+                    a, a, ckpt_dir, 2, strategy,
+                    spares=1 if strategy == "spare" else 0, world=world,
+                )
+        finally:
+            shutil.rmtree(ckpt_dir, ignore_errors=True)
+        assert np.array_equal(run["matrix"].values, base.matrix.values), (
+            f"{strategy} product diverged from fault-free under {world}"
+        )
+        latency = (
+            f"{run['latency_s'] * 1e3:.2f} ms"
+            if run["latency_s"] is not None else "n/a (new process)"
+        )
+        rows.append([f"{strategy} crash@2", run["extra"], latency])
+    print_series(
+        f"Crash recovery smoke (world={world})",
+        ["run", "extra bytes", "latency"],
+        rows,
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized sweep; exit nonzero on any divergence",
+    )
+    parser.add_argument(
+        "--world", default="threads", choices=["threads", "processes"],
+        help="execution world for the sweep (processes: real SIGKILL "
+        "crashes, parent-coordinated healing)",
+    )
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("this bench runs under pytest or with --smoke")
+    try:
+        run_smoke(args.world)
+    except AssertionError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    print(f"heal smoke OK (world={args.world})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -297,7 +297,10 @@ class DistContext:
 
         ``faults`` / ``checksums`` / ``max_retries`` run the multiplication
         under the same deterministic fault injection, envelope checksums
-        and bounded retry as :func:`~repro.summa.batched.batched_summa3d`;
+        and bounded retry as :func:`~repro.summa.batched.batched_summa3d`,
+        in whichever execution world the context was built with — under
+        ``world="processes"`` injected crashes kill real worker processes
+        and retries sleep their (bounded, jittered) backoff for real;
         every blocking rendezvous is watched by the wait-for-graph hang
         watchdog either way, so a wedged resident-matrix pipeline raises a
         classified :class:`~repro.errors.HangError` instead of hanging.

@@ -25,11 +25,23 @@ Every payload crosses via the world's transport (see
 inherited :meth:`SimComm._deliver`, so a zero-copy receive is charged
 once, to the receiver's ``recv_buffer``.
 
-The hang watchdog is a per-rank deadline: a blocked wait that exceeds
-the world timeout marks the shared failure event and raises a
-:class:`~repro.errors.HangError` (kind ``"timeout"``) whose dump names
-this stuck process's PID; there is no cross-process wait-for graph, so
-deadlock-cycle classification stays a threads-world feature.
+Hang classification is two-tier.  A blocked wait first ships its wait
+record (op, pending peers, PID) to the parent after a short grace
+period; the parent's cross-process watchdog assembles the wait-for
+graph, confirms a cycle over two sweeps, and notifies one member with a
+``("ctl", "hang", ...)`` item — the notified worker raises the
+classified :class:`~repro.errors.HangError` (kind ``"deadlock"`` or
+``"peer-exited"``) exactly as the threaded watchdog would.  The flat
+per-rank deadline stays as the backstop (kind ``"timeout"``, dump
+naming this stuck process's PID) for hangs the graph cannot prove.
+
+Healing (ULFM revoke → agree → repair) works here too: the parent
+converts a worker's real death into an epoch revocation shipped as
+``("ctl", "revoke", epoch)``; blocked waits observe it and raise
+:class:`~repro.errors.RankRevokedError`; :class:`MpMembership` votes
+through the results queue and adopts the parent-computed
+:class:`~repro.simmpi.membership.HealDecision`, resetting stale-epoch
+buffers and shared-memory segments on the way (:meth:`MpWorld.epoch_reset`).
 """
 
 from __future__ import annotations
@@ -38,12 +50,13 @@ import os
 import queue as _queue
 import time
 
-from ..errors import CommError, HangError
+from ..errors import CommError, HangError, HealError
 from ..simmpi.comm import SimComm, _normalize_alltoallv
+from ..simmpi.membership import HealDecision, comm_epoch
 from ..simmpi.serialization import payload_nbytes
 from ..simmpi.tracker import CommTracker
 from .shm import SegmentRegistry
-from .transport import get_transport
+from .transport import get_transport, reap_wire
 
 _NOTHING = object()
 
@@ -53,12 +66,20 @@ class MpWorld:
 
     Exposes the attribute surface :class:`SimComm` and the layers above
     it read from a world — ``tracker``, ``timeout``, ``checksums``,
-    ``injector`` (always ``None`` here; fault injection is
-    thread-world-only), ``membership``/``revoke_epoch`` (no heal layer),
-    ``failed`` (the shared abort event), ``step_label`` /
-    ``backend_label`` / ``ledger`` (plain attributes — one thread per
-    process, so no TLS needed) and ``heartbeat``.
+    ``injector`` (the fork-inherited :class:`FaultInjector`, or
+    ``None``), ``membership`` (an :class:`MpMembership` when healing) /
+    ``revoke_epoch``, ``failed`` (the shared abort event),
+    ``step_label`` / ``backend_label`` / ``ledger`` (plain attributes —
+    one thread per process, so no TLS needed) and ``heartbeat``.
     """
+
+    #: the communicator class :func:`~repro.simmpi.membership.epoch_comm`
+    #: builds on this world (assigned below, after MpComm is defined).
+    comm_class: type | None = None
+
+    #: retries in this world really sleep — see
+    #: :meth:`repro.resilience.retry.RetryPolicy.call`.
+    real_backoff = True
 
     def __init__(self, rank: int, nprocs: int, inboxes, failed, *,
                  timeout: float, checksums: bool, transport: str,
@@ -83,9 +104,22 @@ class MpWorld:
             registry, post_ack=self._post_ack
         )
         #: parent result queue; installed by the worker main for the
-        #: driver-callback bridge.
+        #: driver-callback bridge, votes, heal meters and wait records.
         self.results = None
+        #: proxy shipping heal meters to the driver's HealContext.
+        self.heal_proxy = None
+        #: latest heal decision epoch this worker adopted; older wires
+        #: and buffers are stale and get reaped, not decoded.
+        self.adopted_epoch = 0
+        #: set by a ``("ctl", "finish")`` item (parks spares off).
+        self.finish_flag = False
+        #: classified hang shipped by the parent watchdog, if any.
+        self._hang_notice = None
         self._tick = max(0.005, min(0.2, self.timeout / 50.0))
+        #: how long a wait blocks before shipping its record to the
+        #: parent watchdog (short enough to classify well before the
+        #: flat deadline, long enough to skip the fast path entirely).
+        self._watch_grace = max(0.05, min(1.0, self.timeout / 20.0))
         self._heartbeats: dict[int, int] = {}
         # demux buffers
         self._msgs: dict[tuple, object] = {}
@@ -125,6 +159,17 @@ class MpWorld:
 
     def _demux(self, item) -> None:
         kind = item[0]
+        if kind == "ctl":
+            self._handle_ctl(item)
+            return
+        if kind == "ack":
+            self.transport.segments.ack(item[1])
+            return
+        if self.membership is not None and comm_epoch(item[1]) < self.adopted_epoch:
+            # stale wire from a revoked epoch: never decode it, but do
+            # remove the segment it may point at — nobody else will.
+            reap_wire(item[-1])
+            return
         if kind in ("c", "a", "m"):
             _, comm_id, op_id, src, body = item
             self._multi.setdefault((comm_id, kind, op_id), {})[src] = body
@@ -136,10 +181,49 @@ class MpWorld:
             self._p2p.setdefault((comm_id, src_g), []).append(
                 (seq, tag, body)
             )
-        elif kind == "ack":
-            self.transport.segments.ack(item[1])
         else:
             raise CommError(f"rank {self.rank}: unknown wire item {kind!r}")
+
+    def _handle_ctl(self, item) -> None:
+        """Parent-coordinator control items (healing and watchdog)."""
+        what = item[1]
+        if what == "revoke":
+            epoch = int(item[2])
+            if epoch > self.revoke_epoch:
+                self.revoke_epoch = epoch
+        elif what == "decision":
+            if self.membership is not None:
+                self.membership.receive(item[2])
+        elif what == "hang":
+            _, _, kind, cycle, dump, message, target_since = item
+            self._hang_notice = (kind, tuple(cycle), dump, message,
+                                 target_since)
+        elif what == "finish":
+            self.finish_flag = True
+        else:
+            raise CommError(f"rank {self.rank}: unknown ctl item {what!r}")
+
+    def check_hang_notice(self, op: str, since: float | None = None) -> None:
+        """Raise the parent watchdog's classified hang, once received.
+
+        The notice is bound to the wait it classified (its ``since``
+        stamp): if this rank has already moved on — the awaited data
+        raced in just as the peer exited — the notice is stale and is
+        dropped; the parent re-arms when it sees the record replaced.
+        """
+        notice = self._hang_notice
+        if notice is None:
+            return
+        kind, cycle, dump, message, target_since = notice
+        if since is None or since != target_since:
+            self._hang_notice = None
+            return
+        self._hang_notice = None
+        # the classified rank is the one that aborts the run
+        self.failed.set()
+        raise HangError(message, kind=kind, cycle=cycle, dump=dump).with_context(
+            rank=self.rank, pid=os.getpid(), op=op,
+        )
 
     def drain(self) -> None:
         """Process everything currently queued, without blocking."""
@@ -150,34 +234,99 @@ class MpWorld:
                 return
             self._demux(item)
 
+    def epoch_reset(self, epoch: int) -> None:
+        """Adopt heal ``epoch``: purge pre-``epoch`` buffers + segments.
+
+        Selective, not wholesale — a fast survivor's new-epoch traffic
+        can land in this inbox *before* this rank adopts the decision,
+        and must survive the reset.  Each dropped wire's shared-memory
+        segment is reaped here (the dead rank cannot, and a dead
+        receiver's single-owner handoffs are reaped by the registry's
+        own ``epoch_reset``).  Adopted mappings with live views are
+        untouched: in-flight zero-copy receives stay valid.
+        """
+        if epoch <= self.adopted_epoch:
+            return
+        self.adopted_epoch = epoch
+        for key in [k for k in self._msgs if comm_epoch(k[0]) < epoch]:
+            reap_wire(self._msgs.pop(key))
+        for key in [k for k in self._multi if comm_epoch(k[0]) < epoch]:
+            for wire in self._multi.pop(key).values():
+                reap_wire(wire)
+        for key in [k for k in self._p2p if comm_epoch(k[0]) < epoch]:
+            for _seq, _tag, wire in self._p2p.pop(key):
+                reap_wire(wire)
+        for key in [k for k in self._seq if comm_epoch(k[0]) < epoch]:
+            del self._seq[key]
+        self.transport.segments.epoch_reset()
+
     def _wait(self, ready, *, comm, op: str, tag=None, peers=()):
         """Pump the inbox until ``ready()`` returns something.
 
         ``ready`` returns :data:`_NOTHING` while unsatisfied.  Respects
         the shared abort event (raising :class:`CommError`, the cascade
-        error the engine filters) and the flat per-rank timeout backstop
-        (raising a PID-naming :class:`HangError`).
+        error the engine filters), epoch revocation
+        (:class:`~repro.errors.RankRevokedError` via the comm, so a
+        blocked survivor joins the heal agreement promptly), the parent
+        watchdog's classified hang notices, and the flat per-rank
+        timeout backstop (raising a PID-naming :class:`HangError`).
+        A wait outlasting the grace period ships its record to the
+        parent, which runs cross-process deadlock/peer-exited
+        classification over all shipped records.
         """
+        peers = tuple(int(p) for p in peers)
         hit = ready()
         if hit is not _NOTHING:
             return hit
-        deadline = time.monotonic() + self.timeout
-        while True:
-            if self.failed.is_set():
-                raise CommError(f"{op} aborted: a peer rank failed")
-            try:
-                item = self.inbox.get(timeout=self._tick)
-            except _queue.Empty:
-                item = None
-            if item is not None:
-                self._demux(item)
-                hit = ready()
-                if hit is not _NOTHING:
-                    return hit
-                continue
-            if time.monotonic() >= deadline:
-                self.failed.set()
-                raise self._hang(comm, op, tag=tag, peers=peers)
+        if comm is not None:
+            comm._check_revoked()
+        since = time.monotonic()
+        self.check_hang_notice(op, since)
+        deadline = since + self.timeout
+        watch_at = since + self._watch_grace
+        posted = False
+        try:
+            while True:
+                if self.failed.is_set():
+                    raise CommError(f"{op} aborted: a peer rank failed")
+                try:
+                    item = self.inbox.get(timeout=self._tick)
+                except _queue.Empty:
+                    item = None
+                if item is not None:
+                    self._demux(item)
+                if comm is not None:
+                    comm._check_revoked()
+                self.check_hang_notice(op, since)
+                if item is not None:
+                    hit = ready()
+                    if hit is not _NOTHING:
+                        return hit
+                now = time.monotonic()
+                if not posted and self.results is not None and now >= watch_at:
+                    self.results.put(("wait", self.rank, {
+                        "rank": self.rank,
+                        "pid": os.getpid(),
+                        "op": op,
+                        "comm": str(comm.comm_id) if comm is not None else "?",
+                        "tag": tag,
+                        "op_id": None,
+                        "pending": sorted(set(peers)),
+                        "since": since,
+                        "heartbeat": self._heartbeats.get(self.rank, 0),
+                    }))
+                    posted = True
+                if item is not None:
+                    continue
+                if now >= deadline:
+                    self.failed.set()
+                    raise self._hang(comm, op, tag=tag, peers=peers)
+        finally:
+            if posted:
+                try:
+                    self.results.put(("endwait", self.rank))
+                except Exception:
+                    pass
 
     def _hang(self, comm, op: str, *, tag, peers) -> HangError:
         me = self.rank
@@ -198,8 +347,8 @@ class MpWorld:
             f"rank {me} (worker process pid {pid}): {op} on "
             f"{comm.comm_id} timed out after {self.timeout:g}s waiting "
             f"on rank(s) {', '.join(str(p) for p in pending) or '?'}"
-            "\n  (process world: per-rank deadline watchdog; no "
-            "cross-rank wait-for graph)"
+            "\n  (process world: flat per-rank deadline backstop; the "
+            "parent watchdog classified no deadlock or exited peer)"
             f"\n  rank {me}: {op} on {comm.comm_id}"
             + (f" tag {tag}" if tag is not None else "")
             + f" waiting on {pending} for {round(self.timeout, 3)}s "
@@ -467,3 +616,129 @@ class MpComm(SimComm):
         if body is _NOTHING:
             return False, None
         return True, self._deliver(rt.transport.decode(body), "recv")
+
+    # ------------------------------------------------------------------ #
+    # operation-entry hook
+    # ------------------------------------------------------------------ #
+
+    def _inject(self, op: str) -> None:
+        """Drain queued control items first, so a revocation that is
+        already sitting in the inbox is observed at op entry — same
+        point the threaded world checks — before fault injection."""
+        self.world.drain()
+        super()._inject(op)
+
+
+class _HealProxy:
+    """Worker-side stand-in for the driver's :class:`HealContext`.
+
+    Workers are forked, so their ``heal_ctx`` copy is dead weight; the
+    meters a healing body reports (redistribution bytes, recovery
+    latency) ship through the results queue to the parent, which applies
+    them to the one real context."""
+
+    __slots__ = ("world",)
+
+    def __init__(self, world: MpWorld) -> None:
+        self.world = world
+
+    def add_bytes(self, epoch: int, nbytes: int) -> None:
+        self.world.results.put(("heal", "bytes", int(epoch), int(nbytes)))
+
+    def add_latency(self, epoch: int, seconds: float) -> None:
+        self.world.results.put(("heal", "latency", int(epoch), float(seconds)))
+
+
+class MpMembership:
+    """Worker-side half of the process-world heal agreement.
+
+    Presents the surface :class:`~repro.resilience.heal.HealingBody`
+    uses from the threaded :class:`~repro.simmpi.membership.Membership`
+    — ``register_body`` / ``current_decision`` / ``agree`` — but the
+    agreement itself is parent-coordinated: votes travel up the results
+    queue, the parent computes the :class:`HealDecision` once every
+    survivor of the previous decision has voted (reusing
+    :func:`~repro.simmpi.membership.compute_decision`), and the decision
+    comes back as a ``("ctl", "decision", ...)`` item.  Determinism is
+    preserved: the decision depends only on the fault plan and the
+    checkpointed prefix, never on vote arrival order.
+    """
+
+    def __init__(self, world: MpWorld, nprocs: int, first_batch: int,
+                 mode: str) -> None:
+        self.world = world
+        self.mode = mode
+        self.decisions: dict[int, HealDecision] = {
+            0: HealDecision(0, tuple(range(nprocs)), int(first_batch),
+                            "initial", hosts={p: p for p in range(nprocs)})
+        }
+        self.latest = 0
+        self.body = None
+
+    def register_body(self, body) -> None:
+        if self.body is None:
+            self.body = body
+
+    def current_decision(self) -> HealDecision:
+        return self.decisions[self.latest]
+
+    def receive(self, decision: HealDecision) -> None:
+        """A decision arrived from the parent (demux path)."""
+        self.decisions[decision.epoch] = decision
+        if decision.epoch > self.latest:
+            self.latest = decision.epoch
+        # a decision implies its revocation (promoted spares never saw
+        # the revoke ctl — they were parked outside the member set)
+        if decision.epoch > self.world.revoke_epoch:
+            self.world.revoke_epoch = decision.epoch
+
+    def assignment(self, global_rank: int):
+        """Position this parked rank was promoted into, if any."""
+        decision = self.decisions[self.latest]
+        position = decision.promoted.get(global_rank)
+        if position is None:
+            return None
+        return position, decision
+
+    def agree(self, global_rank: int) -> HealDecision:
+        """Vote for the observed revoke epoch; adopt the parent's
+        decision.  Re-votes when a further death advances the epoch
+        mid-wait, mirroring the threaded agreement."""
+        rt = self.world
+        deadline = time.monotonic() + rt.timeout
+        voted = -1
+        while True:
+            if rt.failed.is_set():
+                raise CommError("heal agreement aborted: a peer rank failed")
+            rt.check_hang_notice("agree")
+            epoch = rt.revoke_epoch
+            if self.latest >= epoch:
+                decision = self.decisions[self.latest]
+                rt.epoch_reset(decision.epoch)
+                if decision.mode == "failed":
+                    raise HealError(decision.reason).with_context(
+                        rank=global_rank, epoch=decision.epoch,
+                    )
+                return decision
+            if voted < epoch:
+                rt.results.put(("vote", global_rank, epoch))
+                voted = epoch
+            try:
+                item = rt.inbox.get(timeout=rt._tick)
+            except _queue.Empty:
+                item = None
+            if item is not None:
+                rt._demux(item)
+                continue
+            if time.monotonic() >= deadline:
+                rt.failed.set()
+                raise HealError(
+                    f"heal agreement for epoch {epoch} timed out after "
+                    f"{rt.timeout:g}s waiting for the parent decision"
+                ).with_context(
+                    rank=global_rank, epoch=epoch, pid=os.getpid(),
+                )
+
+
+#: `epoch_comm` builds this world's communicators as MpComm handles.
+MpWorld.comm_class = MpComm

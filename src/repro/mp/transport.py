@@ -29,13 +29,32 @@ import numpy as np
 
 from ..simmpi.serialization import Envelope, payload_nbytes
 from ..sparse.matrix import SparseMatrix
-from .shm import ALIGN, SegmentRegistry
+from .shm import ALIGN, SegmentRegistry, reap_segment
 
 #: registered transport names, in documentation order.
 TRANSPORTS = ("naive", "shm", "auto")
 
 #: ``auto``: buffers at least this large travel via shared memory.
 AUTO_THRESHOLD = 32 * 1024
+
+
+def reap_wire(wire) -> bool:
+    """Reap the segment behind an undecoded wire item, if any.
+
+    Heal hygiene: a survivor that drops a stale-epoch message without
+    decoding it must still remove the shared-memory segment the wire
+    points at — nobody else will (a single-receiver creator already
+    closed its handle; a multi-receiver creator may be the dead rank).
+    Safe against double-reaps and non-shm wires.  Returns ``True`` when
+    a segment was actually removed."""
+    if (
+        isinstance(wire, tuple)
+        and len(wire) == 6
+        and wire[0] == "shm"
+        and isinstance(wire[1], str)
+    ):
+        return reap_segment(wire[1])
+    return False
 
 
 def _safe_nbytes(obj) -> int:

@@ -83,6 +83,14 @@ class CheckpointManager:
         self.ledger = ledger
         self._lock = threading.Lock()
         self._manifest: dict | None = None
+        #: durable-write meters: batches written and matrix payload
+        #: bytes serialised by this manager.  World-independent by
+        #: construction — checkpoint writes always run in the driver
+        #: (under ``world="processes"`` via the DriverCallback bridge),
+        #: so a healthy process run writes byte-for-byte what the
+        #: threaded reference writes; tests pin that parity.
+        self.batches_written = 0
+        self.bytes_written = 0
 
     # ------------------------------------------------------------------ #
     # manifest lifecycle
@@ -226,9 +234,20 @@ class CheckpointManager:
                 "spans": [[int(c0), int(c1)] for c0, c1 in spans],
                 "nnz": int(matrix.nnz),
             }
+            self.batches_written += 1
+            self.bytes_written += int(matrix.nbytes)
             if self.keep_last is not None:
                 self._prune_locked(self.keep_last)
             self._write_manifest()
+
+    def io_stats(self) -> dict:
+        """Durable-write meters (``{"batches_written", "bytes_written"}``)
+        for checkpoint-parity assertions across execution worlds."""
+        with self._lock:
+            return {
+                "batches_written": int(self.batches_written),
+                "bytes_written": int(self.bytes_written),
+            }
 
     def load_batch(self, batch: int) -> tuple[list, SparseMatrix]:
         """Load one completed batch back as ``(spans, matrix)``."""

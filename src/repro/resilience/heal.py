@@ -158,6 +158,10 @@ class HealingBody:
         self.heal_ctx = heal_ctx
         self.attempt = attempt
         self.join_bytes = join_bytes
+        #: driver callbacks buried in the ``attempt`` closure (e.g. a
+        #: piece sink), listed here so the process engine's callback
+        #: scan can find and index them.
+        self.driver_callbacks: list = []
 
     def __call__(self, comm, *args, **kwargs):
         """Entry point for primary ranks (engine calls ``fn(comm)``)."""
@@ -169,7 +173,10 @@ class HealingBody:
         promoted spares, respawned ranks)."""
         membership = world.membership
         membership.register_body(self)
-        heal = self.heal_ctx
+        # The process world forks workers, so a worker's ``self.heal_ctx``
+        # is a dead copy of the driver's; its world exposes a proxy that
+        # ships add_bytes/add_latency to the parent's real HealContext.
+        heal = getattr(world, "heal_proxy", None) or self.heal_ctx
         heal_spans: list[tuple[int, float, float]] = []
         decision = membership.current_decision()
         if decision.promoted.get(global_rank) == position:

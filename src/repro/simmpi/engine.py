@@ -83,10 +83,12 @@ def run_spmd(
         crashes are repaired online instead of aborting.
     world:
         ``"threads"`` (default) runs ranks as threads in this process —
-        the deterministic reference with the full fault/heal/watchdog
-        feature set.  ``"processes"`` runs one worker process per rank
-        (:func:`repro.mp.engine.run_spmd_processes`) for real multicore
-        speedup; products are bit-identical to the threaded world.
+        the deterministic reference.  ``"processes"`` runs one worker
+        process per rank (:func:`repro.mp.engine.run_spmd_processes`)
+        for real multicore speedup, with the same fault/heal/watchdog
+        matrix: injected crashes SIGKILL the worker for real, healing
+        re-enters from the checkpointed batch boundary, and products —
+        healed or not — stay bit-identical to the threaded world.
     transport:
         Payload wire format for ``world="processes"`` (one of
         :data:`repro.mp.transport.TRANSPORTS`); ignored by the threaded
@@ -109,24 +111,19 @@ def run_spmd(
     if world not in WORLDS:
         raise ValueError(f"unknown world {world!r}; expected one of {WORLDS}")
     if world == "processes":
+        injector = None
         if faults is not None:
-            raise NotImplementedError(
-                "fault injection is thread-world-only for now: "
-                "run_spmd(world='processes', faults=...) is not supported. "
-                "Use world='threads' (the deterministic reference) for "
-                "fault-injection runs."
-            )
-        if heal is not None or world_spares:
-            raise NotImplementedError(
-                "online healing and spare ranks are thread-world-only for "
-                "now: use world='threads' with heal=/world_spares=."
+            injector = (
+                faults if isinstance(faults, FaultInjector)
+                else FaultInjector(faults)
             )
         from ..mp.engine import run_spmd_processes
 
         return run_spmd_processes(
             nprocs, fn, *args, tracker=tracker, timeout=timeout,
             checksums=checksums, transport=transport,
-            world_info=world_info, **kwargs,
+            world_info=world_info, faults=injector, heal=heal,
+            world_spares=world_spares, **kwargs,
         )
     if isinstance(world_info, dict):
         world_info.update({"world": "threads", "transport": None})

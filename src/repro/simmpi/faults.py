@@ -226,6 +226,13 @@ class FaultInjector:
         self.plan = plan if plan is not None else FaultPlan()
         self._lock = threading.Lock()
         self.events: list[FaultEvent] = []
+        #: process-world hook: when set, a firing ``crash`` spec calls
+        #: ``crash_action(spec, event)`` — which must not return — instead
+        #: of raising :class:`RankCrashError`.  The worker engine installs
+        #: an action that reports the event to the parent and then kills
+        #: the process with ``SIGKILL``, turning the injected crash into a
+        #: real OS-level death.
+        self.crash_action = None
         self._tls = threading.local()
         # index the plan by addressing mode for O(1) hot-path lookups
         self._by_attempt: dict[tuple[int, str, int], FaultSpec] = {}
@@ -277,8 +284,11 @@ class FaultInjector:
         if spec is None:
             return
         self._mark_fired(spec)
-        self._log(FaultEvent(spec.kind, rank, op=op, step=step, attempt=n))
+        event = FaultEvent(spec.kind, rank, op=op, step=step, attempt=n)
+        self._log(event)
         if spec.kind == "crash":
+            if self.crash_action is not None:
+                self.crash_action(spec, event)
             raise RankCrashError(
                 f"injected crash: rank {rank} at {op} attempt {n}"
             )
@@ -322,8 +332,11 @@ class FaultInjector:
                 if idx in self._fired:
                     continue
                 self._fired.add(idx)
-            self._log(FaultEvent(spec.kind, rank, batch=batch, stage=stage))
+            event = FaultEvent(spec.kind, rank, batch=batch, stage=stage)
+            self._log(event)
             if spec.kind == "crash":
+                if self.crash_action is not None:
+                    self.crash_action(spec, event)
                 raise RankCrashError(
                     f"injected crash: rank {rank} at batch {batch}"
                     + (f" stage {stage}" if stage is not None else "")
@@ -345,6 +358,29 @@ class FaultInjector:
         self._log(FaultEvent(
             kind, rank, op=op, step=step, attempt=attempt, backoff_s=backoff_s
         ))
+
+    # ------------------------------------------------------------------ #
+    # process-world merge (fork-inherited copies report back)
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> tuple[list[FaultEvent], list[int]]:
+        """This injector's events and fired spec indices, for shipping a
+        forked worker's fault activity back to the parent's injector."""
+        with self._lock:
+            return list(self.events), sorted(self._fired)
+
+    def absorb(self, events, fired) -> None:
+        """Merge a worker injector's :meth:`snapshot` into this one.
+
+        Under ``world="processes"`` every worker runs a fork-inherited
+        copy of the plan injector; the per-``(rank, op)`` counters stay
+        per-rank by construction (one process per rank), and the parent
+        absorbs each copy's event log and fired-spec set so
+        :meth:`stats` reports the whole run.
+        """
+        with self._lock:
+            self.events.extend(events)
+            self._fired.update(int(i) for i in fired)
 
     # ------------------------------------------------------------------ #
     # reporting

@@ -71,11 +71,91 @@ class HealDecision:
         }
 
 
-def epoch_comm(world: World, decision: HealDecision, position: int) -> SimComm:
-    """World communicator of ``decision``'s epoch for one grid position."""
+def epoch_comm(world, decision: HealDecision, position: int) -> SimComm:
+    """World communicator of ``decision``'s epoch for one grid position.
+
+    Built from the world's own communicator class (``world.comm_class``,
+    default :class:`SimComm`), so the process world's healing bodies get
+    :class:`~repro.mp.comm.MpComm` handles on the repaired grid.
+    """
     epoch = decision.epoch
     comm_id = ("world",) if epoch == 0 else ("world", "epoch", epoch)
-    return SimComm(world, comm_id, decision.members, position, epoch=epoch)
+    cls = getattr(world, "comm_class", SimComm)
+    return cls(world, comm_id, decision.members, position, epoch=epoch)
+
+
+def comm_epoch(comm_id: tuple) -> int:
+    """Membership epoch a communicator id belongs to.
+
+    Epoch-``e`` world communicators are ``("world", "epoch", e)`` and
+    every derived communicator (split/dup) appends to its parent's id,
+    so the epoch is recoverable from the prefix; ids not rooted in an
+    epoch-tagged world communicator are epoch 0.
+    """
+    if len(comm_id) >= 3 and comm_id[0] == "world" and comm_id[1] == "epoch":
+        return int(comm_id[2])
+    return 0
+
+
+def compute_decision(
+    epoch: int,
+    prev: HealDecision,
+    dead: set,
+    mode: str,
+    restart_batch: int,
+    *,
+    parked: list,
+    alloc_rank,
+    max_rounds: int,
+) -> tuple[HealDecision, list[tuple[int, int]]]:
+    """Deterministic repair of ``prev``'s grid for revoke ``epoch``.
+
+    The pure half of the agreement protocol, shared by the threaded
+    :class:`Membership` (last voter computes under the lock) and the
+    process world's parent-side coordinator (computes once all survivor
+    votes arrive).  ``parked`` is the mutable spare-rank pool (popped in
+    park order); ``alloc_rank()`` allocates a fresh global rank for a
+    shrink respawn.  Returns ``(decision, respawns)`` where ``respawns``
+    lists ``(global_rank, position)`` pairs the caller must launch; a
+    non-repairable grid yields a ``mode="failed"`` decision.
+    """
+    def failed(reason: str) -> tuple[HealDecision, list]:
+        return HealDecision(
+            epoch, prev.members, prev.restart_batch, "failed", reason=reason,
+        ), []
+
+    if epoch > max_rounds:
+        return failed(f"heal round budget exhausted ({max_rounds})")
+    members = list(prev.members)
+    hosts = dict(prev.hosts)
+    dead_positions = [(p, g) for p, g in enumerate(members) if g in dead]
+    promoted: dict[int, int] = {}
+    respawns: list[tuple[int, int]] = []
+    for position, _ in dead_positions:
+        if mode == "spare":
+            if not parked:
+                return failed(
+                    f"no spare rank left for grid position {position}"
+                )
+            spare = parked.pop(0)
+            members[position] = spare
+            promoted[spare] = position
+            hosts[position] = spare  # the spare brings its own host
+        else:  # shrink: respawn on the lowest surviving host
+            alive_hosts = [hosts[q] for q, m in enumerate(members)
+                           if m not in dead and q != position]
+            if not alive_hosts:
+                return failed("no surviving host to respawn onto")
+            fresh = alloc_rank()
+            members[position] = fresh
+            promoted[fresh] = position
+            hosts[position] = min(alive_hosts)
+            respawns.append((fresh, position))
+    decision = HealDecision(
+        epoch, members, restart_batch, mode,
+        dead=dead_positions, promoted=promoted, hosts=hosts,
+    )
+    return decision, respawns
 
 
 class Membership:
@@ -252,60 +332,23 @@ class Membership:
 
     def _decide(self, epoch: int, prev: HealDecision) -> HealDecision:
         """Compute, publish and act on the decision (caller holds cv)."""
-        if epoch > self.max_rounds:
-            return self._fail(epoch, prev,
-                              f"heal round budget exhausted ({self.max_rounds})")
-        members = list(prev.members)
-        hosts = dict(prev.hosts)
-        dead_positions = [(p, g) for p, g in enumerate(members)
-                          if g in self.dead]
-        promoted: dict[int, int] = {}
-        respawns: list[tuple[int, int]] = []
-        for position, _ in dead_positions:
-            if self.mode == "spare":
-                if not self.parked:
-                    return self._fail(
-                        epoch, prev,
-                        f"no spare rank left for grid position {position}",
-                    )
-                spare = self.parked.pop(0)
-                members[position] = spare
-                promoted[spare] = position
-                hosts[position] = spare  # the spare brings its own host
-            else:  # shrink: respawn on the lowest surviving host
-                alive_hosts = [hosts[q] for q, m in enumerate(members)
-                               if m not in self.dead and q != position]
-                if not alive_hosts:
-                    return self._fail(epoch, prev,
-                                      "no surviving host to respawn onto")
-                fresh = self.alloc_rank()
-                members[position] = fresh
-                promoted[fresh] = position
-                hosts[position] = min(alive_hosts)
-                respawns.append((fresh, position))
-        decision = HealDecision(
-            epoch, members, self.ctx.restart_point(), self.mode,
-            dead=dead_positions, promoted=promoted, hosts=hosts,
+        decision, respawns = compute_decision(
+            epoch, prev, self.dead, self.mode, self.ctx.restart_point(),
+            parked=self.parked, alloc_rank=self.alloc_rank,
+            max_rounds=self.max_rounds,
         )
         self.decisions[epoch] = decision
         self.latest = epoch
         self.ctx.on_decision(decision)
+        if decision.mode == "failed":
+            self.cv.notify_all()
+            return decision
         # Count the replacements as live workers *before* publishing, so
         # the engine's wait_idle can never observe a gap.
-        self.active += len(promoted)
-        for spare, position in promoted.items():
+        self.active += len(decision.promoted)
+        for spare, position in decision.promoted.items():
             if (spare, position) not in respawns:
                 self.assignments[spare] = (position, epoch)
         for fresh, position in respawns:
             self.spawn(fresh, position)
-        return decision
-
-    def _fail(self, epoch: int, prev: HealDecision, reason: str) -> HealDecision:
-        decision = HealDecision(
-            epoch, prev.members, prev.restart_batch, "failed", reason=reason,
-        )
-        self.decisions[epoch] = decision
-        self.latest = epoch
-        self.ctx.on_decision(decision)
-        self.cv.notify_all()
         return decision

@@ -542,9 +542,14 @@ def batched_summa3d(
                     tb = extract_b_tile(b, _grid, position)
                     return ta.nbytes + tb.nbytes
 
+                body = HealingBody(heal_ctx, attempt, join_bytes=join_bytes)
+                if isinstance(sink, DriverCallback):
+                    # the sink hides inside the attempt closure; expose
+                    # it so the process engine can index the callback.
+                    body.driver_callbacks = [sink]
                 per_rank = run_spmd(
                     nprocs,
-                    HealingBody(heal_ctx, attempt, join_bytes=join_bytes),
+                    body,
                     tracker=tracker,
                     timeout=timeout,
                     faults=injector,
@@ -552,6 +557,8 @@ def batched_summa3d(
                     world_spares=world_spares,
                     heal=heal_ctx,
                     world=world,
+                    transport=transport,
+                    world_info=world_info,
                 )
             break
         except SpmdError as err:
@@ -656,6 +663,7 @@ def batched_summa3d(
         if ckpt is not None:
             resilience["checkpoint_dir"] = os.fspath(checkpoint_dir)
             resilience["resumed_from_batch"] = first_batch
+            resilience["checkpoint_io"] = ckpt.io_stats()
         if heal_ctx is not None:
             resilience["heal"] = heal_ctx.report()
             resilience["world_spares"] = world_spares

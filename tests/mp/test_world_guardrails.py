@@ -1,15 +1,17 @@
-"""Guardrails of the process world: explicit gates for the features that
-stay thread-world-only, a watchdog that names the stuck *process*, and
+"""Guardrails of the process world: real crash faults carried with a
+uniform error context, a watchdog that names the stuck *process*, and
 no shared-memory litter under either exit path.
 """
 
 import os
+import signal
 
 import pytest
 
-from repro.errors import HangError, SpmdError
+from repro.errors import HangError, RankCrashError, SpmdError
 from repro.mp.shm import SHM_DIR
 from repro.simmpi import run_spmd
+from repro.simmpi.faults import FaultPlan
 from repro.sparse import random_sparse
 from repro.summa import batched_summa3d
 
@@ -22,28 +24,57 @@ def _shm_names():
     return set(os.listdir(SHM_DIR)) if os.path.isdir(SHM_DIR) else set()
 
 
-class TestThreadOnlyGates:
-    def test_faults_raise_not_implemented(self):
-        with pytest.raises(NotImplementedError, match="thread-world-only"):
-            run_spmd(2, _noop, world="processes",
-                     faults=["crash:rank=1,batch=0"])
+def _bcast_body(comm):
+    x = comm.bcast([1, 2, 3] if comm.rank == 0 else None, root=0)
+    comm.barrier()
+    return x
 
-    def test_faults_gate_names_the_reference_world(self):
-        with pytest.raises(NotImplementedError, match="world='threads'"):
-            run_spmd(2, _noop, world="processes", faults=["x"])
 
-    def test_heal_and_spares_raise_not_implemented(self):
-        with pytest.raises(NotImplementedError):
-            run_spmd(2, _noop, world="processes", heal="spare",
-                     world_spares=1)
-        with pytest.raises(NotImplementedError):
-            run_spmd(2, _noop, world="processes", world_spares=2)
+class TestProcessFaults:
+    """The former thread-world-only gates are lifted: fault injection
+    runs under ``world="processes"`` with real OS-level crashes."""
 
-    def test_driver_forwards_the_gate(self):
-        a = random_sparse(30, 30, nnz=100, seed=1)
-        with pytest.raises(NotImplementedError, match="thread-world-only"):
-            batched_summa3d(a, a, nprocs=4, world="processes",
-                            faults=["crash:rank=1,batch=0"])
+    def test_injected_crash_kills_the_worker_for_real(self):
+        parent_pid = os.getpid()
+        with pytest.raises(SpmdError) as info:
+            run_spmd(4, _bcast_body, world="processes", timeout=15.0,
+                     faults=FaultPlan.parse("crash:rank=1,op=bcast,nth=1"))
+        err = info.value.failures[1]
+        assert isinstance(err, RankCrashError)
+        # uniform err.context: the death really was a SIGKILL of a child
+        ctx = err.context
+        assert ctx["rank"] == 1
+        assert ctx["pid"] != parent_pid
+        assert ctx["exitcode"] == -signal.SIGKILL
+        assert ctx["signal"] == "SIGKILL"
+        assert "bcast" in ctx["last_op"]
+        assert ctx["epoch"] == 0
+        assert "SIGKILL" in str(err)
+
+    def test_transient_faults_retry_identically_to_threads(self):
+        a = random_sparse(30, 30, nnz=120, seed=1)
+        plan = ["transient:rank=1,op=bcast,nth=1",
+                "corrupt:rank=2,op=bcast,nth=1"]
+        ref = batched_summa3d(a, a, nprocs=4, faults=FaultPlan(plan),
+                              max_retries=3)
+        res = batched_summa3d(a, a, nprocs=4, faults=FaultPlan(plan),
+                              max_retries=3, world="processes", timeout=20.0)
+        assert (res.matrix.values == ref.matrix.values).all()
+        ref_fs, fs = ref.info["fault_stats"], res.info["fault_stats"]
+        assert fs["fired"] == ref_fs["fired"] == 2
+        assert fs["injected"] == ref_fs["injected"]
+        assert fs["retries"] == ref_fs["retries"]
+
+    def test_heal_accepted_under_processes(self, tmp_path):
+        a = random_sparse(30, 30, nnz=120, seed=1)
+        ref = batched_summa3d(a, a, nprocs=4, batches=2)
+        res = batched_summa3d(
+            a, a, nprocs=4, batches=2, checkpoint_dir=tmp_path / "ck",
+            faults=FaultPlan(["crash:rank=1,batch=1"]),
+            heal="spare", world_spares=1, timeout=25.0, world="processes",
+        )
+        assert (res.matrix.values == ref.matrix.values).all()
+        assert res.info["resilience"]["heal"]["heals"] == 1
 
     def test_unknown_world_rejected(self):
         with pytest.raises(ValueError, match="threads.*processes"):
@@ -52,8 +83,9 @@ class TestThreadOnlyGates:
 
 class TestWatchdog:
     def test_hang_dump_names_the_stuck_process_pid(self):
-        """A receiver whose sender never shows up must time out with a
-        per-rank dump carrying the worker's real OS pid."""
+        """A receiver whose sender already exited is classified by the
+        parent watchdog as ``peer-exited`` — well before the flat
+        timeout — with a per-rank dump carrying the worker's real pid."""
 
         def prog(comm):
             if comm.rank == 0:
@@ -62,12 +94,12 @@ class TestWatchdog:
 
         parent_pid = os.getpid()
         with pytest.raises(SpmdError) as info:
-            run_spmd(2, prog, world="processes", timeout=2.0)
+            run_spmd(2, prog, world="processes", timeout=8.0)
         hangs = {r: e for r, e in info.value.failures.items()
                  if isinstance(e, HangError)}
         assert hangs, f"no HangError among {info.value.failures!r}"
         err = next(iter(hangs.values()))
-        assert err.kind == "timeout"
+        assert err.kind == "peer-exited"
         state = err.dump[0]
         assert state["op"] == "recv"
         assert state["tag"] == 3
@@ -76,6 +108,25 @@ class TestWatchdog:
         # the pid is a real child process, named in dump and message
         assert state["pid"] != parent_pid
         assert str(state["pid"]) in str(err)
+
+    def test_cross_process_deadlock_classified(self):
+        """A genuine cyclic wait between two worker *processes* is
+        classified as a deadlock with the cycle named."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                return comm.recv(source=1, tag=7)
+            return comm.recv(source=0, tag=8)
+
+        with pytest.raises(SpmdError) as info:
+            run_spmd(2, prog, world="processes", timeout=10.0)
+        hangs = [e for e in info.value.failures.values()
+                 if isinstance(e, HangError)]
+        assert hangs, f"no HangError among {info.value.failures!r}"
+        err = hangs[0]
+        assert err.kind == "deadlock"
+        assert set(err.cycle) == {0, 1}
+        assert "deadlock" in str(err)
 
     def test_hang_leaves_no_segments_behind(self):
         def prog(comm):

@@ -98,3 +98,54 @@ class TestRetryPolicy:
         retry_events = [e for e in tracker.events if e.op == "retry"]
         assert len(retry_events) == 3
         assert all(e.nbytes == 0 for e in retry_events)
+
+
+class TestWorldAwareBackoff:
+    """Threads simulate the backoff; processes sleep a bounded, jittered,
+    still fully deterministic delay."""
+
+    def test_real_backoff_is_deterministic_and_capped(self):
+        policy = RetryPolicy(5, backoff_base=0.001, sleep_cap=0.004)
+        # pure function of (rank, attempt): same inputs, same delay
+        assert policy.real_backoff(3, 1) == policy.real_backoff(3, 1)
+        # different ranks de-synchronise
+        assert policy.real_backoff(0, 1) != policy.real_backoff(1, 1)
+        # jitter stays within one backoff_base
+        for rank in range(8):
+            assert 0.0 <= policy.jitter(rank, 1) < policy.backoff_base
+        # the exponential schedule can never exceed the cap
+        assert policy.real_backoff(1, 30) == policy.sleep_cap
+
+    def test_threads_simulate_processes_sleep(self):
+        """The same flaky program under both worlds: the thread world
+        records the un-slept exponential schedule, the process world
+        records (and actually slept) the capped jittered delay."""
+        from repro.simmpi import run_spmd
+        from repro.simmpi.faults import FaultInjector, FaultPlan
+
+        def prog(comm, _policy=RetryPolicy(3, backoff_base=0.002,
+                                           sleep_cap=0.005)):
+            calls = {"n": 0}
+
+            def flaky():
+                calls["n"] += 1
+                if calls["n"] < 3:
+                    raise TransientCommError("flake")
+                return None
+
+            _policy.call(flaky, comm=comm, op="bcast")
+
+        inj = FaultInjector(FaultPlan())
+        run_spmd(1, prog, faults=inj, timeout=10)
+        sim = [e.backoff_s for e in inj.events if e.kind == "retry"]
+        assert sim == pytest.approx([0.002, 0.004])  # pure schedule
+
+        inj2 = FaultInjector(FaultPlan())
+        run_spmd(1, prog, faults=inj2, world="processes", timeout=15)
+        policy = RetryPolicy(3, backoff_base=0.002, sleep_cap=0.005)
+        real = sorted(
+            e.backoff_s for e in inj2.events if e.kind == "retry"
+        )
+        expected = sorted(policy.real_backoff(0, a) for a in (1, 2))
+        assert real == pytest.approx(expected)
+        assert all(b <= policy.sleep_cap for b in real)
