@@ -402,6 +402,81 @@ def cmd_calibrate(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Replay a synthetic multi-tenant trace against a live service and
+    print the serving quartet (throughput, latency, rejections, heals)."""
+    import tempfile
+
+    from .data.generators import erdos_renyi
+    from .errors import AdmissionRejected, ServeError
+    from .serve import SpgemmService
+    from .simmpi import FaultPlan
+
+    sizes = [int(s) for s in args.sizes.split(",")]
+    tenants = [f"tenant-{i}" for i in range(args.tenants)]
+    mats = {n: erdos_renyi(n, avg_degree=4.0, seed=100 + n) for n in sizes}
+    heal_kwargs = {}
+    tmp_root = None
+    if args.crash:
+        tmp_root = args.checkpoint_root or tempfile.mkdtemp(
+            prefix="repro_serve_ck_"
+        )
+        heal_kwargs = dict(
+            heal="spare", world_spares=1, checkpoint_root=tmp_root,
+        )
+    try:
+        with SpgemmService(
+            grids=args.grids, nprocs=args.nprocs, world=args.world,
+            timeout=args.timeout, queue_capacity=args.queue_capacity,
+            max_backlog_s=args.max_backlog_s, **heal_kwargs,
+        ) as svc:
+            handles, rejected = [], 0
+            for j in range(args.jobs):
+                tenant = tenants[j % len(tenants)]
+                faults = (
+                    FaultPlan(["crash:rank=1,op=bcast,nth=2"])
+                    if args.crash and j == 0 else None
+                )
+                try:
+                    handles.append(svc.submit(
+                        tenant=tenant, a=mats[sizes[j % len(sizes)]],
+                        faults=faults,
+                    ))
+                except AdmissionRejected as exc:
+                    rejected += 1
+                    print(f"rejected ({exc.reason}): {exc}", file=sys.stderr)
+            failures = 0
+            for h in handles:
+                try:
+                    h.result(timeout=args.timeout * 4)
+                except ServeError as exc:
+                    failures += 1
+                    print(f"job failed classified: {exc}", file=sys.stderr)
+            stats = svc.stats()
+    finally:
+        if tmp_root is not None and args.checkpoint_root is None:
+            import shutil
+
+            shutil.rmtree(tmp_root, ignore_errors=True)
+    lat = stats["latency_s"]
+    print(f"completed {stats['counters']['completed']}/{args.jobs} jobs "
+          f"({rejected} rejected at admission, {failures} failed), "
+          f"heals = {stats['counters']['heals']}, "
+          f"reforks = {stats['counters']['reforks']}")
+    if lat["n"]:
+        print(f"latency: p50 = {lat['p50'] * 1e3:.1f} ms, "
+              f"p99 = {lat['p99'] * 1e3:.1f} ms, "
+              f"max = {lat['max'] * 1e3:.1f} ms")
+    if stats["throughput_jobs_per_s"] is not None:
+        print(f"throughput = {stats['throughput_jobs_per_s']:.2f} jobs/s "
+              f"over {len(stats['slots'])} grid(s)")
+    hits = stats["plan_cache"]["hits"]
+    total = hits + stats["plan_cache"]["misses"]
+    if total:
+        print(f"plan cache: {hits}/{total} hits")
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -551,6 +626,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("observations", help="JSON list of observation records")
     p.add_argument("--name", default="calibrated")
     p.set_defaults(func=cmd_calibrate)
+
+    p = sub.add_parser(
+        "serve", help="replay a multi-tenant job trace against a service"
+    )
+    p.add_argument("--grids", type=int, default=2, help="resident grids")
+    p.add_argument("--nprocs", type=int, default=4)
+    p.add_argument("--world", default="threads",
+                   choices=["threads", "processes"])
+    p.add_argument("--tenants", type=int, default=3)
+    p.add_argument("--jobs", type=int, default=12,
+                   help="total jobs, round-robin across tenants")
+    p.add_argument("--sizes", default="32,48,64",
+                   help="comma-separated matrix sizes in the mix")
+    p.add_argument("--queue-capacity", type=int, default=16)
+    p.add_argument("--max-backlog-s", type=float, default=60.0)
+    p.add_argument("--timeout", type=float, default=30.0)
+    p.add_argument("--crash", action="store_true",
+                   help="inject one rank crash (enables heal=spare)")
+    p.add_argument("--checkpoint-root", default=None,
+                   help="shared checkpoint root for --crash "
+                   "(default: a temp dir)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("cluster", help="Markov clustering (HipMCL)")
     p.add_argument("matrix_a", help=".npz/.mtx path or dataset:<name>")

@@ -119,6 +119,75 @@ class DistContext:
         self.transport = transport
         self._tiles: dict[int, list[SparseMatrix]] = {}
         self._next_key = itertools.count()
+        #: set by :meth:`close`; a closed context refuses every operation
+        self.closed = False
+        #: process-world run ids this context launched — :meth:`close`
+        #: re-sweeps them all as defense in depth (the engine sweeps at
+        #: the end of each run, but a resident pool cannot afford to
+        #: trust that every historical exit path did)
+        self._run_ids: set[str] = set()
+        #: ``world_info`` of the most recent SPMD region (diagnostics)
+        self.last_world_info: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # lifecycle: a DistContext is reusable across jobs and must release
+    # everything it ever touched on exit, raised-through exceptions
+    # included — the resident-pool contract
+    # ------------------------------------------------------------------ #
+
+    def __enter__(self) -> "DistContext":
+        self._ensure_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> int:
+        """Release every resident tile and sweep all `/dev/shm` segments
+        from every process-world run this context launched.  Idempotent;
+        returns the number of segments the final sweep collected (0 when
+        the engine's own per-run teardown already got them all — the
+        healthy case)."""
+        if self.closed:
+            return 0
+        self.closed = True
+        self._tiles.clear()
+        swept = 0
+        if self.world == "processes":
+            from ..mp.shm import sweep_segments
+
+            for run_id in sorted(self._run_ids):
+                swept += sweep_segments(run_id)
+        self._run_ids.clear()
+        return swept
+
+    def _ensure_open(self) -> None:
+        if self.closed:
+            raise DistributionError(
+                "this DistContext is closed; create a new one "
+                "(resident grids are re-forked, never resurrected)"
+            )
+
+    def _run_spmd(self, fn, *args, **kwargs):
+        """Every SPMD launch goes through here: the region's process-world
+        run id is recorded *even when the run raises*, so :meth:`close`
+        can re-sweep it later."""
+        self._ensure_open()
+        world_info: dict = {}
+        kwargs.setdefault("tracker", self.tracker)
+        kwargs.setdefault("timeout", self.timeout)
+        kwargs.setdefault("world", self.world)
+        kwargs.setdefault("transport", self.transport)
+        try:
+            return run_spmd(
+                self.grid.nprocs, fn, *args, world_info=world_info, **kwargs
+            )
+        finally:
+            run_id = world_info.get("run_id")
+            if run_id:
+                self._run_ids.add(run_id)
+            self.last_world_info = world_info
 
     # ------------------------------------------------------------------ #
     # handle management
@@ -127,6 +196,7 @@ class DistContext:
     def distribute(self, matrix: SparseMatrix, layout: str = "A") -> DistMatrixHandle:
         """Cut a global matrix into this grid's tiles (simulating data that
         arrives already distributed; no communication is metered)."""
+        self._ensure_open()
         if layout not in _STANDARD_LAYOUTS:
             raise DistributionError(
                 f"unknown layout {layout!r}; expected 'A' or 'B'"
@@ -206,10 +276,7 @@ class DistContext:
             ]
             return gather_tiles(dr1 - dr0, dc1 - dc0, pieces)
 
-        new_tiles = run_spmd(
-            self.grid.nprocs, spmd, tracker=self.tracker, timeout=self.timeout,
-            world=self.world, transport=self.transport,
-        )
+        new_tiles = self._run_spmd(spmd)
         return self._register(
             new_tiles, handle.nrows, handle.ncols, layout, dst_ranges
         )
@@ -252,10 +319,7 @@ class DistContext:
                     received = comm.recv(source=mirror, tag=9)
             return received
 
-        new_tiles = run_spmd(
-            grid.nprocs, spmd, tracker=self.tracker, timeout=self.timeout,
-            world=self.world, transport=self.transport,
-        )
+        new_tiles = self._run_spmd(spmd)
         return self._register(
             new_tiles, handle.ncols, handle.nrows, target_layout, dst_ranges
         )
@@ -351,8 +415,7 @@ class DistContext:
             )
         a_src = TileSource(ha.nrows, ha.ncols, lambda r: self._tiles[ha.key][r])
         b_src = TileSource(hb.nrows, hb.ncols, lambda r: self._tiles[hb.key][r])
-        per_rank = run_spmd(
-            self.grid.nprocs,
+        per_rank = self._run_spmd(
             spmd_batched_summa3d,
             a_src,
             b_src,
@@ -366,12 +429,8 @@ class DistContext:
             keep_pieces=True,
             postprocess=postprocess,
             max_retries=max_retries,
-            tracker=self.tracker,
-            timeout=self.timeout,
             faults=faults,
             checksums=checksums,
-            world=self.world,
-            transport=self.transport,
         )
         ran_batches = per_rank[0]["batches"]
         # Each rank's batch pieces are contiguous in global column space
@@ -445,8 +504,7 @@ class DistContext:
                 f"A with {ha.ncols} columns"
             )
         a_src = TileSource(ha.nrows, ha.ncols, lambda r: self._tiles[ha.key][r])
-        per_rank = run_spmd(
-            self.grid.nprocs,
+        per_rank = self._run_spmd(
             spmd_batched_summa3d,
             a_src,
             x,
@@ -459,10 +517,6 @@ class DistContext:
             overlap=overlap,
             keep_pieces=True,
             max_retries=max_retries,
-            tracker=self.tracker,
-            timeout=self.timeout,
-            world=self.world,
-            transport=self.transport,
         )
         ran_batches = per_rank[0]["batches"]
         pieces = [
@@ -497,6 +551,7 @@ class DistContext:
         return DistMatrixHandle(self, key, nrows, ncols, layout, ranges)
 
     def _check(self, handle: DistMatrixHandle) -> None:
+        self._ensure_open()
         if handle.context is not self or handle.key not in self._tiles:
             raise DistributionError(
                 "handle does not belong to this context (or was freed)"

@@ -185,6 +185,67 @@ class PlannerError(ReproError, ValueError):
     """The layer/batch planner was given an infeasible configuration."""
 
 
+class ServeError(ReproError, RuntimeError):
+    """Base class for the :mod:`repro.serve` job-service failure domain.
+
+    Everything the service raises at a client is a ``ServeError`` (or a
+    pre-existing :class:`ReproError` passed through from execution), so a
+    tenant can catch the whole serving taxonomy in one clause while the
+    per-class ``context`` dict keeps rejections machine-classifiable.
+    """
+
+
+class AdmissionRejected(ServeError):
+    """The admission controller refused a job *before* it entered the
+    system — the classified alternative to queue collapse.
+
+    ``reason`` is one of :data:`~repro.serve.admission.REJECT_REASONS`:
+
+    * ``"queue-full"`` — the tenant's bounded queue is at capacity
+      (per-tenant backpressure);
+    * ``"overload"`` — the whole service's predicted backlog exceeds its
+      shed limit (load shedding, so accepted-job latency stays bounded);
+    * ``"deadline"`` — predicted queue wait + predicted makespan already
+      exceed the job's deadline: it would be admitted only to expire;
+    * ``"tenant-budget"`` — the job's predicted memory would push the
+      tenant's in-flight ledger over its ``repro.mem`` budget;
+    * ``"memory"`` — no (layers, batches) configuration fits the job in
+      the grid's memory budget (the Alg. 3 feasibility test fails);
+    * ``"unsupported"`` — the job kind/kernel combination is not served;
+    * ``"shutdown"`` — the service is draining and accepts nothing new.
+
+    The same coordinates ride ``err.context`` (``reason``, ``tenant``,
+    ``job``, plus reason-specific fields), the uniform surface the CLI
+    prints and tests assert on.
+    """
+
+    def __init__(self, message: str, *, reason: str, tenant=None, job=None):
+        super().__init__(message)
+        self.reason = str(reason)
+        self.with_context(reason=self.reason, tenant=tenant, job=job)
+
+
+class DeadlineExceededError(ServeError):
+    """A job's deadline expired.  ``phase`` records where: ``"queued"``
+    (the deadline passed before a grid picked the job up) or
+    ``"running"`` (the watchdog's wait-record plumbing — the job's
+    remaining deadline is installed as the execution world's blocking-op
+    timeout, so an overrunning run surfaces as a classified
+    :class:`HangError` that the service converts to this)."""
+
+    def __init__(self, message: str, *, phase: str = "queued",
+                 tenant=None, job=None, deadline_s=None):
+        super().__init__(message)
+        self.phase = str(phase)
+        self.with_context(phase=self.phase, tenant=tenant, job=job,
+                          deadline_s=deadline_s)
+
+
+class JobCancelledError(ServeError):
+    """The job was cancelled by its submitter while still queued (running
+    jobs complete — SPMD regions are not preemptible)."""
+
+
 class ExecPlanError(ReproError, ValueError):
     """A compiled execution plan is malformed (opids out of order, a
     dependency pointing at a later op, an unknown overlap mode)."""

@@ -301,6 +301,11 @@ def run_spmd_processes(
     from multiprocessing import resource_tracker
     resource_tracker.ensure_running()
     run_id = _fresh_run_id()
+    if isinstance(world_info, dict):
+        # published *before* any worker forks: a resident caller (the
+        # DistContext pool) can sweep this run's segments even if the
+        # parent dies mid-protocol and never reaches the final update
+        world_info["run_id"] = run_id
 
     # Queues cannot be created after the fork, so the whole worker pool
     # — primaries, parked spares, and the shrink-mode respawn pool — is
@@ -636,55 +641,81 @@ def run_spmd_processes(
                 return
         prev_cycle_sig = None
 
-    # ------------------------ supervisor loop ----------------------- #
-    while pending:
-        try:
-            msg = results_q.get(timeout=0.05)
-        except _queue.Empty:
-            msg = None
-        if msg is not None:
-            handle(msg)
-        for grank, proc in list(pending.items()):
-            if proc.is_alive():
-                continue
-            proc.join()
-            del pending[grank]
-            on_exit(grank, proc)
-        now = time.monotonic()
-        if msg is None:
-            # the queue is drained at this instant: safe points for the
-            # heal decision (stale callbacks consumed) and the watchdog
-            maybe_decide()
-            if now >= next_watch:
-                watchdog_sweep()
-                next_watch = now + watch_interval
-        if (
-            heal is not None
-            and not finish_sent
-            and len(done) >= nprocs
-            and epoch == decision.epoch
-        ):
-            for g in parked_pool + respawn_pool:
-                if g in pending:
-                    post_ctl(g, ("ctl", "finish"))
-            finish_sent = True
-        if failed.is_set() and heal is not None and not finish_sent:
-            for g in parked_pool + respawn_pool:
-                if g in pending:
-                    post_ctl(g, ("ctl", "finish"))
-            finish_sent = True
-        if now >= deadline:
+    # --------------- teardown (every exit path, once) --------------- #
+    torn_down: dict = {"swept": None}
+
+    def _teardown() -> int:
+        """Reap every worker, sweep this run's shm segments, close the
+        queues.  Idempotent, and runs on *every* exit path — including a
+        parent-side exception in a driver callback or the heal protocol —
+        so a long-lived caller reusing one grid (the serve pool) can
+        never accumulate `/dev/shm` debris from failed runs."""
+        if torn_down["swept"] is not None:
+            return torn_down["swept"]
+        if any(w.is_alive() for w in pending.values()):
             failed.set()
-            break
+        for w in pending.values():
+            w.join(timeout=2.0)
+        for w in pending.values():
+            if w.is_alive():
+                w.terminate()
+                w.join(timeout=5.0)
+        # every worker joined (or was killed): nothing can attach now
+        swept = sweep_segments(run_id)
+        for q in (*inboxes, results_q):
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:
+                pass
+        torn_down["swept"] = swept
+        return swept
 
-    drain_now()
+    # ------------------------ supervisor loop ----------------------- #
+    try:
+        while pending:
+            try:
+                msg = results_q.get(timeout=0.05)
+            except _queue.Empty:
+                msg = None
+            if msg is not None:
+                handle(msg)
+            for grank, proc in list(pending.items()):
+                if proc.is_alive():
+                    continue
+                proc.join()
+                del pending[grank]
+                on_exit(grank, proc)
+            now = time.monotonic()
+            if msg is None:
+                # the queue is drained at this instant: safe points for the
+                # heal decision (stale callbacks consumed) and the watchdog
+                maybe_decide()
+                if now >= next_watch:
+                    watchdog_sweep()
+                    next_watch = now + watch_interval
+            if (
+                heal is not None
+                and not finish_sent
+                and len(done) >= nprocs
+                and epoch == decision.epoch
+            ):
+                for g in parked_pool + respawn_pool:
+                    if g in pending:
+                        post_ctl(g, ("ctl", "finish"))
+                finish_sent = True
+            if failed.is_set() and heal is not None and not finish_sent:
+                for g in parked_pool + respawn_pool:
+                    if g in pending:
+                        post_ctl(g, ("ctl", "finish"))
+                finish_sent = True
+            if now >= deadline:
+                failed.set()
+                break
 
-    for w in pending.values():
-        w.join(timeout=2.0)
-    for grank, w in pending.items():
-        if w.is_alive():
-            w.terminate()
-            w.join(timeout=5.0)
+        drain_now()
+    finally:
+        swept_clean = _teardown()
 
     # positions that died and never healed surface their crash error
     for position, exc in healed.items():
@@ -711,14 +742,7 @@ def run_spmd_processes(
                 }},
             ).with_context(rank=position, pid=w.pid)
 
-    # the run is over and every worker joined: nothing can attach now
-    swept = heal_swept + sweep_segments(run_id)
-    for q in (*inboxes, results_q):
-        try:
-            q.close()
-            q.cancel_join_thread()
-        except Exception:
-            pass
+    swept = heal_swept + swept_clean
 
     results: list[Any] = [None] * nprocs
     stats_rows = []

@@ -93,6 +93,35 @@ class CheckpointManager:
         self.bytes_written = 0
 
     # ------------------------------------------------------------------ #
+    # shared-root layout (concurrent jobs)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def run_dir(root, key: str) -> str:
+        """The per-run subdirectory for ``key`` under a shared root.
+
+        Concurrent jobs sharing one checkpoint root (the serving pool's
+        normal shape) must never share a *directory*: ``gc()`` and
+        ``keep_last`` pruning are manifest-driven, and two manifests in
+        one directory would collect each other's ``batch_*.npz``.  The
+        key is sanitised to a filesystem-safe slug; the directory is
+        created on demand.
+        """
+        slug = "".join(
+            c if c.isalnum() or c in "-_." else "_" for c in str(key)
+        ) or "run"
+        path = os.path.join(os.fspath(root), f"run_{slug}")
+        os.makedirs(path, exist_ok=True)
+        return path
+
+    @classmethod
+    def for_run(cls, root, key: str, keep_last: int | None = None, *,
+                ledger=None) -> "CheckpointManager":
+        """A manager rooted at ``run_dir(root, key)`` — the safe way for
+        concurrent jobs to checkpoint under one shared root."""
+        return cls(cls.run_dir(root, key), keep_last, ledger=ledger)
+
+    # ------------------------------------------------------------------ #
     # manifest lifecycle
     # ------------------------------------------------------------------ #
 
@@ -327,11 +356,17 @@ class CheckpointManager:
             for name in sorted(os.listdir(self.directory)):
                 if name in referenced:
                     continue
+                path = os.path.join(self.directory, name)
+                # plain files only: sibling run_<key> subdirectories
+                # (other jobs under a shared root) are never this
+                # manager's to collect
+                if not os.path.isfile(path):
+                    continue
                 if name.endswith(".tmp") or (
                     name.startswith("batch_") and name.endswith(".npz")
                 ):
                     try:
-                        os.remove(os.path.join(self.directory, name))
+                        os.remove(path)
                         orphans.append(name)
                     except OSError:
                         pass

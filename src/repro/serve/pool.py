@@ -1,0 +1,130 @@
+"""The resident grid pool: N long-lived execution slots.
+
+Each :class:`GridSlot` owns one :class:`~repro.dist.DistContext` — a
+persistent grid in the configured execution world — plus its
+:class:`~repro.serve.breaker.CircuitBreaker`.  Jobs execute *on* a slot
+(the service's worker threads each drive one slot), the slot's context
+is reused across jobs (this is what PR-pattern "stop spinning up a world
+per multiply" means), and a quarantined slot is re-forked: the old
+context is closed (sweeping `/dev/shm` and reaping any straggling
+workers — the satellite-1 contract) and a fresh one takes its place.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..dist import DistContext
+from ..simmpi.tracker import CommTracker
+
+
+class GridSlot:
+    """One resident grid and its health state."""
+
+    def __init__(
+        self,
+        slot_id: int,
+        *,
+        nprocs: int,
+        layers: int = 1,
+        world: str = "threads",
+        transport: str = "auto",
+        timeout: float = 30.0,
+        breaker=None,
+    ) -> None:
+        from .breaker import CircuitBreaker
+
+        self.slot_id = int(slot_id)
+        self.nprocs = int(nprocs)
+        self.layers = int(layers)
+        self.world = world
+        self.transport = transport
+        self.timeout = float(timeout)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.tracker = CommTracker()
+        self.jobs_done = 0
+        self.reforks = 0
+        self._lock = threading.Lock()
+        self._ctx: DistContext | None = None
+
+    # ------------------------------------------------------------------ #
+
+    def context(self) -> DistContext:
+        """The slot's resident context (created on first use, replaced
+        on re-fork)."""
+        with self._lock:
+            if self._ctx is None or self._ctx.closed:
+                self._ctx = DistContext(
+                    nprocs=self.nprocs,
+                    layers=self.layers,
+                    tracker=self.tracker,
+                    timeout=self.timeout,
+                    world=self.world,
+                    transport=self.transport,
+                )
+            return self._ctx
+
+    def refork(self) -> None:
+        """Quarantine response: tear the grid down completely (close
+        sweeps shm and reaps workers even if the last job raised) and
+        start clean.  The breaker resets — a fresh grid earns a fresh
+        score."""
+        with self._lock:
+            ctx, self._ctx = self._ctx, None
+        if ctx is not None:
+            ctx.close()
+        self.breaker.reset()
+        self.reforks += 1
+
+    def close(self) -> None:
+        with self._lock:
+            ctx, self._ctx = self._ctx, None
+        if ctx is not None:
+            ctx.close()
+
+    def stats(self) -> dict:
+        return {
+            "slot": self.slot_id,
+            "nprocs": self.nprocs,
+            "layers": self.layers,
+            "world": self.world,
+            "jobs_done": self.jobs_done,
+            "reforks": self.reforks,
+            "breaker": self.breaker.stats(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"GridSlot({self.slot_id}, p={self.nprocs}, l={self.layers}, "
+            f"world={self.world!r}, {self.breaker.state})"
+        )
+
+
+class GridPool:
+    """The service's fixed set of slots."""
+
+    def __init__(self, slots: list[GridSlot]) -> None:
+        if not slots:
+            raise ValueError("a GridPool needs at least one slot")
+        self.slots = list(slots)
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def __iter__(self):
+        return iter(self.slots)
+
+    def close(self) -> None:
+        """Shut every slot down; errors in one slot's teardown never
+        stop the others' (the pool must always fully release shm)."""
+        errors = []
+        for slot in self.slots:
+            try:
+                slot.close()
+            except Exception as exc:  # noqa: BLE001 - collected below
+                errors.append((slot.slot_id, exc))
+        if errors:
+            raise errors[0][1]
+
+    def stats(self) -> list[dict]:
+        return [slot.stats() for slot in self.slots]

@@ -1,0 +1,213 @@
+"""Bounded per-tenant queues with deficit-round-robin fair dequeue.
+
+Fairness is the overload story's second half: admission keeps the total
+backlog bounded, DRR decides *whose* backlog drains.  Each tenant owns a
+bounded FIFO; dequeue visits tenants in round-robin order, crediting each
+visited tenant a fixed quantum of cost (the job's modelled seconds from
+its plan) and dispatching that tenant's head job once its accumulated
+deficit covers the job's cost.  A tenant flooding the service with huge
+jobs therefore cannot starve a tenant submitting small ones — over any
+window, served cost per backlogged tenant converges to the quantum ratio
+(all quanta equal here, so to equal shares), which is what keeps every
+tenant's accepted throughput > 0 at 2× overload.
+
+The structure is deliberately small and lock-ordered: one mutex + one
+condition guards everything, and the only blocking wait is
+:meth:`pop`'s timed condition wait, so a service shutdown can always
+wake the workers.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict, deque
+
+from .job import QUEUED, Job
+
+#: default per-visit DRR credit, in modelled seconds.  Any positive value
+#: is fair in the limit; smaller quanta approximate bit-level fairness at
+#: the price of more rotation scans.
+DEFAULT_QUANTUM_S = 0.05
+
+
+class FairQueue:
+    """Per-tenant bounded FIFOs + deficit round-robin dispatch."""
+
+    def __init__(self, *, capacity: int = 16,
+                 quantum_s: float = DEFAULT_QUANTUM_S) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if quantum_s <= 0:
+            raise ValueError(f"quantum_s must be > 0, got {quantum_s}")
+        self.capacity = int(capacity)
+        self.quantum_s = float(quantum_s)
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        # OrderedDict preserves rotation order; _cursor remembers where
+        # the last dispatch stopped so service resumes round-robin there.
+        self._queues: OrderedDict[str, deque[Job]] = OrderedDict()
+        self._deficit: dict[str, float] = {}
+        self._capacity_override: dict[str, int] = {}
+        self._cursor: str | None = None
+        self._size = 0
+        self._backlog_s = 0.0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # introspection (used by admission)
+    # ------------------------------------------------------------------ #
+
+    def set_capacity(self, tenant: str, capacity: int) -> None:
+        """Per-tenant queue bound override (defaults to the global one)."""
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        with self._lock:
+            self._capacity_override[str(tenant)] = int(capacity)
+
+    def capacity_of(self, tenant: str) -> int:
+        with self._lock:
+            return self._capacity_override.get(str(tenant), self.capacity)
+
+    def depth(self, tenant: str) -> int:
+        with self._lock:
+            q = self._queues.get(str(tenant))
+            return 0 if q is None else len(q)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._size
+
+    def backlog_seconds(self) -> float:
+        """Sum of queued jobs' modelled cost — the admission controller's
+        overload and queue-wait signal."""
+        with self._lock:
+            return self._backlog_s
+
+    # ------------------------------------------------------------------ #
+    # producer / consumer
+    # ------------------------------------------------------------------ #
+
+    def push(self, job: Job) -> bool:
+        """Enqueue; returns ``False`` when the tenant's queue is full or
+        the queue is closed (admission turns that into a classified
+        rejection — the queue itself never raises at a tenant)."""
+        tenant = job.spec.tenant
+        with self._lock:
+            if self._closed:
+                return False
+            q = self._queues.get(tenant)
+            cap = self._capacity_override.get(tenant, self.capacity)
+            if q is not None and len(q) >= cap:
+                return False
+            if q is None:
+                q = self._queues.setdefault(tenant, deque())
+                self._deficit.setdefault(tenant, 0.0)
+            job.transition(QUEUED)
+            q.append(job)
+            self._size += 1
+            self._backlog_s += job.cost_s
+            self._nonempty.notify()
+            return True
+
+    def pop(self, timeout: float | None = None) -> Job | None:
+        """DRR dispatch: the next job some tenant's deficit affords.
+
+        Blocks up to ``timeout`` for work; returns ``None`` on timeout or
+        close.  Jobs already cancelled/expired while queued are skipped
+        (their terminal state was set by ``cancel()``/the deadline scan)
+        and simply drop out of the rotation.
+        """
+        with self._lock:
+            while True:
+                job = self._pop_locked()
+                if job is not None:
+                    return job
+                if self._closed:
+                    return None
+                if not self._nonempty.wait(timeout):
+                    return None
+
+    def _pop_locked(self) -> Job | None:
+        while self._size:
+            # cancelled/expired jobs drop out of the rotation up front so
+            # they neither earn their tenant credit nor get "served"
+            for tenant, q in self._queues.items():
+                while q and q[0].state != QUEUED:
+                    dead = q.popleft()
+                    self._size -= 1
+                    self._backlog_s = max(0.0, self._backlog_s - dead.cost_s)
+            tenants = [t for t, q in self._queues.items() if q]
+            if not tenants:
+                return None
+            # rotate so the scan starts after the last served tenant
+            if self._cursor in tenants:
+                i = tenants.index(self._cursor) + 1
+                tenants = tenants[i:] + tenants[:i]
+            # Closed-form DRR: visiting in rotation order and crediting one
+            # quantum per visit, tenant at position i needs
+            # k_i = max(1, ceil((cost_i - deficit_i) / quantum)) visits for
+            # its head to become affordable; the dispatched job is the one
+            # minimising (k_i, i).  Crediting everyone their visit count up
+            # to that point reproduces the iterative scan exactly without
+            # iterating cost/quantum rotations.
+            best_k = best_i = None
+            for i, tenant in enumerate(tenants):
+                short = self._queues[tenant][0].cost_s - self._deficit[tenant]
+                k = max(1, math.ceil(short / self.quantum_s))
+                if best_k is None or k < best_k:
+                    best_k, best_i = k, i
+            for i, tenant in enumerate(tenants):
+                visits = best_k if i <= best_i else best_k - 1
+                self._deficit[tenant] += visits * self.quantum_s
+            return self._serve_locked(tenants[best_i])
+        return None
+
+    def _serve_locked(self, tenant: str) -> Job:
+        q = self._queues[tenant]
+        job = q.popleft()
+        self._deficit[tenant] = max(0.0, self._deficit[tenant] - job.cost_s)
+        self._cursor = tenant
+        self._size -= 1
+        self._backlog_s = max(0.0, self._backlog_s - job.cost_s)
+        if not q:
+            # standard DRR: an idle tenant's credit does not accumulate
+            self._deficit[tenant] = 0.0
+        return job
+
+    def remove(self, job: Job) -> bool:
+        """Drop one queued job (cancellation)."""
+        with self._lock:
+            q = self._queues.get(job.spec.tenant)
+            if q is None:
+                return False
+            try:
+                q.remove(job)
+            except ValueError:
+                return False
+            self._size -= 1
+            self._backlog_s = max(0.0, self._backlog_s - job.cost_s)
+            return True
+
+    def drain(self) -> list[Job]:
+        """Remove and return every queued job (shutdown path)."""
+        with self._lock:
+            jobs = [j for q in self._queues.values() for j in q]
+            for q in self._queues.values():
+                q.clear()
+            self._size = 0
+            self._backlog_s = 0.0
+            return jobs
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._nonempty.notify_all()
+
+    def scan(self, fn) -> None:
+        """Apply ``fn(job)`` to every queued job under the lock (the
+        service's deadline sweep); ``fn`` must not block."""
+        with self._lock:
+            for q in self._queues.values():
+                for job in q:
+                    fn(job)

@@ -160,3 +160,69 @@ class TestAtomicSaveMatrix:
         finally:
             np.savez_compressed = original_savez
         assert load_matrix(str(path)).allclose(matrix)
+
+
+class TestSharedRootConcurrency:
+    """Satellite (ISSUE 9): many jobs checkpointing under one shared
+    root must never collect each other's batches — per-run subdirs plus
+    the gc() plain-file guard make that safe."""
+
+    def test_run_dir_is_stable_and_sanitised(self, tmp_path):
+        d1 = CheckpointManager.run_dir(tmp_path, "abc123")
+        assert d1 == CheckpointManager.run_dir(tmp_path, "abc123")
+        assert os.path.isdir(d1)
+        weird = CheckpointManager.run_dir(tmp_path, "a/../b: c")
+        assert os.path.dirname(weird) == str(tmp_path)
+        assert "/.." not in weird.replace(str(tmp_path), "", 1)
+
+    def test_for_run_isolates_concurrent_jobs(self, tmp_path, matrix):
+        ck1 = CheckpointManager.for_run(tmp_path, "job-one", keep_last=1)
+        ck2 = CheckpointManager.for_run(tmp_path, "job-two", keep_last=1)
+        assert ck1.directory != ck2.directory
+        ck1.start_run("job-one", 3)
+        ck2.start_run("job-two", 3)
+        for i in range(3):
+            ck1.write_batch(i, [(i, i + 1)], matrix)
+            ck2.write_batch(i, [(i, i + 1)], matrix)
+        # both pruned independently down to their own newest batch
+        for ck in (ck1, ck2):
+            assert ck.completed_prefix() == 3
+            _, loaded = ck.load_batch(2)
+            assert loaded.allclose(matrix)
+            with pytest.raises(CheckpointError, match="garbage-collected"):
+                ck.load_batch(0)
+
+    def test_gc_never_touches_sibling_run_dirs(self, tmp_path, matrix):
+        ck1 = CheckpointManager.for_run(tmp_path, "alive")
+        ck1.start_run("alive", 2)
+        ck1.write_batch(0, [(0, 1)], matrix)
+        # a second job's directory full of batches, plus stray debris in
+        # the first job's own directory
+        ck2 = CheckpointManager.for_run(tmp_path, "other")
+        ck2.start_run("other", 2)
+        ck2.write_batch(0, [(0, 1)], matrix)
+        stray = os.path.join(ck1.directory, "batch_9.npz")
+        with open(stray, "wb") as fh:
+            fh.write(b"debris")
+        # gc from a manager rooted at the *shared root* level must not
+        # exist — but even a manager whose directory contains the run
+        # dirs (legacy layout) skips them: plain files only
+        legacy = CheckpointManager(tmp_path)
+        legacy.start_run("legacy", 1)
+        report = legacy.gc()
+        assert ck2.completed_prefix() == 1  # untouched
+        _, loaded = ck2.load_batch(0)
+        assert loaded.allclose(matrix)
+        # the stray file inside ck1's dir is ck1's to collect, not legacy's
+        assert "batch_9.npz" not in report["orphans_removed"]
+        assert ck1.gc()["orphans_removed"] == ["batch_9.npz"]
+        assert ck1.completed_prefix() == 1
+
+    def test_keep_last_tombstones_survive_resume(self, tmp_path, matrix):
+        ck = CheckpointManager.for_run(tmp_path, "resume-me", keep_last=1)
+        ck.start_run("resume-me", 4)
+        for i in range(3):
+            ck.write_batch(i, [(i, i + 1)], matrix)
+        fresh = CheckpointManager.for_run(tmp_path, "resume-me")
+        batches, first = fresh.resume_run("resume-me", None)
+        assert (batches, first) == (4, 3)  # pruned batches still count

@@ -1,0 +1,218 @@
+"""Admission gates, classified rejections, DRR fairness, and the circuit
+breaker state machine — the serve layer's control plane, tested without
+spinning up execution."""
+
+import pytest
+
+from repro.data.generators import erdos_renyi
+from repro.errors import AdmissionRejected
+from repro.serve import (
+    DEGRADED,
+    HEALTHY,
+    QUARANTINED,
+    REJECT_REASONS,
+    AdmissionController,
+    CircuitBreaker,
+    FairQueue,
+    PlanCache,
+)
+from repro.serve.job import Job, JobSpec
+
+
+@pytest.fixture(scope="module")
+def a():
+    return erdos_renyi(60, avg_degree=4.0, seed=11)
+
+
+def controller(a, **kw):
+    queue = FairQueue(capacity=kw.pop("capacity", 4))
+    kw.setdefault("nprocs", 4)
+    return AdmissionController(queue=queue, plan_cache=PlanCache(), **kw), queue
+
+
+class TestAdmissionGates:
+    def test_accept_returns_planned_job(self, a):
+        ctrl, _ = controller(a)
+        job = ctrl.admit(JobSpec(tenant="t", a=a))
+        assert job.plan is not None
+        assert job.cost_s > 0
+        assert job.charge  # tenant ledger charged
+        assert ctrl.tenant("t").in_flight_bytes() > 0
+        ctrl.release(job, outcome="done")
+        assert ctrl.tenant("t").in_flight_bytes() == 0
+
+    def test_shutdown_reason(self, a):
+        ctrl, _ = controller(a)
+        with pytest.raises(AdmissionRejected) as info:
+            ctrl.admit(JobSpec(tenant="t", a=a), shutting_down=True)
+        assert info.value.reason == "shutdown"
+        assert info.value.context["tenant"] == "t"
+
+    def test_queue_full_reason(self, a):
+        ctrl, queue = controller(a, capacity=2)
+        for _ in range(2):
+            assert queue.push(ctrl.admit(JobSpec(tenant="t", a=a)))
+        with pytest.raises(AdmissionRejected) as info:
+            ctrl.admit(JobSpec(tenant="t", a=a))
+        assert info.value.reason == "queue-full"
+        assert info.value.context["capacity"] == 2
+        # a different tenant is unaffected: the bound is per-tenant
+        assert ctrl.admit(JobSpec(tenant="other", a=a)) is not None
+
+    def test_overload_reason(self, a):
+        ctrl, queue = controller(a, capacity=1000, max_backlog_s=1e-9)
+        queue.push(ctrl.admit(JobSpec(tenant="t", a=a)))
+        with pytest.raises(AdmissionRejected) as info:
+            ctrl.admit(JobSpec(tenant="t", a=a))
+        assert info.value.reason == "overload"
+
+    def test_memory_reason(self, a):
+        ctrl, _ = controller(a, memory_budget=2048)
+        with pytest.raises(AdmissionRejected) as info:
+            ctrl.admit(JobSpec(tenant="t", a=a))
+        assert info.value.reason == "memory"
+        assert info.value.context["memory_budget"] == 2048
+
+    def test_tenant_budget_reason(self, a):
+        ctrl, _ = controller(a)
+        ctrl.register_tenant("poor", memory_budget=1)
+        with pytest.raises(AdmissionRejected) as info:
+            ctrl.admit(JobSpec(tenant="poor", a=a))
+        assert info.value.reason == "tenant-budget"
+        assert info.value.context["tenant_budget"] == 1
+
+    def test_deadline_reason_after_calibration(self, a):
+        ctrl, queue = controller(a, max_backlog_s=1e6)
+        # before calibration the gate abstains (no wall model yet)
+        job = ctrl.admit(JobSpec(tenant="t", a=a, deadline_s=1e-9))
+        # one observation calibrates modelled -> wall
+        ctrl.observe(modelled_s=job.cost_s, wall_s=10.0)
+        queue.push(job)
+        with pytest.raises(AdmissionRejected) as info:
+            ctrl.admit(JobSpec(tenant="t", a=a, deadline_s=1e-9))
+        assert info.value.reason == "deadline"
+
+    def test_all_reasons_are_in_the_taxonomy(self, a):
+        assert set(REJECT_REASONS) == {
+            "queue-full", "overload", "deadline", "tenant-budget",
+            "memory", "unsupported", "shutdown",
+        }
+
+    def test_rejection_context_is_uniform(self, a):
+        ctrl, _ = controller(a, memory_budget=2048)
+        with pytest.raises(AdmissionRejected) as info:
+            ctrl.admit(JobSpec(tenant="t", a=a, label="my-job"))
+        ctx = info.value.context
+        assert ctx["reason"] == info.value.reason
+        assert ctx["tenant"] == "t"
+        assert ctx["job"] == "my-job"
+
+
+def _job(tenant, cost, a):
+    spec = JobSpec(tenant=tenant, a=a)
+    job = Job(spec, cost_s=cost)
+    return job
+
+
+class TestFairQueue:
+    def test_fifo_within_tenant(self, a):
+        q = FairQueue(capacity=8)
+        jobs = [_job("t", 0.01, a) for _ in range(3)]
+        for j in jobs:
+            assert q.push(j)
+        assert [q.pop(0.1) for _ in range(3)] == jobs
+
+    def test_bounded_per_tenant(self, a):
+        q = FairQueue(capacity=2)
+        assert q.push(_job("t", 1, a))
+        assert q.push(_job("t", 1, a))
+        assert not q.push(_job("t", 1, a))
+        assert q.push(_job("u", 1, a))  # other tenants unaffected
+
+    def test_drr_interleaves_unequal_tenants(self, a):
+        """A tenant with expensive jobs cannot starve a cheap-job tenant:
+        over a window, both make progress."""
+        q = FairQueue(capacity=32, quantum_s=1.0)
+        for _ in range(4):
+            q.push(_job("big", 10.0, a))
+        for _ in range(4):
+            q.push(_job("small", 1.0, a))
+        order = [q.pop(0.1).spec.tenant for _ in range(8)]
+        # 'small' must not wait behind all of 'big''s backlog
+        assert "small" in order[:2]
+        # and both drain completely
+        assert order.count("big") == 4 and order.count("small") == 4
+
+    def test_drr_cost_share_is_fair(self, a):
+        """Served cost per backlogged tenant tracks the (equal) quantum
+        ratio: after N pops the cheap tenant has been served ~as much
+        cost as the expensive one, i.e. many more jobs."""
+        q = FairQueue(capacity=64, quantum_s=0.5)
+        for _ in range(20):
+            q.push(_job("big", 4.0, a))
+        for _ in range(20):
+            q.push(_job("small", 1.0, a))
+        served = {"big": 0.0, "small": 0.0}
+        jobs = {"big": 0, "small": 0}
+        for _ in range(15):
+            j = q.pop(0.1)
+            served[j.spec.tenant] += j.cost_s
+            jobs[j.spec.tenant] += 1
+        assert jobs["small"] >= 3 * jobs["big"] - 2
+        assert served["small"] >= served["big"] - 4.0
+
+    def test_cancelled_jobs_drop_out(self, a):
+        q = FairQueue(capacity=8)
+        j1, j2 = _job("t", 1, a), _job("t", 1, a)
+        q.push(j1)
+        q.push(j2)
+        j1.fail(RuntimeError("cancelled"), state="cancelled")
+        assert q.pop(0.1) is j2
+
+    def test_backlog_seconds_tracks_pushes_and_pops(self, a):
+        q = FairQueue(capacity=8)
+        q.push(_job("t", 2.0, a))
+        q.push(_job("t", 3.0, a))
+        assert q.backlog_seconds() == pytest.approx(5.0)
+        q.pop(0.1)
+        assert q.backlog_seconds() == pytest.approx(3.0)
+
+    def test_pop_times_out_empty(self):
+        q = FairQueue(capacity=2)
+        assert q.pop(timeout=0.05) is None
+
+    def test_close_wakes_poppers(self, a):
+        q = FairQueue(capacity=2)
+        q.close()
+        assert q.pop(timeout=5.0) is None  # returns immediately
+        assert not q.push(_job("t", 1, a))
+
+
+class TestCircuitBreaker:
+    def test_states_progress_and_reset(self):
+        br = CircuitBreaker(degrade_after=2, quarantine_after=4)
+        assert br.state == HEALTHY
+        br.record_heal()
+        assert br.state == HEALTHY
+        br.record_heal()
+        assert br.state == DEGRADED
+        br.record_failure()
+        assert br.state == QUARANTINED
+        assert br.stats()["trips"] == 1
+        br.reset()
+        assert br.state == HEALTHY
+        assert br.stats()["trips"] == 1  # history survives reset
+
+    def test_shm_leaks_trip_fast(self):
+        br = CircuitBreaker(degrade_after=2, quarantine_after=4)
+        br.record_shm_leak()
+        br.record_shm_leak()
+        assert br.state == QUARANTINED
+
+    def test_success_decays_the_score(self):
+        br = CircuitBreaker(degrade_after=2, quarantine_after=4)
+        br.record_heal()
+        br.record_heal()
+        assert br.state == DEGRADED
+        br.record_success()
+        assert br.state == HEALTHY

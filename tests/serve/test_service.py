@@ -1,0 +1,202 @@
+"""SpgemmService behaviour in the threaded world: correctness of every
+job kind, deadlines/cancellation, overload classification, fair-share
+under sustained pressure, and resident-context hygiene."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.generators import erdos_renyi
+from repro.errors import (
+    AdmissionRejected,
+    DeadlineExceededError,
+    JobCancelledError,
+    ServeError,
+)
+from repro.serve import SpgemmService
+from repro.sparse import random_sparse
+from repro.summa import batched_summa3d
+
+
+@pytest.fixture(scope="module")
+def a():
+    return erdos_renyi(60, avg_degree=4.0, seed=21)
+
+
+def assert_bit_identical(m, ref):
+    assert np.array_equal(m.indptr, ref.indptr)
+    assert np.array_equal(m.rowidx, ref.rowidx)
+    assert np.array_equal(m.values, ref.values)
+
+
+class TestJobKinds:
+    def test_multiply_matches_direct_run(self, a):
+        with SpgemmService(grids=1, nprocs=4) as svc:
+            r = svc.submit(tenant="t", a=a).result(timeout=30)
+            ref = batched_summa3d(
+                a, a, nprocs=4, layers=r.plan["layers"],
+                batches=r.plan["batches"], comm_backend=r.plan["backend"],
+            )
+            assert_bit_identical(r.matrix, ref.matrix)
+            assert r.latency_s > 0 and r.queued_s >= 0
+            assert r.slot == 0
+
+    def test_masked_spgemm(self, a):
+        mask = random_sparse(60, 60, nnz=200, seed=22)
+        with SpgemmService(grids=1, nprocs=4) as svc:
+            r = svc.submit(
+                tenant="t", a=a, kind="masked_spgemm", mask=mask
+            ).result(timeout=30)
+            ref = batched_summa3d(
+                a, a, nprocs=4, layers=r.plan["layers"],
+                batches=r.plan["batches"], kernel="masked_spgemm",
+                mask=mask,
+            )
+            assert_bit_identical(r.matrix, ref.matrix)
+
+    def test_spmm(self, a):
+        x = np.random.default_rng(23).standard_normal((a.ncols, 6))
+        with SpgemmService(grids=1, nprocs=4) as svc:
+            r = svc.submit(tenant="t", a=a, b=x, kind="spmm").result(
+                timeout=30
+            )
+            assert r.matrix.shape == (a.nrows, 6)
+            ref = batched_summa3d(
+                a, x, nprocs=4, layers=r.plan["layers"],
+                batches=r.plan["batches"], kernel="spmm",
+            )
+            assert np.array_equal(r.matrix, ref.matrix)
+
+    def test_square_chain_runs_on_resident_grid(self, a):
+        with SpgemmService(grids=1, nprocs=4) as svc:
+            r = svc.submit(
+                tenant="t", a=a, kind="square_chain", rounds=2
+            ).result(timeout=60)
+            assert r.matrix.nnz > 0
+            slot_ctx = svc.pool.slots[0]._ctx
+            assert slot_ctx is not None
+            # the resident context must not accumulate tiles across jobs
+            assert slot_ctx.memory_bytes() == 0
+
+    def test_repeat_traffic_hits_the_plan_cache(self, a):
+        with SpgemmService(grids=1, nprocs=4) as svc:
+            r1 = svc.submit(tenant="t", a=a).result(timeout=30)
+            r2 = svc.submit(tenant="t", a=a).result(timeout=30)
+            assert not r1.cache_hit and r2.cache_hit
+            assert_bit_identical(r1.matrix, r2.matrix)
+            assert svc.stats()["plan_cache"]["hits"] >= 1
+
+
+class TestDeadlinesAndCancellation:
+    def test_queued_deadline_expires_classified(self, a):
+        svc = SpgemmService(grids=1, nprocs=4, auto_start=False)
+        # workers are not running yet: the job can only sit in the queue
+        h = svc.submit(tenant="t", a=a, deadline_s=0.05)
+        time.sleep(0.15)
+        svc.start()
+        with pytest.raises(DeadlineExceededError) as info:
+            h.result(timeout=10)
+        assert info.value.phase == "queued"
+        assert info.value.context["tenant"] == "t"
+        assert h.state == "expired"
+        svc.shutdown()
+
+    def test_cancel_while_queued(self, a):
+        svc = SpgemmService(grids=1, nprocs=4, auto_start=False)
+        h = svc.submit(tenant="t", a=a)
+        assert h.cancel()
+        with pytest.raises(JobCancelledError):
+            h.result(timeout=5)
+        assert h.state == "cancelled"
+        assert not h.cancel()  # idempotent: already terminal
+        svc.shutdown()
+
+    def test_shutdown_cancels_queued_jobs(self, a):
+        svc = SpgemmService(grids=1, nprocs=4)
+        h = svc.submit(tenant="t", a=a)
+        svc.shutdown()
+        # either it ran before the drain or it was cancelled — never hangs
+        try:
+            r = h.result(timeout=10)
+            assert r.matrix is not None
+        except (JobCancelledError, ServeError):
+            pass
+
+    def test_submit_after_shutdown_is_classified(self, a):
+        svc = SpgemmService(grids=1, nprocs=4)
+        svc.start()
+        svc.shutdown()
+        with pytest.raises(AdmissionRejected) as info:
+            svc.submit(tenant="t", a=a)
+        assert info.value.reason == "shutdown"
+
+
+class TestOverloadAndFairness:
+    def test_sustained_overload_sheds_classified_only(self, a):
+        """At well past admission capacity every refusal is a classified
+        AdmissionRejected and every accepted job completes."""
+        with SpgemmService(
+            grids=1, nprocs=4, queue_capacity=3, max_backlog_s=1e9,
+        ) as svc:
+            handles, rejected = [], []
+            for _ in range(40):
+                try:
+                    handles.append(svc.submit(tenant="flood", a=a))
+                except AdmissionRejected as exc:
+                    rejected.append(exc)
+            assert rejected, "burst beyond queue capacity must shed"
+            assert all(e.reason == "queue-full" for e in rejected)
+            done = [h.result(timeout=60) for h in handles]
+            assert all(r.matrix is not None for r in done)
+
+    def test_fair_share_keeps_every_tenant_flowing(self, a):
+        """Three tenants flooding concurrently: all of them complete
+        work (DRR), none is starved by the others' backlog."""
+        completed = {"t0": 0, "t1": 0, "t2": 0}
+        lock = threading.Lock()
+        with SpgemmService(
+            grids=2, nprocs=4, queue_capacity=4, max_backlog_s=1e9,
+        ) as svc:
+            def flood(tenant):
+                for _ in range(10):
+                    try:
+                        h = svc.submit(tenant=tenant, a=a)
+                        h.result(timeout=60)
+                        with lock:
+                            completed[tenant] += 1
+                    except AdmissionRejected:
+                        time.sleep(0.005)
+            threads = [
+                threading.Thread(target=flood, args=(t,)) for t in completed
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(120)
+        assert all(n > 0 for n in completed.values()), completed
+
+    def test_tenant_budget_frees_after_completion(self, a):
+        with SpgemmService(grids=1, nprocs=4) as svc:
+            svc.register_tenant("t", memory_budget=1 << 40)
+            svc.submit(tenant="t", a=a).result(timeout=30)
+            admission = svc.stats()["admission"]["tenants"]["t"]
+            assert admission["completed"] == 1
+            assert admission["in_flight_bytes"] == 0
+
+
+class TestStats:
+    def test_stats_shape(self, a):
+        with SpgemmService(grids=2, nprocs=4) as svc:
+            svc.submit(tenant="t", a=a).result(timeout=30)
+            s = svc.stats()
+        assert s["counters"]["completed"] == 1
+        assert s["latency_s"]["p50"] is not None
+        assert s["latency_s"]["p99"] >= s["latency_s"]["p50"]
+        assert len(s["slots"]) == 2
+        for slot in s["slots"]:
+            assert slot["breaker"]["state"] == "healthy"
+        assert s["throughput_jobs_per_s"] is None or (
+            s["throughput_jobs_per_s"] >= 0
+        )

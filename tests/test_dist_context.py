@@ -247,3 +247,79 @@ class TestDistributedTranspose:
         if hc.layout == "C":
             with pytest.raises(DistributionError):
                 ctx.transpose(hc)
+
+
+class TestLifecycle:
+    """Satellite (ISSUE 9): DistContext as a reusable, resource-safe
+    context manager — close() always sweeps and is idempotent, closed
+    contexts refuse work with a typed error, and the exception path
+    cleans up too."""
+
+    def test_context_manager_reuse_within_block(self, matrix):
+        with DistContext(nprocs=4) as ctx:
+            for _ in range(2):
+                ha = ctx.distribute(matrix, "A")
+                hb = ctx.distribute(matrix, "B")
+                hc, _ = ctx.multiply(ha, hb, batches=2)
+                assert hc.to_global().allclose(multiply(matrix, matrix))
+                for h in (ha, hb, hc):
+                    ctx.free(h)
+            assert ctx.memory_bytes() == 0
+        assert ctx.closed
+
+    def test_closed_context_refuses_work(self, matrix):
+        ctx = DistContext(nprocs=4)
+        ctx.distribute(matrix, "A")
+        ctx.close()
+        with pytest.raises(DistributionError, match="closed"):
+            ctx.distribute(matrix, "A")
+
+    def test_close_is_idempotent_and_frees_tiles(self, matrix):
+        ctx = DistContext(nprocs=4)
+        ctx.distribute(matrix, "A")
+        assert ctx.memory_bytes() > 0
+        ctx.close()
+        assert ctx.memory_bytes() == 0
+        ctx.close()  # second close is a no-op
+        assert ctx.closed
+
+    def test_exception_path_still_closes(self, matrix):
+        ctx = DistContext(nprocs=4)
+        with pytest.raises(RuntimeError, match="boom"):
+            with ctx:
+                ctx.distribute(matrix, "A")
+                raise RuntimeError("boom")
+        assert ctx.closed
+        assert ctx.memory_bytes() == 0
+
+    def test_handle_operations_fail_after_close(self, matrix):
+        ctx = DistContext(nprocs=4)
+        h = ctx.distribute(matrix, "A")
+        ctx.close()
+        with pytest.raises(DistributionError):
+            ctx.transpose(h)
+
+    def test_process_world_close_sweeps_shm(self, matrix):
+        """In the process world every run's shm segments are gone after
+        close() — the serving pool relies on this for slot hygiene."""
+        import glob
+
+        def shm_names():
+            return {
+                n for n in map(
+                    lambda p: p.rsplit("/", 1)[-1],
+                    glob.glob("/dev/shm/repro_*"),
+                )
+            }
+
+        before = shm_names()
+        ctx = DistContext(nprocs=4, world="processes", timeout=60.0)
+        try:
+            ha = ctx.distribute(matrix, "A")
+            hb = ctx.distribute(matrix, "B")
+            hc, _ = ctx.multiply(ha, hb, batches=2)
+            assert hc.to_global().allclose(multiply(matrix, matrix))
+        finally:
+            ctx.close()
+        assert shm_names() <= before
+        assert ctx.last_world_info.get("world") == "processes"
