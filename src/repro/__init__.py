@@ -135,15 +135,20 @@ __all__ = [
     "symbolic3d",
     "batched_summa3d",
     "batched_summa3d_rows",
+    "run_plan",
+    "ExecSpec",
+    "ExecPlan",
     "__version__",
 ]
 
 # distributed layer re-exports — imported last so the sparse substrate has
 # no import-time dependency on the distributed modules
 from .grid import ProcGrid3D  # noqa: E402
+from .plan import ExecPlan, ExecSpec  # noqa: E402
 from .summa import (  # noqa: E402
     batched_summa3d,
     batched_summa3d_rows,
+    run_plan,
     summa2d,
     summa3d,
     symbolic3d,

@@ -154,6 +154,12 @@ def cmd_multiply(args) -> int:
             print(f"  epoch {event['epoch']}: lost {dead}; resumed from "
                   f"batch {event['restart_batch']} after "
                   f"{event['latency_s'] * 1e3:.1f} ms")
+    if resilience is not None and resilience.get("replans"):
+        for event in resilience["replans"]:
+            print(f"replan: batch {event['at_batch']} [{event['reason']}] "
+                  f"b {event['from']['batches']} -> {event['to']['batches']}, "
+                  f"backend {event['from']['backend']} -> "
+                  f"{event['to']['backend']}")
     print(result.step_times.format_table("step times (critical path)"))
     print(tracker.format_table())
     if args.trace_out is not None:
@@ -166,15 +172,16 @@ def cmd_multiply(args) -> int:
     return 0
 
 
-def _run_multiply(args, a, b, tracker):
-    mask = _load(args.mask) if getattr(args, "mask", None) else None
-    return batched_summa3d(
-        a,
-        b,
+def _multiply_spec(args):
+    """The CLI's side of the shared spec builder: argparse fields map
+    1:1 onto :class:`~repro.plan.ExecSpec` knobs, so the CLI and the
+    library surfaces cannot diverge on what a run configuration is."""
+    from .plan import ExecSpec
+
+    return ExecSpec.from_kwargs(
         nprocs=args.nprocs,
         layers=args.layers,
         kernel=args.kernel,
-        mask=mask,
         batches=args.batches,
         memory_budget=args.memory_budget,
         memory_budget_per_rank=args.memory_budget_per_rank,
@@ -183,8 +190,6 @@ def _run_multiply(args, a, b, tracker):
         comm_backend=args.comm_backend,
         overlap=args.overlap,
         keep_output=args.output is not None or not args.discard,
-        tracker=tracker,
-        faults=args.faults if args.faults else None,
         checksums=True if args.checksums else None,
         max_retries=args.max_retries,
         checkpoint_dir=args.checkpoint_dir,
@@ -194,6 +199,18 @@ def _run_multiply(args, a, b, tracker):
         world_spares=args.spares,
         world=args.world,
         transport=args.transport,
+        replan=getattr(args, "replan", "off"),
+        replan_threshold=getattr(args, "replan_threshold", 0.15),
+    )
+
+
+def _run_multiply(args, a, b, tracker):
+    from .summa import run_plan
+
+    mask = _load(args.mask) if getattr(args, "mask", None) else None
+    return run_plan(
+        a, b, _multiply_spec(args), mask=mask, tracker=tracker,
+        faults=args.faults if args.faults else None,
     )
 
 
@@ -526,6 +543,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--overlap", default="off", choices=["off", "depth1"],
                    help="stage pipelining: depth1 prefetches the next "
                    "stage's broadcasts behind the local multiply")
+    p.add_argument("--replan", default="off", choices=["off", "auto"],
+                   help="mid-run replanning: at batch boundaries fold "
+                   "measured per-stage times and memory peaks into the "
+                   "cost models and amend the plan (batch count, comm "
+                   "backend) when the projected saving clears the "
+                   "hysteresis threshold; the product is unchanged")
+    p.add_argument("--replan-threshold", type=float, default=0.15,
+                   metavar="FRAC",
+                   help="hysteresis guard for --replan auto: only amend "
+                   "when the projected total is at least this fraction "
+                   "below staying the course (default 0.15)")
     p.add_argument("--world", default="threads",
                    choices=["threads", "processes"],
                    help="execution world: the deterministic in-process "

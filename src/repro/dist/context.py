@@ -333,6 +333,7 @@ class DistContext:
         ha: DistMatrixHandle,
         hb: DistMatrixHandle,
         *,
+        plan=None,
         batches: int | None = 1,
         memory_budget: int | None = None,
         suite="esc",
@@ -374,8 +375,34 @@ class DistContext:
         multiply; ``mask_complement=True`` keeps the unmasked positions).
         Dense-output kernels don't fit resident sparse handles — use
         :meth:`spmm` for ``A @ X`` with dense ``X``.
+
+        ``plan=`` accepts an :class:`~repro.plan.ExecSpec` /
+        :class:`~repro.plan.ExecPlan` instead of the loose knobs (same
+        funnel as :func:`~repro.summa.run_plan`); the context's own grid,
+        world and timeout override the plan's slot-level fields.  Either
+        way the resolved plan is recorded in ``result.info["plan"]``.
         """
         from ..kernels import MaskedSpgemmKernel, get_kernel
+
+        spec, plan_src = self._resolve_spec(
+            plan,
+            batches=batches,
+            memory_budget=memory_budget,
+            suite=suite,
+            semiring=semiring,
+            kernel=kernel,
+            mask_complement=mask_complement,
+            checksums=checksums,
+            max_retries=max_retries,
+        )
+        batches = spec.batches
+        memory_budget, _per_rank = spec.resolved_budget()
+        suite = spec.suite
+        semiring = spec.semiring
+        kernel = spec.kernel
+        mask_complement = spec.mask_complement
+        checksums = spec.checksums
+        max_retries = spec.max_retries
 
         kern = get_kernel(kernel)
         if kern.name not in ("spgemm", "masked_spgemm"):
@@ -454,6 +481,7 @@ class DistContext:
         info["memory"] = MemoryLedger.merge_reports(
             [r["info"]["memory"] for r in per_rank]
         )
+        info["plan"] = self._resolved_plan(spec, plan_src, info, ran_batches)
         result = SummaResult(
             matrix=None,
             grid=self.grid,
@@ -471,6 +499,7 @@ class DistContext:
         ha: DistMatrixHandle,
         x,
         *,
+        plan=None,
         batches: int | None = 1,
         memory_budget: int | None = None,
         semiring="plus_times",
@@ -490,6 +519,23 @@ class DistContext:
         handle (handles hold sparse tiles).
         """
         from ..kernels import SpmmKernel
+
+        spec, plan_src = self._resolve_spec(
+            plan,
+            batches=batches,
+            memory_budget=memory_budget,
+            semiring=semiring,
+            kernel="spmm",
+            comm_backend=comm_backend,
+            overlap=overlap,
+            max_retries=max_retries,
+        )
+        batches = spec.batches
+        memory_budget, _per_rank = spec.resolved_budget()
+        semiring = spec.semiring
+        comm_backend = spec.comm_backend
+        overlap = spec.overlap
+        max_retries = spec.max_retries
 
         self._check(ha)
         if ha.layout != "A":
@@ -531,6 +577,7 @@ class DistContext:
         info["memory"] = MemoryLedger.merge_reports(
             [r["info"]["memory"] for r in per_rank]
         )
+        info["plan"] = self._resolved_plan(spec, plan_src, info, ran_batches)
         result = SummaResult(
             matrix=None,
             grid=self.grid,
@@ -544,6 +591,55 @@ class DistContext:
         return y, result
 
     # ------------------------------------------------------------------ #
+    # plan plumbing: one shared builder for both resident entry points
+    # ------------------------------------------------------------------ #
+
+    def _resolve_spec(self, plan, **knobs):
+        """Resolve ``plan=`` or loose knobs to the spec a resident run
+        executes — the same funnel :func:`~repro.summa.run_plan` uses,
+        with the context's grid/world/timeout overriding the slot-level
+        fields either way."""
+        from ..plan.spec import ExecSpec
+        from ..summa.batched import _plan_to_spec
+
+        plan_src = None
+        if plan is not None:
+            spec, plan_src = _plan_to_spec(plan)
+        else:
+            spec = ExecSpec.from_kwargs(**knobs)
+        spec = spec.amended(
+            nprocs=self.grid.nprocs,
+            layers=self.grid.layers,
+            timeout=self.timeout,
+            world=self.world,
+            transport=self.transport,
+        )
+        return spec, plan_src
+
+    def _resolved_plan(self, spec, plan_src, info: dict, ran_batches) -> dict:
+        """The ``info["plan"]`` record of a resident run — the executed
+        spec with the realised batch count and backend pinned, keeping
+        the originating plan's provenance when one was passed."""
+        from ..plan.spec import ExecPlan, _registry_name
+
+        backend = info.get("comm_backend", _registry_name(spec.comm_backend))
+        prov = dict(plan_src.provenance) if plan_src is not None else {}
+        prov.setdefault("mode", "resident")
+        return ExecPlan(
+            layers=self.grid.layers,
+            batches=int(ran_batches),
+            predicted_seconds=(
+                plan_src.predicted_seconds if plan_src is not None else None
+            ),
+            candidates=plan_src.candidates if plan_src is not None else (),
+            backend=backend,
+            predicted_memory=(
+                plan_src.predicted_memory if plan_src is not None else None
+            ),
+            spec=spec.amended(batches=int(ran_batches), comm_backend=backend),
+            provenance=prov,
+            revision=plan_src.revision if plan_src is not None else 0,
+        ).to_dict()
 
     def _register(self, tiles, nrows, ncols, layout, ranges) -> DistMatrixHandle:
         key = next(self._next_key)

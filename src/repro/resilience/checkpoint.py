@@ -41,6 +41,16 @@ from ..sparse.matrix import SparseMatrix
 MANIFEST_NAME = "manifest.json"
 MANIFEST_VERSION = 1
 
+#: execution-plan knobs that determine the batch files' column geometry —
+#: a resume under a plan differing in any of these would mix incompatible
+#: column blocks.  Deliberately *excludes* knobs a replan may legally
+#: change between attempts (``comm_backend``) or that do not shape the
+#: output (budgets, overlap, world/transport, timeouts, resilience).
+PLAN_GEOMETRY_KEYS = (
+    "nprocs", "layers", "kernel", "suite", "semiring",
+    "batch_scheme", "merge_policy", "mask_complement", "bytes_per_nonzero",
+)
+
 
 def run_key(a, b, **config) -> str:
     """Deterministic fingerprint of one multiplication.
@@ -156,8 +166,13 @@ class CheckpointManager:
         self._manifest = manifest
         return manifest
 
-    def start_run(self, key: str, batches: int) -> None:
-        """Begin a fresh run: write an empty manifest for ``key``."""
+    def start_run(self, key: str, batches: int, plan: dict | None = None) -> None:
+        """Begin a fresh run: write an empty manifest for ``key``.
+
+        ``plan`` is the run's serialised execution plan
+        (:meth:`repro.plan.ExecSpec.to_dict`), embedded in the manifest so
+        a resumed run can *prove* it resumes under the same plan geometry
+        rather than trusting the caller."""
         os.makedirs(self.directory, exist_ok=True)
         self._manifest = {
             "version": MANIFEST_VERSION,
@@ -165,17 +180,22 @@ class CheckpointManager:
             "batches": int(batches),
             "completed": {},
         }
+        if plan is not None:
+            self._manifest["plan"] = dict(plan)
         self._write_manifest()
 
-    def resume_run(self, key: str, batches: int | None = None) -> tuple[int, int]:
+    def resume_run(
+        self, key: str, batches: int | None = None, plan: dict | None = None
+    ) -> tuple[int, int]:
         """Adopt an existing manifest for ``key``.
 
         Returns ``(batches, first_batch)`` — the run's batch count (the
         manifest's when ``batches`` is ``None``) and the first batch that
         still needs computing.  Raises :class:`~repro.errors.CheckpointError`
-        when the directory belongs to a different multiplication or a
-        conflicting batch count, and falls back to a fresh run when no
-        manifest exists yet.
+        when the directory belongs to a different multiplication, a
+        conflicting batch count, or (when both sides carry one) a plan
+        whose geometry-bearing knobs differ from the manifest's, and
+        falls back to a fresh run when no manifest exists yet.
         """
         manifest = self.load_manifest()
         if manifest is None:
@@ -184,7 +204,7 @@ class CheckpointManager:
                     f"nothing to resume in {self.directory!r} and no batch "
                     "count given (pass batches= or memory_budget=)"
                 )
-            self.start_run(key, batches)
+            self.start_run(key, batches, plan)
             return batches, 0
         if manifest["run_key"] != str(key):
             raise CheckpointError(
@@ -198,9 +218,22 @@ class CheckpointManager:
                 f"batches={manifest['batches']}, cannot resume with "
                 f"batches={batches} (batch geometry differs)"
             )
+        stored = manifest.get("plan")
+        if plan is not None and stored is not None:
+            diffs = {
+                k: (stored.get(k), plan.get(k))
+                for k in PLAN_GEOMETRY_KEYS
+                if stored.get(k) != plan.get(k)
+            }
+            if diffs:
+                raise CheckpointError(
+                    f"checkpoint {self.directory!r} was written under a "
+                    f"different execution plan: {diffs} (stored vs resumed); "
+                    "the batch files' column geometry would not match"
+                )
         return int(manifest["batches"]), self.completed_prefix()
 
-    def reset(self, key: str, batches: int) -> None:
+    def reset(self, key: str, batches: int, plan: dict | None = None) -> None:
         """Invalidate everything (batch geometry changed — re-batching)
         and start over with the new batch count."""
         with self._lock:
@@ -211,7 +244,7 @@ class CheckpointManager:
                         os.remove(os.path.join(self.directory, entry["file"]))
                     except OSError:
                         pass
-        self.start_run(key, batches)
+        self.start_run(key, batches, plan)
 
     def _write_manifest(self) -> None:
         tmp = self.manifest_path + ".tmp"

@@ -115,7 +115,7 @@ class Job:
         with Job._ids_lock:
             self.id = next(Job._ids)
         self.spec = spec
-        self.plan = plan            # PlanChoice from admission
+        self.plan = plan            # ExecPlan from admission
         self.plan_key = plan_key
         self.cache_hit = bool(cache_hit)
         #: DRR cost unit — the plan's predicted (modelled) seconds

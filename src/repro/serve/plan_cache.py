@@ -22,19 +22,22 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
-from ..summa.planner import PlanChoice, auto_config
+from ..plan.spec import ExecPlan
+from ..summa.planner import auto_config
 from .sketch import MatrixSketch, sketch_of
 
 
 class PlanCache:
-    """Thread-safe LRU map from plan keys to :class:`PlanChoice`."""
+    """Thread-safe LRU map from plan keys to
+    :class:`~repro.plan.ExecPlan` (the reified execution plan the
+    auto-tuner returns — historically called ``PlanChoice``)."""
 
     def __init__(self, capacity: int = 128) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
         self._lock = threading.Lock()
-        self._entries: OrderedDict[tuple, PlanChoice] = OrderedDict()
+        self._entries: OrderedDict[tuple, ExecPlan] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -77,7 +80,7 @@ class PlanCache:
             _sk(mask),
         )
 
-    def lookup(self, key: tuple) -> PlanChoice | None:
+    def lookup(self, key: tuple) -> ExecPlan | None:
         """Return the cached plan for ``key`` (refreshing recency) or
         ``None``.  Does not count a miss — :meth:`plan` does."""
         with self._lock:
@@ -86,7 +89,7 @@ class PlanCache:
                 self._entries.move_to_end(key)
             return plan
 
-    def insert(self, key: tuple, plan: PlanChoice) -> None:
+    def insert(self, key: tuple, plan: ExecPlan) -> None:
         with self._lock:
             self._entries[key] = plan
             self._entries.move_to_end(key)
@@ -107,7 +110,7 @@ class PlanCache:
         mask=None,
         machine=None,
         sample=None,
-    ) -> tuple[PlanChoice, bool]:
+    ) -> tuple[ExecPlan, bool]:
         """Plan one multiplication through the cache.
 
         Returns ``(plan, hit)``.  Misses run the analytic planner

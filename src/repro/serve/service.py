@@ -50,7 +50,7 @@ from ..errors import (
     SpmdError,
 )
 from ..resilience.checkpoint import run_key
-from ..summa.batched import batched_summa3d
+from ..summa.batched import run_plan
 from .admission import KIND_KERNELS, AdmissionController
 from .breaker import QUARANTINED, CircuitBreaker
 from .job import (
@@ -334,12 +334,10 @@ class SpgemmService:
         result = JobResult(
             matrix=matrix,
             info=info,
-            plan={
-                "layers": job.plan.layers,
-                "batches": job.plan.batches,
-                "backend": job.plan.backend,
-                "predicted_seconds": job.plan.predicted_seconds,
-            },
+            # the resolved plan the run actually executed (verbatim from
+            # the result), falling back to the admission plan for job
+            # kinds whose info carries no plan record
+            plan=info.get("plan") or job.plan.to_dict(),
             latency_s=time.monotonic() - job.submitted_at,
             queued_s=(job.started_at or t0) - job.submitted_at,
             heals=heals,
@@ -368,22 +366,24 @@ class SpgemmService:
         timeout = self._job_timeout(slot, job)
         if spec.kind == "square_chain":
             return self._execute_chain(slot, job, timeout)
-        kwargs = dict(
-            batches=plan.batches,
+        # the admission plan becomes the executed plan: slot-owned knobs
+        # (grid size, world, timeout) are grafted onto its spec, keeping a
+        # single conversion point between service config and the run
+        run = plan.with_spec(
+            nprocs=slot.nprocs,
             suite="esc",
             semiring=spec.semiring,
             kernel=kernel,
-            comm_backend=plan.backend,
             overlap=self.overlap,
-            tracker=slot.tracker,
             timeout=timeout,
             world=slot.world,
             transport=slot.transport,
         )
+        runtime = {"tracker": slot.tracker}
         if spec.kind == "masked_spgemm":
-            kwargs["mask"] = spec.mask
+            runtime["mask"] = spec.mask
         if spec.faults is not None:
-            kwargs["faults"] = spec.faults
+            runtime["faults"] = spec.faults
         ckpt_dir = None
         if self.heal is not None and kernel == "spgemm":
             # crash transparency: per-job checkpoint subdir + online heal.
@@ -396,15 +396,13 @@ class SpgemmService:
                 layers=plan.layers, nprocs=slot.nprocs, job=job.id,
             )
             ckpt_dir = CheckpointManager.run_dir(self.checkpoint_root, key)
-            kwargs.update(
+            run = run.with_spec(
                 heal=self.heal,
                 world_spares=self.world_spares,
                 checkpoint_dir=ckpt_dir,
                 checkpoint_keep_last=self.checkpoint_keep_last,
             )
-        result = batched_summa3d(
-            spec.a, spec.b, slot.nprocs, plan.layers, **kwargs
-        )
+        result = run_plan(spec.a, spec.b, run, **runtime)
         return result.matrix, result.info, ckpt_dir
 
     def _execute_chain(self, slot: GridSlot, job: Job, timeout: float):

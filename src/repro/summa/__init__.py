@@ -17,7 +17,7 @@ execution-plan IR of :mod:`repro.summa.exec` and run under either the
 with structured per-op tracing from :mod:`repro.summa.trace`.
 """
 
-from .batched import batched_summa3d, batched_summa3d_rows
+from .batched import batched_summa3d, batched_summa3d_rows, run_plan
 from .exec import (
     OVERLAP_MODES,
     ExecutionPlan,
@@ -55,6 +55,7 @@ __all__ = [
     "summa3d",
     "symbolic3d",
     "batched_summa3d",
+    "run_plan",
     "SummaResult",
     "SymbolicResult",
     "auto_config",

@@ -4,33 +4,42 @@ The driver validates inputs, builds the process grid, launches the SPMD
 program on the simulated-MPI engine, and reassembles the distributed
 output.  When a memory budget is given and no explicit batch count, the
 distributed symbolic step (Alg. 3) chooses ``b`` exactly as the paper does.
+
+The run configuration is a first-class value: :func:`run_plan` executes
+an :class:`~repro.plan.ExecSpec` (or a resolved
+:class:`~repro.plan.ExecPlan`), and the classic keyword surfaces —
+:func:`batched_summa3d`, :func:`batched_summa3d_rows`, ``summa2d/3d`` —
+are thin shims whose knobs funnel through the single conversion point
+:meth:`~repro.plan.ExecSpec.from_kwargs`.  Every result records the
+final resolved plan verbatim in ``info["plan"]``, including any mid-run
+amendments the :class:`~repro.plan.Replanner` made.
 """
 
 from __future__ import annotations
 
 import os
 import threading
+from dataclasses import replace
 
 import numpy as np
 
-from ..errors import MemoryPressureError, ShapeError, SpmdError
+from ..errors import MemoryPressureError, ReplanSignal, ShapeError, SpmdError
 from ..grid.distribution import extract_a_tile, extract_b_tile, gather_tiles
 from ..grid.grid3d import ProcGrid3D
 from ..kernels import MaskedSpgemmKernel, get_kernel
-from ..mem import ENFORCE_MODES, MemoryLedger, resolve_budget
+from ..mem import MemoryLedger
 from ..model.memory import predict_memory
 from ..mp.bridge import DriverCallback
-from ..resilience import HEAL_MODES, CheckpointManager, HealContext, HealingBody
+from ..plan.spec import ExecPlan, ExecSpec, _registry_name
+from ..resilience import CheckpointManager, HealContext, HealingBody
 from ..resilience import run_key as _checkpoint_run_key
-from ..simmpi.comm import DEFAULT_TIMEOUT
 from ..simmpi.engine import run_spmd
 from ..simmpi.faults import FaultInjector
 from ..simmpi.tracker import CommTracker
 from ..sparse.io import save_matrix
-from ..sparse.matrix import BYTES_PER_NONZERO, SparseMatrix
+from ..sparse.matrix import SparseMatrix
 from ..utils.timing import StepTimes
 from .core import spmd_batched_summa3d
-from .exec import OVERLAP_MODES
 from .result import SummaResult
 
 
@@ -85,212 +94,156 @@ class _BatchPieceCollector:
             self._pending.clear()
 
 
+def _coerce_plan(plan, nprocs, layers, knobs):
+    """The drivers' shared plan/knobs funnel.
+
+    Either the caller passed ``plan=`` (an :class:`ExecSpec`,
+    :class:`ExecPlan` or their dict form) and no loose knobs, or the
+    loose knobs — including the positional ``nprocs``/``layers`` — are
+    folded into a spec through the single conversion point
+    :meth:`ExecSpec.from_kwargs`.
+    """
+    if plan is not None:
+        if knobs or nprocs is not None or layers is not None:
+            extras = sorted(knobs)
+            if nprocs is not None:
+                extras.insert(0, "nprocs")
+            if layers is not None:
+                extras.insert(1 if nprocs is not None else 0, "layers")
+            raise TypeError(
+                "pass either plan= or loose execution knobs, not both "
+                f"(got plan= plus {', '.join(extras)}); amend the plan's "
+                "spec instead (ExecPlan.with_spec / ExecSpec.amended)"
+            )
+        return plan
+    if nprocs is not None:
+        knobs["nprocs"] = nprocs
+    if layers is not None:
+        knobs["layers"] = layers
+    return ExecSpec.from_kwargs(**knobs)
+
+
+def _plan_to_spec(plan) -> tuple[ExecSpec, "ExecPlan | None"]:
+    """Resolve ``plan`` to the spec to execute, keeping the originating
+    :class:`ExecPlan` (when there is one) for provenance."""
+    if isinstance(plan, dict):
+        plan = (
+            ExecPlan.from_dict(plan)
+            if ("spec" in plan or "backend" in plan or "provenance" in plan)
+            else ExecSpec.from_dict(plan)
+        )
+    if isinstance(plan, ExecPlan):
+        spec = plan.spec if plan.spec is not None else ExecSpec()
+        changes: dict = {"layers": plan.layers}
+        if plan.batches is not None:
+            changes["batches"] = plan.batches
+        if plan.backend:
+            changes["comm_backend"] = plan.backend
+        return spec.amended(**changes), plan
+    if isinstance(plan, ExecSpec):
+        return plan, None
+    raise TypeError(
+        "plan must be an ExecSpec, ExecPlan or their dict form, "
+        f"got {type(plan).__name__}"
+    )
+
+
 def batched_summa3d(
-    a: SparseMatrix,
-    b: SparseMatrix,
-    nprocs: int = 4,
-    layers: int = 1,
+    a,
+    b,
+    nprocs: int | None = None,
+    layers: int | None = None,
     *,
-    batches: int | None = None,
-    memory_budget: int | None = None,
-    memory_budget_per_rank: int | None = None,
-    enforce: str = "off",
-    bytes_per_nonzero: int = BYTES_PER_NONZERO,
-    suite="esc",
-    semiring="plus_times",
-    kernel="spgemm",
+    plan=None,
+    mask: SparseMatrix | None = None,
     sample: SparseMatrix | None = None,
-    keep_output: bool = True,
     postprocess=None,
     on_batch=None,
-    mask: SparseMatrix | None = None,
-    mask_complement: bool = False,
-    batch_scheme: str = "block-cyclic",
-    merge_policy: str = "deferred",
-    comm_backend="dense",
-    overlap: str = "off",
-    spill_dir=None,
     tracker: CommTracker | None = None,
-    timeout: float = DEFAULT_TIMEOUT,
     faults=None,
-    checksums: bool | None = None,
-    max_retries: int | None = 3,
-    checkpoint_dir=None,
-    resume: bool = False,
-    checkpoint_keep_last: int | None = None,
-    heal: str | None = None,
-    world_spares: int = 0,
-    world: str = "threads",
-    transport: str = "auto",
+    **knobs,
 ) -> SummaResult:
     """Multiply ``C = A @ B`` with the memory-constrained, communication-
     avoiding BatchedSUMMA3D algorithm.
 
-    Parameters
-    ----------
-    a, b:
-        Global input matrices (``a.ncols == b.nrows``).  In a real
-        deployment these live pre-distributed; the simulation hands each
-        rank its tile.
-    nprocs:
-        Simulated process count ``p``; ``p / layers`` must be a perfect
-        square.
-    layers:
-        ``l``, the communication-avoiding replication factor.
-    batches:
-        Explicit ``b``.  ``None`` (default) lets the symbolic step compute
-        it from ``memory_budget``; with neither given, ``b = 1``.
-    memory_budget:
-        Aggregate memory ``M`` in bytes across all processes.
-    memory_budget_per_rank:
-        The same limit expressed per rank.  Exactly one of
-        ``memory_budget`` / ``memory_budget_per_rank`` may be given; the
-        driver converts between the two here — and only here — via
-        :func:`repro.mem.resolve_budget` (``aggregate = per_rank * p``,
-        ``per_rank = aggregate // p``), so every downstream consumer
-        (Alg. 3 batch planning takes the aggregate, ledger enforcement
-        takes the per-rank figure) sees consistent units.
-    enforce:
-        What the per-rank :class:`~repro.mem.MemoryLedger` does when its
-        measured high-water mark exceeds the per-rank budget: ``"off"``
-        (default, account only), ``"warn"`` (record a warning in
-        ``info["memory"]["warnings"]``), or ``"strict"`` (raise a
-        deterministic :class:`~repro.errors.MemoryBudgetExceededError`
-        at the first stage boundary over budget; the driver's
-        graceful-degradation path catches it and re-runs with ``2b``
-        batches).  Requires a budget when not ``"off"``.
-    suite:
-        Kernel suite name (``"esc"``, ``"unsorted-hash"``, ``"sorted-heap"``,
-        ``"hybrid"``, ``"spa"``) or a :class:`~repro.sparse.KernelSuite`.
-    kernel:
-        The :class:`~repro.kernels.LocalKernel` run at every stage:
-        ``"spgemm"`` (default, sparse×sparse — the paper's workload,
-        bit-identical to the pre-kernel-seam behaviour), ``"spmm"``
-        (sparse×dense → dense; ``b`` is a 2-D ndarray and
-        ``result.matrix`` is dense), ``"sddmm"`` (dense×dense sampled by
-        the sparse ``sample=`` pattern) or ``"masked_spgemm"``
-        (sparse×sparse restricted to ``mask=``, computed *inside* the
-        local multiply so unmasked intermediates never materialise;
-        without ``mask=`` the symbolic pass's product pattern is used,
-        making ``symbolic3d`` the mask-producing prologue).
-    sample:
-        SDDMM's sampling pattern ``S`` (sparse, shape of the product):
-        only its stored coordinates are computed.  Required for
-        ``kernel="sddmm"``, invalid otherwise.
-    semiring:
-        Semiring name or instance (default ordinary arithmetic).
-    keep_output:
-        When False the product is discarded batch-by-batch (the paper's
-        memory-constrained usage); ``result.matrix`` is ``None``.
-    postprocess:
-        Distributed per-batch hook ``fn(batch, c0, c1, column_block) ->
-        SparseMatrix`` running inside the SPMD region (see
-        :func:`~repro.summa.core.spmd_batched_summa3d`).
-    on_batch:
-        Driver-side hook ``fn(batch, c0_c1_list, batch_matrix)`` called
-        after the run with each gathered batch, in batch order — the
-        "application consumes the batch" integration point.
-    mask:
+    Configuration is an :class:`~repro.plan.ExecSpec`: pass one (or a
+    resolved :class:`~repro.plan.ExecPlan`) as ``plan=``, or pass its
+    fields as loose keywords — ``batches=``, ``memory_budget=``,
+    ``enforce=``, ``suite=``, ``semiring=``, ``kernel=``,
+    ``mask_complement=``, ``keep_output=``, ``batch_scheme=``,
+    ``merge_policy=``, ``comm_backend=``, ``overlap=``, ``spill_dir=``,
+    ``timeout=``, ``checksums=``, ``max_retries=``, ``checkpoint_dir=``,
+    ``resume=``, ``checkpoint_keep_last=``, ``heal=``, ``world_spares=``,
+    ``world=``, ``transport=``, ``replan=`` and friends — which are
+    folded into a spec through :meth:`~repro.plan.ExecSpec.from_kwargs`
+    (the single conversion point; see the spec's field docs for
+    semantics).  The two styles are mutually exclusive.
+
+    Runtime-only arguments — objects with no serialised form — stay
+    keywords in either style:
+
+    ``mask``
         Optional output mask of shape ``(a.nrows, b.ncols)``: only
         coordinates present in the mask's pattern survive (GraphBLAS
-        ``mxm`` with a mask; with ``mask_complement=True``, only
-        coordinates *absent* from it).  Applied per batch inside the
-        distributed postprocess, so masked entries are discarded before
-        they accumulate — the triangle-counting usage (Sec. V-B).
-    batch_scheme:
-        ``"block-cyclic"`` (paper Fig. 1(i)) or ``"block"`` (contiguous
-        split; the Merge-Fiber load-imbalance ablation).
-    merge_policy:
-        ``"deferred"`` (Alg. 1 line 8, the paper's choice) or
-        ``"incremental"`` (merge each stage immediately: lower transient
-        memory, potentially more merge work — Sec. III-A).
-    comm_backend:
-        How operand tiles move between ranks: ``"dense"`` (whole-tile
-        collectives, Table II), ``"sparse"`` (SpComm3D-style
-        sparsity-aware point-to-point, see :mod:`repro.comm`) or
-        ``"auto"`` (the extended α–β model picks per multiplication).
-        Both concrete backends produce bit-identical products.
-    overlap:
-        ``"off"`` (default) executes stages strictly in order;
-        ``"depth1"`` pipelines — stage ``s+1``'s broadcasts are issued
-        (nonblocking) before stage ``s``'s local multiply so transfer
-        hides behind compute.  Products are bit-identical and the same
-        bytes move per step; see :mod:`repro.summa.exec`.
-    spill_dir:
-        Directory to save each gathered batch to (``batch_<i>.npz``, the
-        paper's "saved to disk by the application" mode).  Implies the
-        batches are gathered; combine with ``keep_output=False`` for the
-        memory-constrained pattern.
-    tracker:
+        ``mxm``; with ``mask_complement=True`` only coordinates *absent*
+        from it).  With ``kernel="masked_spgemm"`` the mask is applied
+        inside the local multiply instead of as a postprocess.
+    ``sample``
+        SDDMM's sampling pattern ``S`` (sparse, shape of the product).
+        Required for ``kernel="sddmm"``, invalid otherwise.
+    ``postprocess``
+        Distributed per-batch hook ``fn(batch, c0, c1, column_block) ->
+        SparseMatrix`` running inside the SPMD region.
+    ``on_batch``
+        Driver-side hook ``fn(batch, c0_c1_list, batch_matrix)`` called
+        with each gathered batch, in batch order.
+    ``tracker``
         Optional communication meter shared with the caller.
-    faults:
-        A :class:`~repro.simmpi.faults.FaultPlan` (or
-        :class:`~repro.simmpi.faults.FaultInjector`, or a list of CLI
-        fault-spec strings) to run under deterministic fault injection.
-        The injector's :meth:`~repro.simmpi.faults.FaultInjector.stats`
-        surface as ``result.fault_stats``.
-    checksums:
-        Force per-message envelope checksums on/off; default (``None``)
-        enables them exactly when faults are injected, so fault-free runs
-        keep the seed wire format.
-    max_retries:
-        Bound on transparent retries of transiently-failed communication
-        attempts (``None`` disables retrying).
-    checkpoint_dir:
-        Directory for manifest-backed batch checkpoints
-        (:class:`~repro.resilience.CheckpointManager`): each batch
-        becomes durable the moment its last piece lands, so a crashed
-        run can be continued.
-    resume:
-        With ``checkpoint_dir``, continue from the last completed batch
-        of a previous (crashed) run instead of batch 0.  The manifest
-        must match this multiplication (operands + configuration);
-        ``batches=None`` adopts the manifest's batch count.
-    checkpoint_keep_last:
-        With ``checkpoint_dir``, garbage-collect all but the newest ``k``
-        completed batch files as the run progresses (manifest entries
-        remain as tombstones, so resume still continues from the right
-        batch).  For runs that stream batches out (``keep_output=False``
-        with ``on_batch``/``spill_dir`` consuming them during assembly
-        only) the checkpoint is pure insurance and need not retain the
-        whole history.  Incompatible with needing the full output back
-        out of the checkpoint after a resume.
-    heal:
-        Online recovery mode (requires ``checkpoint_dir``): ``None``
-        (default) keeps PR 3 semantics — a rank crash aborts the run
-        with a checkpoint pointer.  ``"spare"`` parks ``world_spares``
-        pre-allocated spare ranks and promotes one into a dead rank's
-        grid position; ``"shrink"`` shrinks the *host pool*, respawning
-        the dead position oversubscribed onto the lowest surviving host.
-        Either way survivors revoke the old communicators, agree on the
-        repair, rebuild the grid and re-enter from the last checkpointed
-        batch — the run completes without restarting, bit-identical to a
-        fault-free run, with the heal reported in
-        ``info["resilience"]["heal"]``.
-    world_spares:
-        Number of spare ranks to pre-allocate for ``heal="spare"``.
-    world:
-        Execution world for the SPMD region: ``"threads"`` (default,
-        deterministic reference) or ``"processes"`` (one OS process per
-        rank for real multicore speedup — see :mod:`repro.mp`).
-        Products are bit-identical between the two; fault injection and
-        online healing are thread-world-only.
-    transport:
-        Payload wire format for ``world="processes"``: ``"naive"``
-        (pickle everything), ``"shm"`` (zero-copy shared memory) or
-        ``"auto"`` (shm above a size threshold).  Ignored by the
-        threaded world.
+    ``faults``
+        A :class:`~repro.simmpi.faults.FaultPlan` / ``FaultInjector`` /
+        list of CLI fault-spec strings for deterministic fault injection.
 
     Returns
     -------
-    SummaResult
+    SummaResult — with ``info["plan"]`` recording the final resolved
+    :class:`~repro.plan.ExecPlan` (as a dict), including any mid-run
+    replanning amendments.
     """
-    kern = get_kernel(kernel)
+    return run_plan(
+        a, b, _coerce_plan(plan, nprocs, layers, knobs),
+        mask=mask, sample=sample, postprocess=postprocess,
+        on_batch=on_batch, tracker=tracker, faults=faults,
+    )
+
+
+def run_plan(
+    a,
+    b,
+    plan,
+    *,
+    mask: SparseMatrix | None = None,
+    sample: SparseMatrix | None = None,
+    postprocess=None,
+    on_batch=None,
+    tracker: CommTracker | None = None,
+    faults=None,
+) -> SummaResult:
+    """Execute one multiplication under ``plan`` (an
+    :class:`~repro.plan.ExecSpec`, a resolved
+    :class:`~repro.plan.ExecPlan`, or either's dict form).
+
+    This is the real driver; :func:`batched_summa3d` and every other
+    keyword surface delegate here.  See :func:`batched_summa3d` for the
+    runtime-only arguments.
+    """
+    spec, exec_plan = _plan_to_spec(plan)
+
+    kern = get_kernel(spec.kernel)
     aux = None
     if kern.name == "masked_spgemm":
         # the mask is the kernel's aux operand; a caller-level name-based
         # request honours mask_complement= through the kernel constructor
-        if isinstance(kernel, str) and mask_complement:
+        if isinstance(spec.kernel, str) and spec.mask_complement:
             kern = MaskedSpgemmKernel(complement=True)
         if mask is not None:
             aux = mask
@@ -321,7 +274,7 @@ def batched_summa3d(
             f"not {kern.name!r}"
         )
     if kern.name != "spgemm" and (
-        checkpoint_dir is not None or resume or heal is not None
+        spec.checkpoint_dir is not None or spec.resume or spec.heal is not None
     ):
         raise NotImplementedError(
             "checkpoint/resume/heal currently require the default SpGEMM "
@@ -331,49 +284,28 @@ def batched_summa3d(
     if kern.output_kind != "sparse":
         for value, name in (
             (postprocess, "postprocess"), (mask, "mask"),
-            (spill_dir, "spill_dir"), (on_batch, "on_batch"),
+            (spec.spill_dir, "spill_dir"), (on_batch, "on_batch"),
         ):
             if value is not None:
                 raise ValueError(
                     f"{name}= requires a sparse-output kernel; "
                     f"{kern.name!r} produces a dense result"
                 )
-    if batches is not None and batches < 1:
-        raise ShapeError(f"batches must be >= 1, got {batches}")
-    if overlap not in OVERLAP_MODES:
-        raise ValueError(
-            f"unknown overlap mode {overlap!r}; expected one of {OVERLAP_MODES}"
-        )
-    if enforce not in ENFORCE_MODES:
-        raise ValueError(
-            f"unknown enforce mode {enforce!r}; expected one of {ENFORCE_MODES}"
-        )
-    # The single aggregate <-> per-rank unit conversion point (satellite b):
-    # Alg. 3 consumes the aggregate M, the ledger the per-rank share.
-    memory_budget, budget_per_rank = resolve_budget(
-        memory_budget, memory_budget_per_rank, nprocs
-    )
-    if enforce != "off" and budget_per_rank is None:
-        raise ValueError(
-            f'enforce="{enforce}" needs a budget: pass memory_budget= '
-            "(aggregate) or memory_budget_per_rank="
-        )
-    if resume and checkpoint_dir is None:
-        raise ValueError("resume=True requires checkpoint_dir=")
-    if heal is not None:
-        if heal not in HEAL_MODES:
-            raise ValueError(
-                f"unknown heal mode {heal!r}; expected one of {HEAL_MODES}"
-            )
-        if checkpoint_dir is None:
-            raise ValueError(
-                "heal= requires checkpoint_dir=: the re-entry point of an "
-                "online heal is the last durably checkpointed batch"
-            )
-        if heal == "spare" and world_spares < 1:
-            raise ValueError('heal="spare" needs world_spares >= 1')
-    if world_spares < 0:
-        raise ValueError(f"world_spares must be >= 0, got {world_spares}")
+    spec.validate()
+    memory_budget, budget_per_rank = spec.resolved_budget()
+
+    nprocs = spec.nprocs
+    layers = spec.layers
+    batches = spec.batches
+    comm_backend = spec.comm_backend
+    suite = spec.suite
+    semiring = spec.semiring
+    keep_output = spec.keep_output
+    spill_dir = spec.spill_dir
+    checkpoint_dir = spec.checkpoint_dir
+    heal = spec.heal
+    world = spec.world
+
     grid = ProcGrid3D(nprocs, layers)
     if tracker is None:
         tracker = CommTracker()
@@ -400,7 +332,7 @@ def batched_summa3d(
 
             comm_backend = choose_backend(
                 a, b, nprocs=nprocs, layers=layers, batches=batches or 1,
-                overlap=overlap,
+                overlap=spec.overlap,
             )
 
     if mask is not None:
@@ -409,7 +341,12 @@ def batched_summa3d(
                 f"mask shape {mask.shape} != product shape "
                 f"{(out_nrows, out_ncols)}"
             )
-        postprocess = _compose_mask(mask, mask_complement, postprocess)
+        postprocess = _compose_mask(mask, spec.mask_complement, postprocess)
+
+    def ckpt_plan(b_count) -> dict:
+        # the manifest's embedded plan: this spec with the batch geometry
+        # pinned, so a resume proves it resumes under the same plan
+        return spec.amended(batches=b_count).to_dict()
 
     # Checkpointing: the batch is the durability granule.  The driver
     # must know the batch count before the run to fingerprint the batch
@@ -423,16 +360,17 @@ def batched_summa3d(
     ckpt_ledger = MemoryLedger(rank="driver")
     if checkpoint_dir is not None:
         ckpt = CheckpointManager(
-            checkpoint_dir, keep_last=checkpoint_keep_last, ledger=ckpt_ledger
+            checkpoint_dir, keep_last=spec.checkpoint_keep_last,
+            ledger=ckpt_ledger,
         )
         ckpt_key = _checkpoint_run_key(
             a, b,
-            nprocs=nprocs, layers=layers, batch_scheme=batch_scheme,
-            merge_policy=merge_policy,
+            nprocs=nprocs, layers=layers, batch_scheme=spec.batch_scheme,
+            merge_policy=spec.merge_policy,
             suite=str(getattr(suite, "name", suite)),
             semiring=str(getattr(semiring, "name", semiring)),
         )
-        manifest = ckpt.load_manifest() if resume else None
+        manifest = ckpt.load_manifest() if spec.resume else None
         if batches is None and manifest is None:
             if memory_budget is not None:
                 from .symbolic3d import symbolic3d
@@ -440,9 +378,9 @@ def batched_summa3d(
                 sym = symbolic3d(
                     a, b, nprocs, layers,
                     memory_budget=memory_budget,
-                    bytes_per_nonzero=bytes_per_nonzero,
-                    tracker=tracker, timeout=timeout,
-                    world=world, transport=transport,
+                    bytes_per_nonzero=spec.bytes_per_nonzero,
+                    tracker=tracker, timeout=spec.timeout,
+                    world=world, transport=spec.transport,
                 )
                 batches = sym.batches
                 sym_prepass = {
@@ -451,10 +389,35 @@ def batched_summa3d(
                 }
             else:
                 batches = 1
-        if resume:
-            batches, first_batch = ckpt.resume_run(ckpt_key, batches)
+        if spec.resume:
+            batches, first_batch = ckpt.resume_run(
+                ckpt_key, batches, ckpt_plan(batches)
+            )
         else:
-            ckpt.start_run(ckpt_key, batches)
+            ckpt.start_run(ckpt_key, batches, ckpt_plan(batches))
+
+    # Mid-run replanning: build the picklable decision policy shipped to
+    # every rank.  Forced amendments (spec.replan_force) run even with
+    # replan="off" — the deterministic test/demo hook.
+    replan_policy = None
+    if spec.replan == "auto" or spec.replan_force:
+        from ..plan.replan import ReplanPolicy, modelled_comm_per_batch
+
+        modelled = ()
+        if spec.replan == "auto" and kern.supports_symbolic:
+            modelled = modelled_comm_per_batch(a, b, spec, batches)
+        auto = spec.replan == "auto"
+        replan_policy = ReplanPolicy(
+            threshold=spec.replan_threshold,
+            min_batches=spec.replan_min_batches,
+            max_replans=spec.max_replans,
+            allow_shrink=auto,
+            allow_grow=auto,
+            allow_backend_flip=auto and bool(modelled),
+            resumable=ckpt is not None,
+            modelled_comm=modelled,
+            force=spec.replan_force,
+        )
 
     # Memory-constrained streaming: when the output is discarded but
     # batches are still consumed, ranks stream each finished piece to the
@@ -472,6 +435,7 @@ def batched_summa3d(
 
     collector = make_collector()
     rebatched: list[dict] = []
+    replans: list[dict] = []
     heal_ctx = None
     world_info: dict = {}
     while True:
@@ -488,19 +452,20 @@ def batched_summa3d(
             batches=batches,
             memory_budget=memory_budget,
             memory_budget_per_rank=budget_per_rank,
-            enforce=enforce,
-            bytes_per_nonzero=bytes_per_nonzero,
+            enforce=spec.enforce,
+            bytes_per_nonzero=spec.bytes_per_nonzero,
             suite=suite,
             semiring=semiring,
             keep_pieces=keep_output,
             postprocess=postprocess,
-            batch_scheme=batch_scheme,
-            merge_policy=merge_policy,
+            batch_scheme=spec.batch_scheme,
+            merge_policy=spec.merge_policy,
             comm_backend=comm_backend,
-            overlap=overlap,
+            overlap=spec.overlap,
             piece_sink=sink,
-            max_retries=max_retries,
+            max_retries=spec.max_retries,
             batch_barrier=ckpt is not None,
+            replan=replan_policy,
         )
         try:
             if heal is None:
@@ -513,11 +478,11 @@ def batched_summa3d(
                     start_batch=first_batch,
                     **spmd_kwargs,
                     tracker=tracker,
-                    timeout=timeout,
+                    timeout=spec.timeout,
                     faults=injector,
-                    checksums=checksums,
+                    checksums=spec.checksums,
                     world=world,
-                    transport=transport,
+                    transport=spec.transport,
                     world_info=world_info,
                 )
             else:
@@ -551,17 +516,70 @@ def batched_summa3d(
                     nprocs,
                     body,
                     tracker=tracker,
-                    timeout=timeout,
+                    timeout=spec.timeout,
                     faults=injector,
-                    checksums=checksums,
-                    world_spares=world_spares,
+                    checksums=spec.checksums,
+                    world_spares=spec.world_spares,
                     heal=heal_ctx,
                     world=world,
-                    transport=transport,
+                    transport=spec.transport,
                     world_info=world_info,
                 )
             break
         except SpmdError as err:
+            signals = [
+                e for e in err.failures.values()
+                if isinstance(e, ReplanSignal)
+            ]
+            if signals and all(
+                isinstance(e, ReplanSignal) for e in err.failures.values()
+            ):
+                # a collective mid-run amendment: every rank raised the
+                # same decision at the same batch boundary.  Apply it
+                # through the re-batch machinery and re-enter.
+                sig = signals[0]
+                cur = sig.batches or (batches or 1)
+                new_b = int(sig.amended.get("batches", cur))
+                new_backend = sig.amended.get("comm_backend", comm_backend)
+                geometry_changed = new_b != cur
+                replans.append({
+                    "at_batch": sig.batch,
+                    "reason": sig.reason,
+                    "from": {
+                        "batches": int(cur),
+                        "backend": _registry_name(comm_backend),
+                    },
+                    "to": {
+                        "batches": int(new_b),
+                        "backend": _registry_name(new_backend),
+                    },
+                    "measurements": dict(sig.measurements),
+                })
+                batches = new_b
+                comm_backend = new_backend
+                # one amendment spent; a force that fired never re-fires
+                replan_policy = replace(
+                    replan_policy,
+                    revision=replan_policy.revision + 1,
+                    force=tuple(
+                        (bt, am) for bt, am in replan_policy.force
+                        if int(bt) != sig.batch
+                    ),
+                )
+                if ckpt is not None:
+                    if geometry_changed:
+                        # the column geometry is a function of b: every
+                        # checkpointed batch is invalid — restart
+                        ckpt.reset(ckpt_key, new_b, ckpt_plan(new_b))
+                        first_batch = 0
+                    else:
+                        # backend flip preserves geometry: completed
+                        # batches stay durable, resume past them
+                        first_batch = ckpt.completed_prefix()
+                else:
+                    first_batch = 0
+                collector = make_collector()
+                continue
             pressures = [
                 e for e in err.failures.values()
                 if isinstance(e, MemoryPressureError)
@@ -582,7 +600,7 @@ def batched_summa3d(
                 batches = new_b
                 first_batch = 0
                 if ckpt is not None:
-                    ckpt.reset(ckpt_key, new_b)
+                    ckpt.reset(ckpt_key, new_b, ckpt_plan(new_b))
                 collector = make_collector()
                 continue
             if ckpt is not None:
@@ -626,8 +644,8 @@ def batched_summa3d(
             max_nnz_b=sym_stats["max_nnz_b"],
             max_nnz_c=sym_stats["max_nnz_c"],
             keep_output=keep_output,
-            overlap=overlap,
-            bytes_per_nonzero=bytes_per_nonzero,
+            overlap=spec.overlap,
+            bytes_per_nonzero=spec.bytes_per_nonzero,
         )
     else:
         # no symbolic statistics (non-SpGEMM kernels, or SpGEMM without a
@@ -639,7 +657,7 @@ def batched_summa3d(
             layers=layers,
             batches=ran_batches,
             keep_output=keep_output,
-            overlap=overlap,
+            overlap=spec.overlap,
         )
     if predicted is not None:
         mem_block["model"] = predicted
@@ -652,24 +670,53 @@ def batched_summa3d(
     max_local_bytes = mem_block["high_water_total"]
 
     info["fiber_piece_nnz"] = [r["fiber_piece_nnz"] for r in per_rank]
-    info["batch_scheme"] = batch_scheme
-    info["merge_policy"] = merge_policy
+    info["batch_scheme"] = spec.batch_scheme
+    info["merge_policy"] = spec.merge_policy
     if sym_prepass is not None and "symbolic" not in info:
         info["symbolic"] = sym_prepass
     if injector is not None:
         info["fault_stats"] = injector.stats()
-    if injector is not None or ckpt is not None or rebatched:
-        resilience: dict = {"max_retries": max_retries}
+    if injector is not None or ckpt is not None or rebatched or replans:
+        resilience: dict = {"max_retries": spec.max_retries}
         if ckpt is not None:
             resilience["checkpoint_dir"] = os.fspath(checkpoint_dir)
             resilience["resumed_from_batch"] = first_batch
             resilience["checkpoint_io"] = ckpt.io_stats()
         if heal_ctx is not None:
             resilience["heal"] = heal_ctx.report()
-            resilience["world_spares"] = world_spares
+            resilience["world_spares"] = spec.world_spares
         if rebatched:
             resilience["rebatched"] = rebatched
+        if replans:
+            resilience["replans"] = replans
         info["resilience"] = resilience
+
+    # The final resolved plan, recorded verbatim: what actually ran,
+    # with the provenance trail of how the configuration was reached.
+    backend_name = info.get("comm_backend", _registry_name(comm_backend))
+    prov = dict(exec_plan.provenance) if exec_plan is not None else {}
+    prov.setdefault("mode", "explicit")
+    if replans:
+        prov["replans"] = list(prov.get("replans", ())) + replans
+        prov["mode"] = "replan"
+    final_plan = ExecPlan(
+        layers=layers,
+        batches=int(ran_batches),
+        predicted_seconds=(
+            exec_plan.predicted_seconds if exec_plan is not None else None
+        ),
+        candidates=exec_plan.candidates if exec_plan is not None else (),
+        backend=backend_name,
+        predicted_memory=(
+            exec_plan.predicted_memory if exec_plan is not None else None
+        ),
+        spec=spec.amended(batches=int(ran_batches), comm_backend=backend_name),
+        provenance=prov,
+        revision=(
+            (exec_plan.revision if exec_plan is not None else 0) + len(replans)
+        ),
+    )
+    info["plan"] = final_plan.to_dict()
 
     if spill_dir is not None:
         os.makedirs(spill_dir, exist_ok=True)
@@ -798,38 +845,19 @@ def _compose_mask(mask: SparseMatrix, complement: bool, inner):
 
 
 def batched_summa3d_rows(
-    a: SparseMatrix,
-    b: SparseMatrix,
-    nprocs: int = 4,
-    layers: int = 1,
+    a,
+    b,
+    nprocs: int | None = None,
+    layers: int | None = None,
     *,
-    batches: int | None = None,
-    memory_budget: int | None = None,
-    memory_budget_per_rank: int | None = None,
-    enforce: str = "off",
-    bytes_per_nonzero: int = BYTES_PER_NONZERO,
-    suite="esc",
-    semiring="plus_times",
-    kernel="spgemm",
-    keep_output: bool = True,
+    plan=None,
+    mask: SparseMatrix | None = None,
+    sample: SparseMatrix | None = None,
+    postprocess=None,
     on_batch=None,
-    batch_scheme: str = "block-cyclic",
-    merge_policy: str = "deferred",
-    comm_backend="dense",
-    overlap: str = "off",
-    spill_dir=None,
     tracker: CommTracker | None = None,
-    timeout: float = DEFAULT_TIMEOUT,
     faults=None,
-    checksums: bool | None = None,
-    max_retries: int | None = 3,
-    checkpoint_dir=None,
-    resume: bool = False,
-    checkpoint_keep_last: int | None = None,
-    heal: str | None = None,
-    world_spares: int = 0,
-    world: str = "threads",
-    transport: str = "auto",
+    **knobs,
 ) -> SummaResult:
     """Row-wise batched SpGEMM: each batch computes ``nrows / b`` *rows*
     of ``C`` (paper Sec. IV-B).
@@ -846,19 +874,30 @@ def batched_summa3d_rows(
     Only ordinary arithmetic and other commutative-multiply semirings
     preserve the identity; the multiply order is swapped by the transpose.
 
-    All batching/communication/memory knobs of :func:`batched_summa3d`
-    (``batch_scheme``, ``merge_policy``, ``comm_backend``, ``overlap``,
-    ``bytes_per_nonzero``, ``memory_budget_per_rank``, ``enforce``,
-    ``spill_dir``) apply unchanged — they act on the transposed run.  Spilled batch files hold *row* blocks of ``C``
-    (already transposed back), consistent with ``on_batch``.  The
-    resilience knobs (``faults``, ``checksums``, ``max_retries``,
-    ``checkpoint_dir``, ``resume``, ``checkpoint_keep_last``, ``heal``,
-    ``world_spares``) also forward; checkpoints fingerprint the
-    transposed operands, so resuming requires this same entry point.
+    The signature is *identical* to :func:`batched_summa3d` — both are
+    derived from :class:`~repro.plan.ExecSpec` through the same
+    conversion point, so the two surfaces cannot drift apart.  Every spec
+    knob applies unchanged (acting on the transposed run); ``spill_dir``
+    files hold *row* blocks of ``C`` (already transposed back),
+    consistent with ``on_batch``; checkpoints fingerprint the transposed
+    operands, so resuming requires this same entry point.  The runtime
+    hooks ``mask=``, ``sample=`` and ``postprocess=`` are column-batched
+    concepts and raise here.
     """
     from ..sparse.ops import transpose
 
-    kern = get_kernel(kernel)
+    spec_or_plan = _coerce_plan(plan, nprocs, layers, knobs)
+    for value, name in (
+        (mask, "mask"), (sample, "sample"), (postprocess, "postprocess"),
+    ):
+        if value is not None:
+            raise ValueError(
+                f"{name}= applies to the column-batched drivers only; "
+                "row batching runs through the transpose identity and has "
+                "no transposed equivalent of it yet"
+            )
+    spec, exec_plan = _plan_to_spec(spec_or_plan)
+    kern = get_kernel(spec.kernel)
     if kern.name != "spgemm":
         raise NotImplementedError(
             "row batching runs through the transpose identity, which only "
@@ -868,48 +907,33 @@ def batched_summa3d_rows(
 
     # spilling is handled here, not forwarded: the inner run computes
     # Cᵀ, and files must hold row blocks of C, transposed back.
+    spill_dir = spec.spill_dir
+    on_batch_outer = on_batch
+
     def transposed_hook(batch, spans, batch_matrix):
         mat = transpose(batch_matrix)
         if spill_dir is not None:
             os.makedirs(spill_dir, exist_ok=True)
             save_matrix(os.path.join(spill_dir, f"batch_{batch}.npz"), mat)
-        if on_batch is not None:
-            on_batch(batch, spans, mat)
+        if on_batch_outer is not None:
+            on_batch_outer(batch, spans, mat)
 
-    result = batched_summa3d(
+    inner_spec = spec.amended(spill_dir=None)
+    inner_plan = (
+        replace(exec_plan, spec=inner_spec)
+        if exec_plan is not None else inner_spec
+    )
+    result = run_plan(
         transpose(b),
         transpose(a),
-        nprocs=nprocs,
-        layers=layers,
-        batches=batches,
-        memory_budget=memory_budget,
-        memory_budget_per_rank=memory_budget_per_rank,
-        enforce=enforce,
-        bytes_per_nonzero=bytes_per_nonzero,
-        suite=suite,
-        semiring=semiring,
-        keep_output=keep_output,
+        inner_plan,
         on_batch=(
             transposed_hook
             if (on_batch is not None or spill_dir is not None)
             else None
         ),
-        batch_scheme=batch_scheme,
-        merge_policy=merge_policy,
-        comm_backend=comm_backend,
-        overlap=overlap,
         tracker=tracker,
-        timeout=timeout,
         faults=faults,
-        checksums=checksums,
-        max_retries=max_retries,
-        checkpoint_dir=checkpoint_dir,
-        resume=resume,
-        checkpoint_keep_last=checkpoint_keep_last,
-        heal=heal,
-        world_spares=world_spares,
-        world=world,
-        transport=transport,
     )
     if result.matrix is not None:
         result.matrix = transpose(result.matrix)

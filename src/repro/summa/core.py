@@ -169,6 +169,7 @@ def spmd_batched_summa3d(
     batch_barrier: bool = False,
     kernel="spgemm",
     aux=None,
+    replan=None,
 ) -> dict:
     """Alg. 4 (BatchedSUMMA3D) as executed by one rank.
 
@@ -246,6 +247,13 @@ def spmd_batched_summa3d(
         The kernel's third operand, distributed like the output: the
         sampling pattern for ``sddmm``, the mask for ``masked_spgemm``.
         Must be the *global* matrix; each rank cuts its own blocks.
+    replan:
+        Optional :class:`~repro.plan.ReplanPolicy`.  When set, a
+        ``replan-check`` op runs after every non-final batch; the
+        :class:`~repro.plan.Replanner` built from the policy may raise a
+        collective :class:`~repro.errors.ReplanSignal` carrying an
+        amended plan, which the driver applies through the re-batch
+        path.  ``None`` (default) compiles no check ops at all.
 
     Returns (per rank)
     ------------------
@@ -345,6 +353,10 @@ def spmd_batched_summa3d(
     state.postprocess = postprocess
     state.keep_pieces = keep_pieces
     state.piece_sink = piece_sink
+    state.tracer = tracer
+    if replan is not None:
+        from ..plan.replan import Replanner
+        state.replan = Replanner(replan, start_batch=start_batch)
 
     plan = compile_batched_summa3d(
         grid,
@@ -354,6 +366,7 @@ def spmd_batched_summa3d(
         first_batch=start_batch,
         batch_barrier=batch_barrier,
         kernel=kernel,
+        replan=state.replan is not None,
     )
     executor.run(plan, state, tracer)
 

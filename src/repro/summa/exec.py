@@ -154,6 +154,7 @@ class ExecState:
         "batches", "batch_scheme", "super_w", "row_bounds", "r0", "c0_super",
         "a_nrows", "b_ncols", "c0", "c1",
         "postprocess", "keep_pieces", "piece_sink", "info",
+        "tracer", "replan",
     )
 
     def __init__(self) -> None:
@@ -178,6 +179,7 @@ def compile_batched_summa3d(
     first_batch: int = 0,
     batch_barrier: bool = False,
     kernel=None,
+    replan: bool = False,
 ) -> ExecutionPlan:
     """Compile Alg. 4 for ``grid`` into an :class:`ExecutionPlan`.
 
@@ -205,6 +207,13 @@ def compile_batched_summa3d(
     with dense accumulators declare :attr:`incremental_only` and force
     ``merge_policy="incremental"`` here, so the plan never holds one
     dense partial per stage.
+
+    ``replan`` appends a ``replan-check`` op after every non-final
+    batch's last op.  The op consults ``state.replan`` (a
+    :class:`~repro.plan.Replanner`, when the driver installed one) and
+    may raise a collective :class:`~repro.errors.ReplanSignal`.  It runs
+    *after* the batch barrier so a checkpointed batch is durable before
+    any amendment abandons the attempt.
     """
     if kernel is None:
         kernel = SpgemmKernel()
@@ -293,6 +302,9 @@ def compile_batched_summa3d(
             timed=False)
         if batch_barrier:
             add("batch-barrier", "Batch-Barrier", _run_batch_barrier,
+                batch=batch, timed=False)
+        if replan and batch + 1 < batches:
+            add("replan-check", "Replan-Check", _run_replan_check(batch),
                 batch=batch, timed=False)
 
     plan.validate()
@@ -580,6 +592,13 @@ def _run_postprocess(batch):
         )
         # the hook replaced the tile (masking/pruning usually shrinks it)
         state.ledger.resize(state.mem["c_tile"], state.c_tile.nbytes)
+    return run
+
+
+def _run_replan_check(batch):
+    def run(state, span):
+        if state.replan is not None:
+            state.replan.check(state, batch)
     return run
 
 

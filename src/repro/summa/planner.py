@@ -62,23 +62,49 @@ def batches_upper_bound(
     return _batches_bound(flops, nnz_a, nnz_b, memory_budget, bytes_per_nonzero)
 
 
-from dataclasses import dataclass
+from ..plan.spec import ExecPlan, ExecSpec
+
+#: Deprecated alias of :class:`repro.plan.ExecPlan`.  The auto-tuner's
+#: outcome is now the reified execution plan itself — same attributes
+#: (``layers``/``batches``/``predicted_seconds``/``candidates``/
+#: ``backend``/``predicted_memory``) plus the executable ``spec`` and the
+#: ``provenance`` of how it was chosen.  Existing ``PlanChoice`` callers
+#: keep working; new code should import ``ExecPlan`` from ``repro.plan``.
+PlanChoice = ExecPlan
 
 
-@dataclass(frozen=True)
-class PlanChoice:
-    """Outcome of the joint (layers, batches) auto-tuner."""
+def _reify(
+    plan: ExecPlan,
+    *,
+    nprocs: int,
+    kernel,
+    memory_budget,
+    bytes_per_nonzero: int,
+    overlap: str,
+    use_symbolic: bool,
+    machine,
+) -> ExecPlan:
+    """Attach the executable spec and selection provenance to a winning
+    candidate, turning the score table into a runnable :class:`ExecPlan`."""
+    from dataclasses import replace
 
-    layers: int
-    batches: int
-    predicted_seconds: float
-    candidates: tuple  # (layers, batches, predicted_seconds) per option
-    backend: str = "dense"  # communication backend of the winning candidate
-    #: Table III per-process memory estimate for the winning candidate
-    #: (:func:`repro.model.predict_memory`), with ``basis`` recording
-    #: whether it came from exact symbolic maxima or the analytic
-    #: estimate.  ``None`` when no budget constrained the plan.
-    predicted_memory: dict | None = None
+    spec = ExecSpec.from_kwargs(
+        nprocs=nprocs,
+        layers=plan.layers,
+        batches=plan.batches,
+        comm_backend=plan.backend,
+        overlap=overlap,
+        kernel=kernel,
+        memory_budget=memory_budget,
+        bytes_per_nonzero=bytes_per_nonzero,
+    )
+    provenance = {
+        "mode": "auto",
+        "use_symbolic": bool(use_symbolic),
+        "machine": getattr(machine, "name", None) or type(machine).__name__,
+        "candidates_scored": len(plan.candidates),
+    }
+    return replace(plan, spec=spec, provenance=provenance)
 
 
 def choose_backend(
@@ -264,8 +290,13 @@ def auto_config(
     ``backend`` prices the candidates under one communication backend
     (``"dense"`` or ``"sparse"``); ``"auto"`` scores each candidate under
     both and keeps the cheaper, recording the winner in
-    ``PlanChoice.backend``.  Candidate tuples stay ``(layers, batches,
+    ``ExecPlan.backend``.  Candidate tuples stay ``(layers, batches,
     predicted_seconds)`` with the per-candidate best time.
+
+    Returns a :class:`~repro.plan.ExecPlan`: the winning candidate with
+    its executable :class:`~repro.plan.ExecSpec` attached and
+    ``provenance`` recording how it was chosen — pass it straight to
+    :func:`~repro.summa.run_plan`.
 
     ``overlap="depth1"`` scores candidates with the pipelined makespan
     (broadcasts hidden behind the multiply, per stage the maximum of the
@@ -292,13 +323,18 @@ def auto_config(
     from ..sparse.spgemm.symbolic import symbolic_flops, symbolic_nnz
 
     kern = get_kernel(kernel)
-    if not kern.supports_symbolic:
-        return _auto_config_kernel(
-            kern, a, b, sample, nprocs,
-            memory_budget=memory_budget, machine=machine, overlap=overlap,
-            bytes_per_nonzero=bytes_per_nonzero,
-        )
     machine = machine if machine is not None else CORI_KNL
+    if not kern.supports_symbolic:
+        return _reify(
+            _auto_config_kernel(
+                kern, a, b, sample, nprocs,
+                memory_budget=memory_budget, machine=machine,
+                overlap=overlap, bytes_per_nonzero=bytes_per_nonzero,
+            ),
+            nprocs=nprocs, kernel=kernel, memory_budget=memory_budget,
+            bytes_per_nonzero=bytes_per_nonzero, overlap=overlap,
+            use_symbolic=False, machine=machine,
+        )
     if backend not in ("dense", "sparse", "auto"):
         raise PlannerError(f"unknown communication backend {backend!r}")
     backends = ("dense", "sparse") if backend == "auto" else (backend,)
@@ -388,13 +424,18 @@ def auto_config(
         )
     best_idx = min(range(len(candidates)), key=lambda i: candidates[i][2])
     best = candidates[best_idx]
-    return PlanChoice(
-        layers=best[0],
-        batches=best[1],
-        predicted_seconds=best[2],
-        candidates=tuple(candidates),
-        backend=candidate_backends[best_idx],
-        predicted_memory=candidate_memory[best_idx],
+    return _reify(
+        ExecPlan(
+            layers=best[0],
+            batches=best[1],
+            predicted_seconds=best[2],
+            candidates=tuple(candidates),
+            backend=candidate_backends[best_idx],
+            predicted_memory=candidate_memory[best_idx],
+        ),
+        nprocs=nprocs, kernel=kernel, memory_budget=memory_budget,
+        bytes_per_nonzero=bytes_per_nonzero, overlap=overlap,
+        use_symbolic=use_symbolic, machine=machine,
     )
 
 
